@@ -1,0 +1,99 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  (1) chain propagation — rerun the hybrid chain (scene #2) with the
+//      closure restricted to direct neighbours: the Contacts app loses
+//      the Camera's share, showing why Algorithm 1 walks the chain;
+//  (2) screen policies — the same leaked-wakelock attack (#6) under the
+//      three policies the paper discusses: Android's separate Screen row,
+//      PowerTutor's charge-the-foreground, and E-Android's
+//      charge-the-initiator.
+#include <cstdio>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/testbed.h"
+
+namespace {
+
+using namespace eandroid;
+using apps::DemoApp;
+using apps::Testbed;
+using apps::TestbedOptions;
+using framework::Intent;
+
+struct ChainResult {
+  double contacts_collateral = 0.0;
+  double from_camera = 0.0;
+};
+
+ChainResult run_chain(bool chain_propagation) {
+  TestbedOptions options;
+  options.engine_config.chain_propagation = chain_propagation;
+  Testbed bed(options);
+  bed.install<DemoApp>(apps::contacts_spec());
+  bed.install<DemoApp>(apps::message_spec());
+  bed.install<DemoApp>(apps::camera_spec());
+  bed.start();
+
+  bed.server().user_launch("com.example.contacts");
+  bed.sim().run_for(sim::seconds(5));
+  bed.server().user_tap(1, 1);
+  bed.context_of("com.example.contacts")
+      .start_activity(Intent::explicit_for("com.example.message", "Main"));
+  bed.sim().run_for(sim::seconds(10));
+  bed.server().user_tap(1, 1);
+  bed.context_of("com.example.message")
+      .start_activity(Intent::implicit("android.media.action.VIDEO_CAPTURE"));
+  bed.sim().run_for(sim::seconds(20));
+  bed.server().user_tap(1, 1);
+  bed.run_for(sim::seconds(11));
+
+  ChainResult result;
+  auto* ea = bed.eandroid();
+  const kernelsim::Uid contacts = bed.uid_of("com.example.contacts");
+  result.contacts_collateral = ea->engine().collateral_mj(contacts);
+  result.from_camera = ea->engine().collateral_from(
+      contacts, core::Entity::app(bed.uid_of("com.example.camera")));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 1: chain propagation in Algorithm 1 ===\n\n");
+  const ChainResult with_chain = run_chain(true);
+  const ChainResult without_chain = run_chain(false);
+  std::printf("%-34s %14s %14s\n", "", "chains ON", "chains OFF");
+  std::printf("%-34s %12.1f %14.1f\n", "Contacts collateral (mJ)",
+              with_chain.contacts_collateral,
+              without_chain.contacts_collateral);
+  std::printf("%-34s %12.1f %14.1f\n", "  of which from Camera (mJ)",
+              with_chain.from_camera, without_chain.from_camera);
+  std::printf("\nwith the chain disabled, the Camera's drain vanishes from "
+              "the Contacts account — the Fig 7 scenario becomes invisible "
+              "again.\n\n");
+
+  std::printf("=== Ablation 2: screen energy policy (leaked wakelock) "
+              "===\n\n");
+  Testbed bed;
+  apps::WakelockMalware* malware = bed.install<apps::WakelockMalware>();
+  bed.start();
+  (void)bed.context_of(apps::WakelockMalware::kPackage);
+  malware->attack();
+  bed.run_for(sim::seconds(60));
+
+  const auto android = bed.battery_stats().view();
+  const auto tutor = bed.power_tutor().view();
+  const auto ea = bed.eandroid()->view();
+  std::printf("%-44s %10s\n", "policy / row", "mJ");
+  std::printf("%-44s %10.1f\n", "Android: 'Screen' independent row",
+              android.energy_of("Screen"));
+  std::printf("%-44s %10.1f\n",
+              "PowerTutor: charged to foreground (launcher)",
+              tutor.energy_of(framework::kLauncherPackage));
+  const core::EARow* row = ea.row_of(apps::WakelockMalware::kPackage);
+  std::printf("%-44s %10.1f\n", "E-Android: charged to the initiator",
+              row == nullptr ? 0.0 : row->collateral_mj);
+  std::printf("\nonly the initiator policy points at the malware.\n");
+  return 0;
+}

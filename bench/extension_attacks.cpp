@@ -1,0 +1,69 @@
+// Extension experiments beyond the paper's Fig 9 grid:
+//  * the Fig 7 chain run as an actual attack (malware -> middleman ->
+//    bright app -> screen),
+//  * the §III-B multi & hybrid attack with stealth auto-launch,
+//  * benign interruption (incoming call) stranding a leaked wakelock,
+//  * DVFS ablation: energy of the same partial-load workload with the
+//    fixed-frequency vs frequency-stepped CPU model.
+#include <cstdio>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/scenarios.h"
+
+namespace {
+
+using namespace eandroid;
+
+void print_inventory(const apps::ScenarioResult& r, const char* package) {
+  std::printf("--- %s ---\n", r.name.c_str());
+  const core::EARow* row = r.ea_view.row_of(package);
+  if (row == nullptr) {
+    std::printf("  (no row for %s)\n\n", package);
+    return;
+  }
+  std::printf("  %s: own %.1f mJ, collateral %.1f mJ (%.1f%% of drain)\n",
+              package, row->original_mj, row->collateral_mj, row->percent);
+  for (const auto& item : row->inventory) {
+    std::printf("    + from %-26s %10.1f mJ\n", item.label.c_str(),
+                item.energy_mj);
+  }
+  std::printf("  stock Android shows %s at %.1f%%\n\n", package,
+              r.android_view.percent_of(package));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension attacks and ablations ===\n\n");
+
+  print_inventory(apps::run_chain_attack(), apps::BinderMalware::kPackage);
+  print_inventory(apps::run_multi_attack(), apps::HybridMalware::kPackage);
+  print_inventory(apps::run_benign_interruption(), "com.example.victim");
+
+  // DVFS ablation.
+  auto energy_with = [](const hw::PowerParams& params) {
+    apps::TestbedOptions options;
+    options.params = params;
+    apps::Testbed bed(options);
+    apps::DemoAppSpec app = apps::message_spec();
+    app.package = "com.dvfs.app";
+    app.foreground_cpu = 0.20;
+    bed.install<apps::DemoApp>(app);
+    bed.start();
+    bed.server().user_launch("com.dvfs.app");
+    for (int i = 0; i < 3; ++i) {
+      bed.sim().run_for(sim::seconds(20));
+      bed.server().user_tap(1, 1);
+    }
+    bed.run_for(sim::Duration(0));
+    return bed.battery_stats().app_energy_mj(bed.uid_of("com.dvfs.app"));
+  };
+  const double fixed = energy_with(hw::nexus4_params());
+  const double dvfs = energy_with(hw::nexus4_dvfs_params());
+  std::printf("--- DVFS ablation (20%% CPU load for 60 s) ---\n");
+  std::printf("  fixed-frequency model: %8.1f mJ\n", fixed);
+  std::printf("  DVFS (ondemand)      : %8.1f mJ  (%.0f%% saving)\n", dvfs,
+              100.0 * (1.0 - dvfs / fixed));
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 2: "Collected apps from Google Play."
+//
+// The paper reverse-engineers 1,124 apps across 28 categories and reports:
+// 72% contain exported components, 81% request WAKE_LOCK, 21% request
+// WRITE_SETTINGS. We regenerate the statistic from the synthetic corpus
+// (calibrated marginals, per-category structure) via the same manifest
+// analysis pass.
+#include <cstdio>
+
+#include "analysis/attack_surface.h"
+#include "analysis/corpus.h"
+
+int main() {
+  using namespace eandroid::analysis;
+  const auto corpus = generate_corpus();
+  const CorpusStats stats = analyze_corpus(corpus);
+  std::printf("=== Figure 2: manifest study over the Play corpus ===\n\n");
+  std::printf("%s\n", render_stats(stats, /*per_category=*/true).c_str());
+  // Threat-model follow-up: what the marginals mean for an attacker.
+  const AttackSurface surface = measure_attack_surface(corpus);
+  std::printf("\n%s", render_attack_surface(surface, 30).c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 5: attack-lifecycle state machines.
+//
+// Exercises each of the five machines with a canonical event sequence and
+// prints the resulting window open/close trace, so the Fig 5 transitions
+// can be read off directly.
+#include <cstdio>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/testbed.h"
+
+namespace {
+
+using namespace eandroid;
+using apps::DemoApp;
+using apps::Testbed;
+
+void dump_trace(Testbed& bed, const char* title) {
+  std::printf("--- %s ---\n", title);
+  for (const auto& t : bed.eandroid()->tracker().trace()) {
+    std::printf("  [%s] %-5s %-9s driver=uid%d driven=uid%d  (%s)\n",
+                sim::format_time(t.when).c_str(), t.opened ? "open" : "close",
+                core::to_string(t.kind), t.driver.value, t.driven.value,
+                t.reason.c_str());
+  }
+  bed.eandroid()->tracker().clear_trace();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using framework::BrightnessMode;
+  using framework::Intent;
+  using framework::WakelockType;
+
+  std::printf("=== Figure 5: attack lifecycle traces ===\n\n");
+
+  {  // (a) Activity: start by another app; ends when started again.
+    Testbed bed;
+    bed.install<DemoApp>(apps::message_spec());
+    bed.install<DemoApp>(apps::camera_spec());
+    bed.start();
+    bed.server().user_launch("com.example.message");
+    bed.sim().run_for(sim::seconds(1));
+    bed.context_of("com.example.message")
+        .start_activity(Intent::explicit_for("com.example.camera", "Main"));
+    bed.sim().run_for(sim::seconds(5));
+    bed.server().user_launch("com.example.camera");  // end event
+    dump_trace(bed, "(a) activity: cross-app start ... user restart");
+  }
+
+  {  // (b) Interrupting activity: ends when the victim returns to front.
+    Testbed bed;
+    bed.install<DemoApp>(apps::message_spec());
+    apps::DemoAppSpec mal = apps::message_spec();
+    mal.package = "com.evil.popup";
+    bed.install<DemoApp>(mal);
+    bed.start();
+    bed.server().user_launch("com.example.message");
+    bed.sim().run_for(sim::seconds(1));
+    bed.context_of("com.evil.popup").start_home();  // forces message away
+    bed.sim().run_for(sim::seconds(5));
+    bed.server().user_switch_to("com.example.message");  // back to front
+    dump_trace(bed, "(b) interrupt: forced to background ... resumed");
+  }
+
+  {  // (c) Service: bind survives stopService; ends at unbind.
+    Testbed bed;
+    apps::DemoAppSpec victim = apps::victim_spec();
+    victim.wakelock_bug = false;
+    victim.exit_dialog = false;
+    bed.install<DemoApp>(victim);
+    apps::DemoAppSpec client = apps::message_spec();
+    client.package = "com.evil.client";
+    bed.install<DemoApp>(client);
+    bed.start();
+    auto binding = bed.context_of("com.evil.client")
+                       .bind_service(Intent::explicit_for(
+                           victim.package, DemoApp::kService));
+    bed.context_of("com.evil.client")
+        .start_service(Intent::explicit_for(victim.package,
+                                            DemoApp::kService));
+    bed.sim().run_for(sim::seconds(2));
+    bed.context_of("com.evil.client")
+        .stop_service(Intent::explicit_for(victim.package,
+                                           DemoApp::kService));
+    bed.sim().run_for(sim::seconds(2));
+    bed.context_of("com.evil.client").unbind_service(*binding);
+    dump_trace(bed, "(c) service: bind+start ... stop (window survives) "
+                    "... unbind");
+  }
+
+  {  // (d) Screen: brightness escalation; ends when the user intervenes.
+    Testbed bed;
+    apps::DemoAppSpec mal = apps::message_spec();
+    mal.package = "com.evil.bright";
+    mal.permissions = {framework::Permission::kWriteSettings};
+    bed.install<DemoApp>(mal);
+    bed.start();
+    bed.server().user_set_screen_mode(BrightnessMode::kManual);
+    bed.server().user_set_brightness(100);
+    bed.context_of("com.evil.bright").set_brightness(240);
+    bed.sim().run_for(sim::seconds(5));
+    bed.server().user_set_brightness(100);  // user takes control back
+    dump_trace(bed, "(d) screen: background increase ... user reset");
+  }
+
+  {  // (e) Wakelock: acquired in background; ends at release.
+    Testbed bed;
+    apps::DemoAppSpec mal = apps::message_spec();
+    mal.package = "com.evil.lock";
+    mal.permissions = {framework::Permission::kWakeLock};
+    bed.install<DemoApp>(mal);
+    bed.start();
+    auto lock = bed.context_of("com.evil.lock")
+                    .acquire_wakelock(WakelockType::kScreenBright, "trace");
+    bed.sim().run_for(sim::seconds(5));
+    bed.context_of("com.evil.lock").release_wakelock(*lock);
+    dump_trace(bed, "(e) wakelock: background acquire ... release");
+  }
+
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8: "Sample view of energy breakdown by E-Android with revised
+// PowerTutor" — the legitimate hybrid chain (Contacts -> Message ->
+// Camera). Prints the per-app inventory the revised interface shows: each
+// driver's own energy plus the contributions of every attack-related app.
+#include <cstdio>
+
+#include "apps/demo_app.h"
+#include "apps/scenarios.h"
+
+int main() {
+  using namespace eandroid;
+  const apps::ScenarioResult r = apps::run_scene2();
+
+  std::printf("=== Figure 8: E-Android energy breakdown (hybrid chain) "
+              "===\n\n");
+  std::printf("%s\n", r.ea_view.render("Contacts -> Message -> Camera").c_str());
+
+  // The figure's actual widgets: per-app views in the revised-PowerTutor
+  // style (Fig 8a Contacts, Fig 8b Message), regenerated live.
+  {
+    apps::Testbed bed;
+    bed.install<apps::DemoApp>(apps::contacts_spec());
+    bed.install<apps::DemoApp>(apps::message_spec());
+    bed.install<apps::DemoApp>(apps::camera_spec());
+    bed.start();
+    bed.server().user_launch("com.example.contacts");
+    bed.sim().run_for(sim::seconds(10));
+    bed.server().user_tap(1, 1);
+    bed.context_of("com.example.contacts")
+        .start_activity(
+            framework::Intent::explicit_for("com.example.message", "Main"));
+    bed.sim().run_for(sim::seconds(20));
+    bed.server().user_tap(1, 1);
+    bed.context_of("com.example.message")
+        .start_activity(framework::Intent::implicit(
+            "android.media.action.VIDEO_CAPTURE"));
+    bed.run_for(sim::seconds(31));
+    const auto& interface = bed.eandroid()->battery_interface();
+    std::printf("%s\n", interface
+                             .render_app_breakdown(
+                                 bed.uid_of("com.example.contacts"))
+                             .c_str());
+    std::printf("%s\n", interface
+                             .render_app_breakdown(
+                                 bed.uid_of("com.example.message"))
+                             .c_str());
+  }
+  std::printf("Reading (matches the paper's sample view):\n"
+              " * Contacts' inventory lists Message and Camera — it drove "
+              "the whole chain;\n"
+              " * Message's inventory lists Camera;\n"
+              " * every app's original energy is listed beside the "
+              "collateral share.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Soak bench: long randomized runs across many seeds, verifying the
+// global invariants hold at scale and reporting throughput (how much
+// simulated phone activity the stack processes per wall second).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/workload.h"
+
+int main() {
+  using namespace eandroid;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("=== soak: randomized device activity across seeds ===\n\n");
+  std::printf("%6s %10s %12s %10s %10s %9s\n", "seed", "steps",
+              "sim time", "windows", "drain(kJ)", "conserved");
+
+  const auto start = Clock::now();
+  double total_sim_seconds = 0.0;
+  int violations = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    apps::Testbed bed({.seed = seed});
+    if (seed % 2 == 0) bed.server().lmk().set_budget_mb(400);
+    apps::RandomWorkload workload(bed, {.seed = seed});
+    bed.start();
+    workload.run(600);
+    bed.run_for(sim::seconds(1));
+
+    const double drained = bed.server().battery().consumed_total_mj();
+    const double ea_total = bed.eandroid()->engine().true_total_mj();
+    const bool conserved = std::abs(drained - ea_total) < 1e-3;
+    if (!conserved) ++violations;
+    total_sim_seconds += bed.sim().now().seconds();
+    std::printf("%6llu %10llu %10.1f s %10llu %10.1f %9s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(workload.steps_taken()),
+                bed.sim().now().seconds(),
+                static_cast<unsigned long long>(
+                    bed.eandroid()->tracker().opened_total()),
+                drained / 1000.0, conserved ? "yes" : "NO");
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::printf("\n%d conservation violations; %.0fx realtime (%.1f sim-s "
+              "per wall-s)\n",
+              violations, total_sim_seconds / wall, total_sim_seconds / wall);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Example: the full device report after a mixed workload — all three
+// battery interfaces, per-routine eprof profiles, the power-signature
+// detector's (mis)verdict, and the live collateral windows.
+#include <cstdio>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/report.h"
+#include "apps/testbed.h"
+#include "energy/eprof.h"
+#include "energy/power_signature.h"
+
+int main() {
+  using namespace eandroid;
+
+  apps::Testbed bed;
+  energy::Eprof eprof(bed.server().packages());
+  energy::PowerSignatureDetector detector(bed.server().packages());
+  bed.sampler().add_sink(&eprof);
+  bed.sampler().add_sink(&detector);
+
+  apps::DemoAppSpec victim = apps::victim_spec();
+  victim.wakelock_bug = false;
+  victim.exit_dialog = false;
+  bed.install<apps::DemoApp>(victim);
+  bed.install<apps::BinderMalware>(victim.package, apps::DemoApp::kService);
+  bed.start();
+
+  // The attack #3 storyline.
+  (void)bed.context_of(apps::BinderMalware::kPackage);
+  bed.server().user_launch(victim.package);
+  bed.context_of(victim.package)
+      .start_service(framework::Intent::explicit_for(victim.package,
+                                                     apps::DemoApp::kService));
+  bed.sim().run_for(sim::seconds(1));
+  bed.context_of(victim.package)
+      .stop_service(framework::Intent::explicit_for(victim.package,
+                                                    apps::DemoApp::kService));
+  bed.server().user_press_home();
+  bed.run_for(sim::seconds(59));
+
+  std::printf("%s",
+              apps::render_device_report(bed, &eprof, &detector).c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Example: exporting a power timeline as CSV.
+//
+// Attaches a TimelineRecorder to the metering loop, replays the paper's
+// attack #6 (wakelock leak), and writes the long-format CSV a notebook
+// would plot — the route from simulation to every figure in the paper.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/malware.h"
+#include "apps/testbed.h"
+#include "energy/timeline.h"
+
+int main(int argc, char** argv) {
+  using namespace eandroid;
+
+  apps::Testbed bed;
+  energy::TimelineRecorder recorder(bed.server().packages());
+  bed.sampler().add_sink(&recorder);
+  auto* malware = bed.install<apps::WakelockMalware>();
+  bed.start();
+
+  (void)bed.context_of(apps::WakelockMalware::kPackage);
+  malware->attack();
+  bed.run_for(sim::minutes(2));
+
+  const char* path = argc > 1 ? argv[1] : nullptr;
+  if (path != nullptr) {
+    std::ofstream out(path);
+    recorder.write_csv(out);
+    std::printf("wrote %zu slices to %s\n", recorder.rows().size(), path);
+  } else {
+    // To stdout, but trimmed: header plus first and last few rows.
+    std::printf("(pass a filename to write the full CSV)\n\n");
+    std::ostringstream os;
+    recorder.write_csv(os);
+    const std::string csv = os.str();
+    std::size_t shown = 0, pos = 0;
+    while (pos != std::string::npos && shown < 8) {
+      const std::size_t next = csv.find('\n', pos);
+      std::printf("%s\n", csv.substr(pos, next - pos).c_str());
+      pos = next == std::string::npos ? next : next + 1;
+      ++shown;
+    }
+    std::printf("... (%zu slices total; screen_forced flips to 1 at the "
+                "30 s mark when the leaked wakelock takes over)\n",
+                recorder.rows().size());
+  }
+  return 0;
+}

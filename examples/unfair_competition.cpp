@@ -1,0 +1,66 @@
+// Example: the "unfair competition" scenario from §III-B of the paper.
+//
+// "An app that is competing with another app could intentionally mount
+// collateral energy attacks on the rival so that the rival consumes much
+// more energy unconsciously, resulting in energy disadvantage."
+//
+// Two messenger apps compete. The attacker periodically starts the
+// rival's exported activity and immediately reclaims the foreground, so
+// the rival sits in background accruing drain the user will read — on
+// stock Android — as the rival being an energy hog.
+#include <cstdio>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+int main() {
+  using namespace eandroid;
+  using apps::DemoApp;
+  using apps::DemoAppSpec;
+
+  apps::Testbed bed;
+
+  DemoAppSpec rival = apps::message_spec();
+  rival.package = "com.rival.messenger";
+  rival.background_cpu = 0.15;  // sync engine keeps working in background
+  bed.install<DemoApp>(rival);
+
+  DemoAppSpec attacker = apps::message_spec();
+  attacker.package = "com.shady.messenger";
+  attacker.permissions.push_back(framework::Permission::kReorderTasks);
+  bed.install<DemoApp>(attacker);
+
+  bed.start();
+  bed.server().user_launch("com.shady.messenger");
+
+  // Every 20 s the shady messenger pokes its rival awake and reburies it.
+  auto& ctx = bed.context_of("com.shady.messenger");
+  for (int round = 0; round < 9; ++round) {
+    framework::Intent poke =
+        framework::Intent::explicit_for("com.rival.messenger", "Main");
+    poke.new_task = true;
+    ctx.start_activity(poke);
+    ctx.move_task_to_front("com.shady.messenger");
+    bed.sim().run_for(sim::seconds(20));
+    bed.server().user_tap(10, 10);  // the user keeps chatting
+  }
+  bed.run_for(sim::Duration(0));
+
+  std::printf("%s\n", bed.battery_stats()
+                          .view()
+                          .render("what the user sees on stock Android")
+                          .c_str());
+  std::printf("%s\n",
+              bed.eandroid()->view().render("what E-Android shows").c_str());
+
+  const auto ea = bed.eandroid()->view();
+  std::printf("Verdict: Android charges the rival %.0f mJ it never chose to "
+              "spend; E-Android shows %.0f mJ of it was driven by %s.\n",
+              bed.battery_stats().app_energy_mj(
+                  bed.uid_of("com.rival.messenger")),
+              ea.row_of("com.shady.messenger") == nullptr
+                  ? 0.0
+                  : ea.row_of("com.shady.messenger")->collateral_mj,
+              "com.shady.messenger");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "analysis/attack_surface.h"
+
+#include <cstdio>
+
+namespace eandroid::analysis {
+
+AttackSurface measure_attack_surface(
+    const std::vector<framework::Manifest>& corpus) {
+  AttackSurface surface;
+  for (const auto& manifest : corpus) {
+    ++surface.total_apps;
+    bool exported_activity = false;
+    for (const auto& activity : manifest.activities) {
+      if (activity.exported) exported_activity = true;
+    }
+    bool exported_service = false;
+    for (const auto& service : manifest.services) {
+      if (service.exported) exported_service = true;
+    }
+    if (exported_activity) ++surface.hijackable_activity;
+    if (exported_service) ++surface.bindable_service;
+    if (manifest.has_permission(framework::Permission::kWakeLock)) {
+      ++surface.wakelock_users;
+      ++surface.can_hold_wakelock;
+    }
+    if (manifest.has_permission(framework::Permission::kWriteSettings)) {
+      ++surface.can_write_settings;
+    }
+  }
+  return surface;
+}
+
+AttackSurface::PairEstimate AttackSurface::expected_pairs(
+    int installed) const {
+  PairEstimate estimate;
+  if (total_apps == 0 || installed <= 0) return estimate;
+  const double n = installed;
+  const double p_hijack = static_cast<double>(hijackable_activity) / total_apps;
+  const double p_bind = static_cast<double>(bindable_service) / total_apps;
+  const double p_settings =
+      static_cast<double>(can_write_settings) / total_apps;
+  const double p_wakelock =
+      static_cast<double>(can_hold_wakelock) / total_apps;
+  // One malicious app against every other installed app.
+  estimate.hijack_pairs = (n - 1) * p_hijack;
+  estimate.bind_pairs = (n - 1) * p_bind;
+  // Screen attacks need only the attacker's own permission.
+  estimate.settings_attackers = n * p_settings;
+  estimate.wakelock_attackers = n * p_wakelock;
+  return estimate;
+}
+
+std::string render_attack_surface(const AttackSurface& surface,
+                                  int installed) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "attack surface over %d manifests:\n", surface.total_apps);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  victims:   exported activity %5.1f%%   exported service "
+                "%5.1f%%   wakelock users %5.1f%%\n",
+                surface.pct(surface.hijackable_activity),
+                surface.pct(surface.bindable_service),
+                surface.pct(surface.wakelock_users));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  attackers: WRITE_SETTINGS %5.1f%%   WAKE_LOCK %5.1f%%\n",
+                surface.pct(surface.can_write_settings),
+                surface.pct(surface.can_hold_wakelock));
+  out += line;
+  const auto pairs = surface.expected_pairs(installed);
+  std::snprintf(line, sizeof(line),
+                "  a phone with %d installed apps offers one malicious app "
+                "~%.1f hijackable and ~%.1f bindable victims\n",
+                installed, pairs.hijack_pairs, pairs.bind_pairs);
+  out += line;
+  return out;
+}
+
+}  // namespace eandroid::analysis

@@ -1,0 +1,54 @@
+// Attack-surface estimation over a manifest corpus.
+//
+// The paper's threat model (§III-B) derives attack feasibility from
+// manifest facts: attack #1/#2 need a victim with an exported activity,
+// #3 needs an exported service, #5 needs the attacker to hold
+// WRITE_SETTINGS, #6 WAKE_LOCK, and #4 only needs a victim with the
+// wakelock bug (approximated here by WAKE_LOCK victims). This module
+// turns the Fig 2 corpus statistics into the quantity an attacker cares
+// about: how many victim/attacker candidates a random install base
+// offers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "framework/manifest.h"
+
+namespace eandroid::analysis {
+
+struct AttackSurface {
+  int total_apps = 0;
+
+  // Victim candidates.
+  int hijackable_activity = 0;   // exported activity (attacks #1, #2)
+  int bindable_service = 0;      // exported service (attack #3)
+  int wakelock_users = 0;        // potential no-sleep victims (attack #4)
+
+  // Attacker candidates.
+  int can_write_settings = 0;    // attack #5
+  int can_hold_wakelock = 0;     // attack #6
+
+  [[nodiscard]] double pct(int n) const {
+    return total_apps == 0 ? 0.0 : 100.0 * n / total_apps;
+  }
+
+  /// Expected number of (attacker, victim) pairs per attack for a device
+  /// with `installed` random apps from this corpus, assuming independent
+  /// draws. Any app can be the attacker for #1/#2/#3.
+  struct PairEstimate {
+    double hijack_pairs = 0.0;
+    double bind_pairs = 0.0;
+    double settings_attackers = 0.0;
+    double wakelock_attackers = 0.0;
+  };
+  [[nodiscard]] PairEstimate expected_pairs(int installed) const;
+};
+
+AttackSurface measure_attack_surface(
+    const std::vector<framework::Manifest>& corpus);
+
+std::string render_attack_surface(const AttackSurface& surface,
+                                  int installed = 30);
+
+}  // namespace eandroid::analysis

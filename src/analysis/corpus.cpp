@@ -1,0 +1,166 @@
+#include "analysis/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/rng.h"
+
+namespace eandroid::analysis {
+
+namespace {
+
+/// Per-category tilt applied to the aggregate rates, so the corpus has the
+/// structure a real store sample shows (games hold wakelocks for
+/// rendering, tools ask for WRITE_SETTINGS far more often, etc.). Tilts
+/// are multiplicative and renormalized against the aggregate target.
+struct Tilt {
+  double exported;
+  double wake_lock;
+  double write_settings;
+};
+
+Tilt tilt_for(const std::string& category) {
+  if (category == "game") return {0.95, 1.15, 0.55};
+  if (category == "tools" || category == "personalization") {
+    return {1.05, 1.00, 2.20};
+  }
+  if (category == "communication" || category == "social") {
+    return {1.25, 1.10, 0.95};
+  }
+  if (category == "music" || category == "video") return {1.10, 1.18, 0.80};
+  if (category == "books" || category == "news") return {0.90, 1.05, 0.50};
+  if (category == "finance" || category == "business") {
+    return {0.85, 0.85, 0.40};
+  }
+  return {1.0, 1.0, 1.0};
+}
+
+}  // namespace
+
+std::vector<framework::Manifest> generate_corpus(const CorpusSpec& spec) {
+  sim::Rng rng(spec.seed);
+  std::vector<framework::Manifest> corpus;
+  corpus.reserve(static_cast<std::size_t>(spec.total_apps));
+
+  // Compute the mean tilt so rates renormalize to the aggregate targets.
+  double mean_exported = 0.0, mean_wake = 0.0, mean_write = 0.0;
+  for (const char* category : kCategories) {
+    const Tilt t = tilt_for(category);
+    mean_exported += t.exported;
+    mean_wake += t.wake_lock;
+    mean_write += t.write_settings;
+  }
+  mean_exported /= kCategories.size();
+  mean_wake /= kCategories.size();
+  mean_write /= kCategories.size();
+
+  for (int i = 0; i < spec.total_apps; ++i) {
+    const std::string category = kCategories[i % kCategories.size()];
+    const Tilt t = tilt_for(category);
+    const double p_exported =
+        std::clamp(spec.exported_rate * t.exported / mean_exported, 0.0, 1.0);
+    const double p_wake =
+        std::clamp(spec.wake_lock_rate * t.wake_lock / mean_wake, 0.0, 1.0);
+    const double p_write = std::clamp(
+        spec.write_settings_rate * t.write_settings / mean_write, 0.0, 1.0);
+
+    framework::Manifest m;
+    m.package = "com.play." + category + ".app" + std::to_string(i);
+    m.category = category;
+
+    // Every app has a root activity; popular apps average several more.
+    const int extra_activities = static_cast<int>(rng.below(6));
+    m.activities.push_back(
+        framework::ActivityDecl{"Main", /*exported=*/true, {}});
+    const bool wants_exported = rng.chance(p_exported);
+    for (int a = 0; a < extra_activities; ++a) {
+      framework::ActivityDecl decl;
+      decl.name = "Activity" + std::to_string(a);
+      decl.exported = wants_exported && a == 0;
+      m.activities.push_back(decl);
+    }
+    // Root launcher activities are technically exported on Android, but
+    // the study counts apps with *additional* exported components; encode
+    // that by marking the root non-exported unless the draw said so.
+    m.activities.front().exported = wants_exported;
+
+    if (rng.chance(0.55)) {
+      framework::ServiceDecl service;
+      service.name = "Service0";
+      service.exported = wants_exported && rng.chance(0.45);
+      m.services.push_back(service);
+    }
+
+    if (rng.chance(p_wake)) {
+      m.permissions.push_back(framework::Permission::kWakeLock);
+    }
+    if (rng.chance(p_write)) {
+      m.permissions.push_back(framework::Permission::kWriteSettings);
+    }
+    if (rng.chance(0.85)) {
+      m.permissions.push_back(framework::Permission::kInternet);
+    }
+    corpus.push_back(std::move(m));
+  }
+  return corpus;
+}
+
+CorpusStats analyze_corpus(const std::vector<framework::Manifest>& corpus) {
+  CorpusStats stats;
+  for (const auto& manifest : corpus) {
+    ++stats.total_apps;
+    CategoryStats& cat = stats.by_category[manifest.category];
+    ++cat.apps;
+    if (manifest.has_exported_component()) {
+      ++stats.with_exported;
+      ++cat.with_exported;
+    }
+    if (manifest.has_permission(framework::Permission::kWakeLock)) {
+      ++stats.with_wake_lock;
+      ++cat.with_wake_lock;
+    }
+    if (manifest.has_permission(framework::Permission::kWriteSettings)) {
+      ++stats.with_write_settings;
+      ++cat.with_write_settings;
+    }
+  }
+  return stats;
+}
+
+std::string render_stats(const CorpusStats& stats, bool per_category) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "corpus: %d apps across %zu categories\n", stats.total_apps,
+                stats.by_category.size());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-28s %6.1f%%  (paper: 72%%)\n",
+                "exported components", stats.exported_pct());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-28s %6.1f%%  (paper: 81%%)\n",
+                "WAKE_LOCK permission", stats.wake_lock_pct());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-28s %6.1f%%  (paper: 21%%)\n",
+                "WRITE_SETTINGS permission", stats.write_settings_pct());
+  out += line;
+  if (per_category) {
+    std::vector<std::string> names;
+    for (const auto& [name, cat] : stats.by_category) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    std::snprintf(line, sizeof(line), "%-18s %5s %9s %9s %9s\n", "category",
+                  "apps", "exported", "wakelock", "settings");
+    out += line;
+    for (const auto& name : names) {
+      const CategoryStats& cat = stats.by_category.at(name);
+      std::snprintf(line, sizeof(line),
+                    "%-18s %5d %8.1f%% %8.1f%% %8.1f%%\n", name.c_str(),
+                    cat.apps, 100.0 * cat.with_exported / cat.apps,
+                    100.0 * cat.with_wake_lock / cat.apps,
+                    100.0 * cat.with_write_settings / cat.apps);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace eandroid::analysis

@@ -1,0 +1,283 @@
+#include "apps/demo_app.h"
+
+#include <utility>
+
+namespace eandroid::apps {
+
+framework::Manifest DemoApp::manifest() const {
+  framework::Manifest m;
+  m.package = spec_.package;
+  m.category = spec_.category;
+  framework::ActivityDecl root;
+  root.name = kRootActivity;
+  root.exported = spec_.activity_exported;
+  root.intent_actions = spec_.intent_actions;
+  m.activities.push_back(root);
+  if (spec_.with_service) {
+    framework::ServiceDecl service;
+    service.name = kService;
+    service.exported = spec_.service_exported;
+    m.services.push_back(service);
+  }
+  m.permissions = spec_.permissions;
+  if (spec_.wakelock_bug &&
+      !m.has_permission(framework::Permission::kWakeLock)) {
+    m.permissions.push_back(framework::Permission::kWakeLock);
+  }
+  return m;
+}
+
+void DemoApp::begin_foreground_use(framework::Context& ctx) {
+  ctx.set_cpu_load("activity", spec_.foreground_cpu);
+  if (spec_.camera_while_foreground && !camera_session_) {
+    camera_session_ = ctx.camera_begin();
+  }
+  if (spec_.wifi_while_foreground && !wifi_session_) {
+    wifi_session_ = ctx.wifi_begin();
+  }
+  if (spec_.audio_while_foreground && !audio_session_) {
+    audio_session_ = ctx.audio_begin();
+  }
+  if (spec_.gps_while_foreground && !gps_session_) {
+    gps_session_ = ctx.gps_begin();
+  }
+}
+
+void DemoApp::end_foreground_use(framework::Context& ctx) {
+  if (spec_.background_cpu > 0.0) {
+    ctx.set_cpu_load("activity", spec_.background_cpu);
+  } else {
+    ctx.clear_cpu_load("activity");
+  }
+  if (camera_session_) {
+    ctx.camera_end(*camera_session_);
+    camera_session_.reset();
+  }
+  if (audio_session_) {
+    ctx.audio_end(*audio_session_);
+    audio_session_.reset();
+  }
+  if (gps_session_) {
+    ctx.gps_end(*gps_session_);
+    gps_session_.reset();
+  }
+  if (wifi_session_) {
+    ctx.wifi_end(*wifi_session_);
+    wifi_session_.reset();
+  }
+}
+
+void DemoApp::on_activity_create(framework::Context& ctx,
+                                 const std::string& activity) {
+  if (activity != kRootActivity) return;
+  if (spec_.wakelock_bug && !wakelock_) {
+    // The no-sleep bug: the developer acquires here and forgets that
+    // onPause()/onStop() will not release.
+    wakelock_ = ctx.acquire_wakelock(spec_.wakelock_type, "demo:root");
+  }
+}
+
+void DemoApp::on_activity_resume(framework::Context& ctx,
+                                 const std::string& activity) {
+  if (activity != kRootActivity) return;
+  ++resumed_count_;
+  begin_foreground_use(ctx);
+  if (spec_.brightness_on_resume >= 0) {
+    if (saved_brightness_ < 0) saved_brightness_ = ctx.brightness();
+    ctx.set_brightness(spec_.brightness_on_resume);
+    if (ctx.screen_mode() == framework::BrightnessMode::kAuto) {
+      ctx.set_screen_mode(framework::BrightnessMode::kManual);
+    }
+  }
+  if (spec_.auto_finish > sim::Duration(0)) {
+    const int expected = resumed_count_;
+    ctx.schedule(spec_.auto_finish, [this, &ctx, expected] {
+      // Only fire for the resume that armed it. The capture returns its
+      // result to whoever called startActivityForResult.
+      if (resumed_count_ == expected) {
+        ctx.finish_activity_with_result(kRootActivity, /*ok=*/true);
+      }
+    });
+  }
+}
+
+void DemoApp::on_activity_pause(framework::Context& /*ctx*/,
+                                const std::string& /*activity*/) {
+  // Still visible; keep foreground usage (Android apps typically keep
+  // rendering under a transparent overlay).
+}
+
+void DemoApp::on_activity_stop(framework::Context& ctx,
+                               const std::string& activity) {
+  if (activity != kRootActivity) return;
+  end_foreground_use(ctx);
+  if (exit_dialog_) {
+    ctx.dismiss_dialog(*exit_dialog_);
+    exit_dialog_.reset();
+  }
+  if (spec_.restore_brightness_on_stop && saved_brightness_ >= 0) {
+    // The polite booster puts the panel back, ending its screen window.
+    ctx.set_brightness(saved_brightness_);
+    saved_brightness_ = -1;
+  }
+  // The buggy app does NOT release its wakelock here.
+}
+
+void DemoApp::on_activity_destroy(framework::Context& ctx,
+                                  const std::string& activity) {
+  if (activity != kRootActivity) return;
+  end_foreground_use(ctx);
+  if (wakelock_) {
+    ctx.release_wakelock(*wakelock_);
+    wakelock_.reset();
+  }
+}
+
+void DemoApp::on_service_create(framework::Context& ctx,
+                                const std::string& service) {
+  if (service != kService) return;
+  if (spec_.service_cpu > 0.0) {
+    ctx.set_cpu_load("service", spec_.service_cpu);
+  }
+  if (spec_.chain_on_service) {
+    // Fig 7's middle hop: being driven makes this app drive another.
+    ctx.start_activity(framework::Intent::explicit_for(
+        spec_.chain_on_service->package, spec_.chain_on_service->component));
+  }
+}
+
+void DemoApp::on_service_destroy(framework::Context& ctx,
+                                 const std::string& service) {
+  if (service == kService) ctx.clear_cpu_load("service");
+}
+
+bool DemoApp::on_back_pressed(framework::Context& ctx,
+                              const std::string& activity) {
+  if (!spec_.exit_dialog || activity != kRootActivity) return false;
+  exit_dialog_ = ctx.show_dialog("exit_" + spec_.package);
+  return true;
+}
+
+void DemoApp::on_dialog_result(framework::Context& ctx,
+                               const std::string& dialog, bool ok) {
+  if (dialog == "exit_" + spec_.package) {
+    exit_dialog_.reset();
+    if (ok) ctx.finish_activity(kRootActivity);
+  }
+}
+
+void DemoApp::on_process_start(framework::Context& ctx) {
+  if (spec_.push_endpoint) ctx.register_push_endpoint();
+}
+
+void DemoApp::on_push(framework::Context& ctx, std::uint64_t /*bytes*/) {
+  ++pushes_received_;
+  ctx.cpu_burst(spec_.push_handling_cpu);
+}
+
+void DemoApp::on_activity_result(framework::Context& /*ctx*/,
+                                 int request_code, bool ok) {
+  results_received_.push_back({request_code, ok});
+}
+
+void DemoApp::on_process_death() {
+  // The process is gone: wakelocks were released by link-to-death and the
+  // system closed the hardware sessions; forget the stale handles so a
+  // relaunch starts clean.
+  wakelock_.reset();
+  exit_dialog_.reset();
+  camera_session_.reset();
+  audio_session_.reset();
+  gps_session_.reset();
+  wifi_session_.reset();
+  saved_brightness_ = -1;
+  resumed_count_ = 0;
+}
+
+DemoAppSpec message_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.message";
+  spec.category = "communication";
+  spec.foreground_cpu = 0.08;
+  spec.intent_actions = {"android.intent.action.SENDTO"};
+  return spec;
+}
+
+DemoAppSpec camera_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.camera";
+  spec.category = "photography";
+  spec.foreground_cpu = 0.45;
+  spec.camera_while_foreground = true;
+  spec.intent_actions = {"android.media.action.VIDEO_CAPTURE"};
+  spec.auto_finish = sim::seconds(30);  // a 30 s capture, as in §VI-A
+  return spec;
+}
+
+DemoAppSpec contacts_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.contacts";
+  spec.category = "communication";
+  spec.foreground_cpu = 0.04;
+  return spec;
+}
+
+DemoAppSpec music_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.music";
+  spec.category = "music";
+  spec.foreground_cpu = 0.10;
+  spec.audio_while_foreground = true;
+  spec.permissions = {framework::Permission::kWakeLock};
+  return spec;
+}
+
+DemoAppSpec browser_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.browser";
+  spec.category = "communication";
+  spec.foreground_cpu = 0.20;
+  spec.wifi_while_foreground = true;
+  spec.brightness_on_resume = 180;
+  spec.restore_brightness_on_stop = true;
+  spec.permissions = {framework::Permission::kWriteSettings,
+                      framework::Permission::kInternet};
+  return spec;
+}
+
+DemoAppSpec maps_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.maps";
+  spec.category = "maps";
+  spec.foreground_cpu = 0.25;
+  spec.gps_while_foreground = true;
+  spec.permissions = {framework::Permission::kWakeLock};
+  return spec;
+}
+
+DemoAppSpec game_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.game3d";
+  spec.category = "game";
+  spec.foreground_cpu = 0.70;
+  spec.permissions = {framework::Permission::kWakeLock};
+  return spec;
+}
+
+DemoAppSpec victim_spec() {
+  DemoAppSpec spec;
+  spec.package = "com.example.victim";
+  spec.category = "productivity";
+  spec.foreground_cpu = 0.10;
+  // Like many real apps it keeps a little work running when backgrounded
+  // (sync timers, notifications) — the drain attack #4 amplifies.
+  spec.background_cpu = 0.05;
+  spec.with_service = true;
+  spec.service_exported = true;
+  spec.service_cpu = 0.40;
+  spec.wakelock_bug = true;
+  spec.exit_dialog = true;
+  return spec;
+}
+
+}  // namespace eandroid::apps

@@ -1,0 +1,160 @@
+// DemoApp: a configurable scripted application.
+//
+// The paper's experiments use a handful of stock-like apps (Message,
+// Camera, Contacts) and "demon apps that almost have no functionality" as
+// victims. DemoApp captures the behaviours those need:
+//  * CPU load while foreground / background / running a service;
+//  * camera or audio usage while foreground (Camera, Music);
+//  * the classic wakelock misuse bug — acquire in onCreate, release only
+//    in onDestroy (Pathak et al.'s no-sleep bug, the enabler of attack #4);
+//  * an exit-confirmation dialog on back at the root activity;
+//  * optional auto-finish after a fixed duration (video capture).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "framework/app_code.h"
+#include "framework/intent.h"
+#include "framework/context.h"
+#include "framework/manifest.h"
+#include "sim/time.h"
+
+namespace eandroid::apps {
+
+struct DemoAppSpec {
+  std::string package;
+  std::string category = "tools";
+
+  /// CPU duty while an activity is resumed or paused (visible).
+  double foreground_cpu = 0.05;
+  /// CPU duty while activities exist but are stopped.
+  double background_cpu = 0.0;
+  /// CPU duty while the service is alive.
+  double service_cpu = 0.0;
+
+  bool camera_while_foreground = false;
+  bool audio_while_foreground = false;
+  bool gps_while_foreground = false;
+
+  /// The no-sleep bug: acquire in onCreate, release only in onDestroy.
+  bool wakelock_bug = false;
+  framework::WakelockType wakelock_type =
+      framework::WakelockType::kScreenBright;
+
+  /// Show an exit dialog when back is pressed on the root activity.
+  bool exit_dialog = false;
+
+  /// Auto-finish the root activity this long after resume (0 = never);
+  /// models a video-capture activity returning its result.
+  sim::Duration auto_finish = sim::Duration(0);
+
+  /// Fig 7 man-in-the-middle behaviour: when this app's service comes up
+  /// (e.g. bound by an attacker), it starts this component — building the
+  /// collateral chain A -> B -> C.
+  std::optional<framework::ComponentRef> chain_on_service;
+  /// When the root activity resumes, escalate brightness to this level
+  /// (the tail of the Fig 7 hybrid chain, but also what many legitimate
+  /// apps do — video players, readers). Needs WRITE_SETTINGS.
+  int brightness_on_resume = -1;
+  /// A well-behaved brightness booster restores the previous level when
+  /// it leaves the foreground (closing its own screen window).
+  bool restore_brightness_on_stop = false;
+  /// Use WiFi while foreground (browser-style).
+  bool wifi_while_foreground = false;
+
+  /// Register for push messages at process start; each delivery costs the
+  /// configured handling burst (a sync client, in effect).
+  bool push_endpoint = false;
+  sim::Duration push_handling_cpu = sim::millis(20);
+
+  // Manifest shape.
+  bool activity_exported = true;
+  std::vector<std::string> intent_actions;  // implicit actions answered
+  bool with_service = false;
+  bool service_exported = true;
+  std::vector<framework::Permission> permissions;
+};
+
+class DemoApp : public framework::AppCode {
+ public:
+  explicit DemoApp(DemoAppSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const DemoAppSpec& spec() const { return spec_; }
+  /// Builds the manifest matching the spec (root activity "Main",
+  /// optional service "WorkService").
+  [[nodiscard]] framework::Manifest manifest() const;
+
+  // AppCode:
+  void on_activity_create(framework::Context& ctx,
+                          const std::string& activity) override;
+  void on_activity_resume(framework::Context& ctx,
+                          const std::string& activity) override;
+  void on_activity_pause(framework::Context& ctx,
+                         const std::string& activity) override;
+  void on_activity_stop(framework::Context& ctx,
+                        const std::string& activity) override;
+  void on_activity_destroy(framework::Context& ctx,
+                           const std::string& activity) override;
+  void on_service_create(framework::Context& ctx,
+                         const std::string& service) override;
+  void on_service_destroy(framework::Context& ctx,
+                          const std::string& service) override;
+  bool on_back_pressed(framework::Context& ctx,
+                       const std::string& activity) override;
+  void on_process_start(framework::Context& ctx) override;
+  void on_push(framework::Context& ctx, std::uint64_t bytes) override;
+  void on_activity_result(framework::Context& ctx, int request_code,
+                          bool ok) override;
+  void on_process_death() override;
+
+  [[nodiscard]] int pushes_received() const { return pushes_received_; }
+  /// (request_code, ok) pairs delivered via onActivityResult.
+  [[nodiscard]] const std::vector<std::pair<int, bool>>& results_received()
+      const {
+    return results_received_;
+  }
+  void on_dialog_result(framework::Context& ctx, const std::string& dialog,
+                        bool ok) override;
+
+  /// Wakelock currently held by the buggy path (empty if none) — exposed
+  /// for tests.
+  [[nodiscard]] bool holds_wakelock() const { return wakelock_.has_value(); }
+
+  static constexpr const char* kRootActivity = "Main";
+  static constexpr const char* kService = "WorkService";
+
+ private:
+  void begin_foreground_use(framework::Context& ctx);
+  void end_foreground_use(framework::Context& ctx);
+
+  DemoAppSpec spec_;
+  std::optional<framework::WakelockId> wakelock_;
+  std::optional<std::uint64_t> exit_dialog_;
+  std::optional<hw::SessionId> camera_session_;
+  std::optional<hw::SessionId> audio_session_;
+  std::optional<hw::SessionId> gps_session_;
+  std::optional<hw::SessionId> wifi_session_;
+  int saved_brightness_ = -1;
+  int resumed_count_ = 0;
+  int pushes_received_ = 0;
+  std::vector<std::pair<int, bool>> results_received_;
+};
+
+/// Ready-made specs for the paper's cast.
+DemoAppSpec message_spec();
+DemoAppSpec camera_spec();
+DemoAppSpec contacts_spec();
+DemoAppSpec music_spec();
+/// The victim app: exported heavy service + wakelock bug + exit dialog.
+DemoAppSpec victim_spec();
+/// Browser: WiFi while foreground, polite brightness boost.
+DemoAppSpec browser_spec();
+/// Maps: GPS + partial wakelock for turn-by-turn.
+DemoAppSpec maps_spec();
+/// Game: heavy CPU + screen wakelock while the user plays (legitimate).
+DemoAppSpec game_spec();
+
+}  // namespace eandroid::apps

@@ -1,0 +1,36 @@
+// DeviceReport: everything the tooling knows about a run, in one text
+// document.
+//
+// Combines the three battery interfaces, the eprof per-routine profiles,
+// the power-signature suspects, the open collateral windows, and the
+// battery state — the "bug report" a developer would attach when filing a
+// collateral-energy issue.
+#pragma once
+
+#include <string>
+
+#include "apps/testbed.h"
+#include "energy/eprof.h"
+#include "energy/power_signature.h"
+
+namespace eandroid::apps {
+
+struct ReportOptions {
+  bool include_android_view = true;
+  bool include_powertutor_view = true;
+  bool include_eandroid_view = true;
+  bool include_open_windows = true;
+  bool include_battery = true;
+  /// Signature-detector threshold; <= 0 skips the section.
+  double suspect_threshold_mw = 150.0;
+};
+
+/// Renders the report for a testbed; `eprof` and `detector` are optional
+/// extra sinks the caller attached (pass nullptr to skip the sections).
+std::string render_device_report(Testbed& bed,
+                                 const energy::Eprof* eprof = nullptr,
+                                 const energy::PowerSignatureDetector*
+                                     detector = nullptr,
+                                 const ReportOptions& options = {});
+
+}  // namespace eandroid::apps

@@ -1,0 +1,138 @@
+#include "apps/workload.h"
+
+#include "apps/demo_app.h"
+
+namespace eandroid::apps {
+
+using framework::BrightnessMode;
+using framework::Intent;
+using framework::WakelockType;
+
+RandomWorkload::RandomWorkload(Testbed& bed, WorkloadOptions options)
+    : bed_(bed), options_(options), rng_(options.seed) {
+  DemoAppSpec a = victim_spec();
+  a.package = "com.fuzz.a";
+  DemoAppSpec b = message_spec();
+  b.package = "com.fuzz.b";
+  b.background_cpu = 0.1;
+  b.push_endpoint = true;
+  DemoAppSpec c = camera_spec();
+  c.package = "com.fuzz.c";
+  DemoAppSpec d = music_spec();
+  d.package = "com.fuzz.d";
+  d.permissions.push_back(framework::Permission::kWriteSettings);
+  d.permissions.push_back(framework::Permission::kReorderTasks);
+  apps_ = {a.package, b.package, c.package, d.package};
+  bed_.install<DemoApp>(a);
+  bed_.install<DemoApp>(b);
+  bed_.install<DemoApp>(c);
+  bed_.install<DemoApp>(d);
+}
+
+void RandomWorkload::step() {
+  ++steps_;
+  const std::string& app = apps_[rng_.below(apps_.size())];
+  const std::string& other = apps_[rng_.below(apps_.size())];
+  switch (rng_.below(17)) {
+    case 0: bed_.server().user_launch(app); break;
+    case 1: bed_.server().user_press_home(); break;
+    case 2: bed_.server().user_press_back(); break;
+    case 3:
+      bed_.server().user_tap(static_cast<int>(rng_.below(1080)),
+                             static_cast<int>(rng_.below(1920)));
+      break;
+    case 4:
+      bed_.context_of(app).start_activity(
+          Intent::explicit_for(other, DemoApp::kRootActivity));
+      break;
+    case 5:
+      bed_.context_of(app).start_service(
+          Intent::explicit_for("com.fuzz.a", DemoApp::kService));
+      break;
+    case 6:
+      bed_.context_of(app).stop_service(
+          Intent::explicit_for("com.fuzz.a", DemoApp::kService));
+      break;
+    case 7: {
+      const auto binding = bed_.context_of(app).bind_service(
+          Intent::explicit_for("com.fuzz.a", DemoApp::kService));
+      if (binding) bindings_.push_back({app, *binding});
+      break;
+    }
+    case 8:
+      if (!bindings_.empty()) {
+        const auto [owner, binding] = bindings_.back();
+        bindings_.pop_back();
+        bed_.context_of(owner).unbind_service(binding);
+      }
+      break;
+    case 9: {
+      const auto lock = bed_.context_of(app).acquire_wakelock(
+          rng_.chance(0.5) ? WakelockType::kScreenBright
+                           : WakelockType::kPartial,
+          "fuzz");
+      if (lock) locks_.push_back({app, *lock});
+      break;
+    }
+    case 10:
+      if (!locks_.empty()) {
+        const auto [owner, lock] = locks_.back();
+        locks_.pop_back();
+        bed_.context_of(owner).release_wakelock(lock);
+      }
+      break;
+    case 11:
+      bed_.context_of("com.fuzz.d")
+          .set_brightness(static_cast<int>(rng_.below(256)));
+      if (rng_.chance(0.3)) {
+        bed_.context_of("com.fuzz.d")
+            .set_screen_mode(rng_.chance(0.5) ? BrightnessMode::kManual
+                                              : BrightnessMode::kAuto);
+      }
+      break;
+    case 12:
+      bed_.context_of(app).send_push("com.fuzz.b");
+      break;
+    case 13:
+      if (rng_.chance(0.5)) {
+        bed_.server().user_unlock();
+      } else {
+        bed_.server().simulate_incoming_call(
+            sim::seconds(1 + static_cast<std::int64_t>(rng_.below(10))));
+      }
+      break;
+    case 14:
+      if (rng_.chance(0.3)) {
+        bed_.context_of(app).post_full_screen_notification(
+            "alarm", DemoApp::kRootActivity);
+      } else {
+        const std::uint64_t id = bed_.context_of(app).post_notification(
+            "ping", DemoApp::kRootActivity);
+        if (rng_.chance(0.5)) {
+          bed_.server().notifications().user_tap_notification(id);
+        }
+      }
+      break;
+    case 15:
+      if (bed_.server().battery().charging()) {
+        bed_.server().unplug_charger();
+      } else if (rng_.chance(0.3)) {
+        bed_.server().plug_charger();
+      }
+      break;
+    case 16:
+      if (rng_.chance(0.5)) {
+        bed_.context_of("com.fuzz.a").start_foreground(DemoApp::kService);
+      } else {
+        bed_.context_of("com.fuzz.a").stop_foreground(DemoApp::kService);
+      }
+      break;
+  }
+  const std::int64_t gap_us =
+      options_.min_gap.micros() +
+      static_cast<std::int64_t>(rng_.below(static_cast<std::uint64_t>(
+          options_.max_gap.micros() - options_.min_gap.micros() + 1)));
+  bed_.sim().run_for(sim::micros(gap_us));
+}
+
+}  // namespace eandroid::apps

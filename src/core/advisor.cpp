@@ -1,0 +1,77 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eandroid::core {
+
+BatteryForecast BatteryAdvisor::forecast(sim::Duration min_observation) const {
+  BatteryForecast forecast;
+  const EAndroidEngine& engine = eandroid_.engine();
+  forecast.observed_s = server_.simulator().now().seconds();
+  if (forecast.observed_s < min_observation.seconds() ||
+      engine.true_total_mj() <= 0.0) {
+    return forecast;
+  }
+
+  forecast.average_draw_mw = engine.true_total_mj() / forecast.observed_s;
+  const double capacity_mj = server_.battery().capacity_mj();
+  const double remaining_mj = server_.battery().remaining_mj();
+  forecast.lifetime_h =
+      capacity_mj / forecast.average_draw_mw / 3600.0;
+  forecast.remaining_h =
+      remaining_mj / forecast.average_draw_mw / 3600.0;
+
+  const auto& packages = server_.packages();
+  for (kernelsim::Uid uid : engine.known_uids()) {
+    if (packages.is_system_app(uid)) continue;  // can't uninstall those
+    const double responsible_mj =
+        engine.direct_mj(uid) + engine.collateral_mj(uid);
+    if (responsible_mj <= 0.0) continue;
+    AppAdvice advice;
+    advice.uid = uid;
+    const framework::PackageRecord* pkg = packages.find(uid);
+    advice.package = pkg != nullptr ? pkg->manifest.package
+                                    : "uid:" + std::to_string(uid.value);
+    advice.responsible_mw = responsible_mj / forecast.observed_s;
+    // Collateral double counts across chained drivers; clamp the savings
+    // at the whole draw minus the idle floor.
+    const double saved_mw =
+        std::min(advice.responsible_mw, forecast.average_draw_mw * 0.95);
+    const double draw_without = forecast.average_draw_mw - saved_mw;
+    advice.lifetime_without_h =
+        draw_without > 0.0 ? capacity_mj / draw_without / 3600.0 : 0.0;
+    advice.gain_h = advice.lifetime_without_h - forecast.lifetime_h;
+    forecast.advice.push_back(std::move(advice));
+  }
+  std::sort(forecast.advice.begin(), forecast.advice.end(),
+            [](const AppAdvice& a, const AppAdvice& b) {
+              return a.gain_h > b.gain_h;
+            });
+  return forecast;
+}
+
+std::string BatteryAdvisor::render(const BatteryForecast& forecast) {
+  std::string out;
+  char line[200];
+  if (forecast.advice.empty() && forecast.average_draw_mw <= 0.0) {
+    return "battery advisor: not enough observation yet\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "battery advisor (observed %.0f s, avg draw %.0f mW):\n"
+                "  projected lifetime from full: %.1f h (%.1f h left)\n",
+                forecast.observed_s, forecast.average_draw_mw,
+                forecast.lifetime_h, forecast.remaining_h);
+  out += line;
+  for (const AppAdvice& advice : forecast.advice) {
+    std::snprintf(line, sizeof(line),
+                  "  removing %-28s (%6.0f mW incl. collateral) buys "
+                  "+%.1f h\n",
+                  advice.package.c_str(), advice.responsible_mw,
+                  advice.gain_h);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace eandroid::core

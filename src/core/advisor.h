@@ -1,0 +1,60 @@
+// BatteryAdvisor: actionable estimates on top of the revised interface.
+//
+// The paper motivates battery interfaces with the user's follow-up action:
+// "users can clearly understand where the energy is consumed, and take
+// further actions such as terminating or even deleting those energy hog
+// apps". The advisor quantifies that decision: given E-Android's
+// accounting over an observation period, it projects the device's
+// remaining lifetime and, per app, how much lifetime removing the app
+// would buy — *including* the collateral energy it drives, which is
+// exactly what the stock interface underestimates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/e_android.h"
+#include "framework/system_server.h"
+
+namespace eandroid::core {
+
+struct AppAdvice {
+  std::string package;
+  kernelsim::Uid uid;
+  /// Average power the app is responsible for (own + collateral), mW.
+  double responsible_mw = 0.0;
+  /// Projected battery lifetime if the app were removed (hours).
+  double lifetime_without_h = 0.0;
+  /// Gain versus the current projection (hours).
+  double gain_h = 0.0;
+};
+
+struct BatteryForecast {
+  double observed_s = 0.0;
+  double average_draw_mw = 0.0;
+  /// Hours from full at the observed average draw.
+  double lifetime_h = 0.0;
+  /// Hours left at the current charge level.
+  double remaining_h = 0.0;
+  std::vector<AppAdvice> advice;  // biggest gain first
+};
+
+class BatteryAdvisor {
+ public:
+  BatteryAdvisor(framework::SystemServer& server, const EAndroid& eandroid)
+      : server_(server), eandroid_(eandroid) {}
+
+  /// Projects from everything accounted since the last reset. Observation
+  /// shorter than `min_observation` yields an empty forecast (not enough
+  /// signal).
+  [[nodiscard]] BatteryForecast forecast(
+      sim::Duration min_observation = sim::seconds(10)) const;
+
+  [[nodiscard]] static std::string render(const BatteryForecast& forecast);
+
+ private:
+  framework::SystemServer& server_;
+  const EAndroid& eandroid_;
+};
+
+}  // namespace eandroid::core

@@ -1,0 +1,141 @@
+#include "core/battery_interface.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eandroid::core {
+
+namespace {
+std::string label_for(const framework::PackageManager& packages,
+                      kernelsim::Uid uid) {
+  const framework::PackageRecord* pkg = packages.find(uid);
+  return pkg != nullptr ? pkg->manifest.package
+                        : "uid:" + std::to_string(uid.value);
+}
+}  // namespace
+
+EAView EAndroidBatteryInterface::view() const {
+  EAView out;
+  out.screen_row_mj = engine_.screen_row_mj();
+  out.system_row_mj = engine_.system_row_mj();
+  out.true_total_mj = engine_.true_total_mj();
+
+  const auto& packages = server_.packages();
+  for (kernelsim::Uid uid : engine_.known_uids()) {
+    EARow row;
+    row.uid = uid;
+    row.label = label_for(packages, uid);
+    row.original_mj = engine_.direct_mj(uid);
+    row.collateral_mj = engine_.collateral_mj(uid);
+    row.total_mj = row.original_mj + row.collateral_mj;
+    if (const auto* map = engine_.map_of(uid)) {
+      for (const auto& [entity, mj] : *map) {
+        InventoryItem item;
+        item.label = entity.is_screen() ? "Screen"
+                                        : label_for(packages, entity.uid);
+        item.energy_mj = mj;
+        row.inventory.push_back(item);
+      }
+      std::sort(row.inventory.begin(), row.inventory.end(),
+                [](const InventoryItem& a, const InventoryItem& b) {
+                  if (a.energy_mj != b.energy_mj) {
+                    return a.energy_mj > b.energy_mj;
+                  }
+                  return a.label < b.label;
+                });
+    }
+    out.rows.push_back(std::move(row));
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const EARow& a, const EARow& b) {
+              if (a.total_mj != b.total_mj) return a.total_mj > b.total_mj;
+              return a.label < b.label;
+            });
+  if (out.true_total_mj > 0.0) {
+    for (auto& row : out.rows) {
+      row.percent = 100.0 * row.total_mj / out.true_total_mj;
+    }
+  }
+  return out;
+}
+
+std::string EAndroidBatteryInterface::render_app_breakdown(
+    kernelsim::Uid uid) const {
+  std::string out = "=== " + label_for(server_.packages(), uid) +
+                    " (E-Android, revised PowerTutor view) ===\n";
+  char line[160];
+  const energy::AppSliceEnergy* direct = engine_.direct_breakdown(uid);
+  auto row = [&](const char* name, double mj) {
+    if (mj <= 0.0) return;
+    std::snprintf(line, sizeof(line), "  %-26s %10.1f mJ\n", name, mj);
+    out += line;
+  };
+  if (direct != nullptr) {
+    row("CPU", direct->cpu_mj);
+    row("Camera", direct->camera_mj);
+    row("GPS", direct->gps_mj);
+    row("WiFi", direct->wifi_mj);
+    row("Audio", direct->audio_mj);
+  }
+  std::snprintf(line, sizeof(line), "  %-26s %10.1f mJ\n", "own total",
+                engine_.direct_mj(uid));
+  out += line;
+  if (const auto* map = engine_.map_of(uid)) {
+    for (const auto& [entity, mj] : *map) {
+      const std::string label =
+          entity.is_screen() ? "Screen"
+                             : label_for(server_.packages(), entity.uid);
+      std::snprintf(line, sizeof(line), "  collateral from %-15s %10.1f mJ\n",
+                    label.c_str(), mj);
+      out += line;
+    }
+  }
+  std::snprintf(line, sizeof(line), "  %-26s %10.1f mJ\n", "TOTAL",
+                engine_.direct_mj(uid) + engine_.collateral_mj(uid));
+  out += line;
+  return out;
+}
+
+std::string EAView::render(const std::string& title) const {
+  std::string text;
+  text += "=== " + title + " (E-Android) ===\n";
+  char line[200];
+  std::snprintf(line, sizeof(line), "%-30s %11s %11s %11s %7s\n", "consumer",
+                "own (mJ)", "collat(mJ)", "total (mJ)", "share");
+  text += line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-30s %11.1f %11.1f %11.1f %6.1f%%\n",
+                  row.label.c_str(), row.original_mj, row.collateral_mj,
+                  row.total_mj, row.percent);
+    text += line;
+    for (const auto& item : row.inventory) {
+      std::snprintf(line, sizeof(line), "  + from %-22s %11.1f\n",
+                    item.label.c_str(), item.energy_mj);
+      text += line;
+    }
+  }
+  std::snprintf(line, sizeof(line), "%-30s %11.1f\n%-30s %11.1f\n%-30s %11.1f\n",
+                "Screen (unclaimed)", screen_row_mj, "Android OS",
+                system_row_mj, "battery drain", true_total_mj);
+  text += line;
+  return text;
+}
+
+const EARow* EAView::row_of(const std::string& label) const {
+  for (const auto& row : rows) {
+    if (row.label == label) return &row;
+  }
+  return nullptr;
+}
+
+double EAView::total_of(const std::string& label) const {
+  const EARow* row = row_of(label);
+  return row == nullptr ? 0.0 : row->total_mj;
+}
+
+double EAView::percent_of(const std::string& label) const {
+  const EARow* row = row_of(label);
+  return row == nullptr ? 0.0 : row->percent;
+}
+
+}  // namespace eandroid::core

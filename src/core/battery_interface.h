@@ -1,0 +1,63 @@
+// E-Android's revised battery interface (paper §IV-C, Fig 8).
+//
+// "E-Android ranks apps by total energy consumption including collateral
+// energy consumption. Moreover, for each app, E-Android provides a
+// detailed inventory specifying contributions of all attack related apps.
+// To better demonstrate the energy consumption, the apps' original energy
+// is also listed."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "framework/system_server.h"
+
+namespace eandroid::core {
+
+struct InventoryItem {
+  std::string label;  // contributing app's package, or "Screen"
+  double energy_mj = 0.0;
+};
+
+struct EARow {
+  std::string label;
+  kernelsim::Uid uid;
+  double original_mj = 0.0;    // the app's own (direct) energy
+  double collateral_mj = 0.0;  // sum of its collateral map
+  double total_mj = 0.0;       // ranking key
+  double percent = 0.0;        // of true battery drain
+  std::vector<InventoryItem> inventory;  // per-source breakdown
+};
+
+struct EAView {
+  std::vector<EARow> rows;  // sorted by total, descending
+  double screen_row_mj = 0.0;
+  double system_row_mj = 0.0;
+  double true_total_mj = 0.0;
+
+  [[nodiscard]] std::string render(const std::string& title) const;
+  [[nodiscard]] const EARow* row_of(const std::string& label) const;
+  [[nodiscard]] double total_of(const std::string& label) const;
+  [[nodiscard]] double percent_of(const std::string& label) const;
+};
+
+class EAndroidBatteryInterface {
+ public:
+  EAndroidBatteryInterface(framework::SystemServer& server,
+                           const EAndroidEngine& engine)
+      : server_(server), engine_(engine) {}
+
+  [[nodiscard]] EAView view() const;
+
+  /// The Fig 8 style: "energy breakdown by E-Android with revised
+  /// PowerTutor" — one app's own energy split by hardware component,
+  /// followed by the collateral inventory.
+  [[nodiscard]] std::string render_app_breakdown(kernelsim::Uid uid) const;
+
+ private:
+  framework::SystemServer& server_;
+  const EAndroidEngine& engine_;
+};
+
+}  // namespace eandroid::core

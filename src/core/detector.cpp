@@ -1,0 +1,116 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eandroid::core {
+
+const char* to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kCollateralAttacker: return "collateral-attacker";
+    case AlertKind::kScreenAbuser: return "screen-abuser";
+    case AlertKind::kNoSleepBug: return "no-sleep-bug";
+  }
+  return "?";
+}
+
+std::vector<Alert> CollateralAttackDetector::scan() const {
+  std::vector<Alert> alerts;
+  const EAndroidEngine& engine = eandroid_.engine();
+  const auto& packages = server_.packages();
+
+  auto label = [&packages](kernelsim::Uid uid) {
+    const framework::PackageRecord* pkg = packages.find(uid);
+    return pkg != nullptr ? pkg->manifest.package
+                          : "uid:" + std::to_string(uid.value);
+  };
+
+  // Rule 1: collateral attacker.
+  std::vector<Alert> attackers;
+  for (kernelsim::Uid uid : engine.known_uids()) {
+    const double own = engine.direct_mj(uid);
+    const double collateral = engine.collateral_mj(uid);
+    if (collateral < config_.attacker_floor_mj) continue;
+    if (collateral < config_.attacker_ratio * own) continue;
+    Alert alert;
+    alert.kind = AlertKind::kCollateralAttacker;
+    alert.uid = uid;
+    alert.package = label(uid);
+    alert.collateral_mj = collateral;
+    alert.own_mj = own;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "drives %.0f mJ of others' drain while spending %.0f mJ "
+                  "itself",
+                  collateral, own);
+    alert.detail = buf;
+    attackers.push_back(std::move(alert));
+  }
+  std::sort(attackers.begin(), attackers.end(),
+            [](const Alert& a, const Alert& b) {
+              return a.collateral_mj > b.collateral_mj;
+            });
+
+  // Rule 2: screen abuser.
+  std::vector<Alert> screen_abusers;
+  for (kernelsim::Uid uid : engine.known_uids()) {
+    const double screen = engine.collateral_from(uid, Entity::screen());
+    if (screen < config_.screen_floor_mj) continue;
+    Alert alert;
+    alert.kind = AlertKind::kScreenAbuser;
+    alert.uid = uid;
+    alert.package = label(uid);
+    alert.collateral_mj = screen;
+    alert.own_mj = engine.direct_mj(uid);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%.0f mJ of screen energy attributed to it", screen);
+    alert.detail = buf;
+    screen_abusers.push_back(std::move(alert));
+  }
+  std::sort(screen_abusers.begin(), screen_abusers.end(),
+            [](const Alert& a, const Alert& b) {
+              return a.collateral_mj > b.collateral_mj;
+            });
+
+  // Rule 3: no-sleep bug (long-lived open wakelock window).
+  std::vector<Alert> no_sleep;
+  const sim::TimePoint now = server_.simulator().now();
+  for (const auto& [id, window] : eandroid_.tracker().open_windows()) {
+    if (window.kind != WindowKind::kWakelock) continue;
+    if (now - window.opened < config_.no_sleep_age) continue;
+    Alert alert;
+    alert.kind = AlertKind::kNoSleepBug;
+    alert.uid = window.driver;
+    alert.package = label(window.driver);
+    alert.collateral_mj =
+        engine.collateral_from(window.driver, Entity::screen());
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "wakelock held outside foreground for %.0f s",
+                  (now - window.opened).seconds());
+    alert.detail = buf;
+    no_sleep.push_back(std::move(alert));
+  }
+
+  alerts.insert(alerts.end(), attackers.begin(), attackers.end());
+  alerts.insert(alerts.end(), screen_abusers.begin(), screen_abusers.end());
+  alerts.insert(alerts.end(), no_sleep.begin(), no_sleep.end());
+  return alerts;
+}
+
+std::string CollateralAttackDetector::render(
+    const std::vector<Alert>& alerts) const {
+  if (alerts.empty()) return "no collateral-energy alerts\n";
+  std::string out = "collateral-energy alerts:\n";
+  char line[256];
+  for (const Alert& alert : alerts) {
+    std::snprintf(line, sizeof(line), "  [%-20s] %-28s %s\n",
+                  to_string(alert.kind), alert.package.c_str(),
+                  alert.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace eandroid::core

@@ -1,0 +1,65 @@
+// EAndroid: facade bundling the paper's three components.
+//
+//   1. framework extension  -> WindowTracker (event monitoring, Fig 5)
+//   2. enhanced accounting  -> EAndroidEngine (Algorithm 1)
+//   3. revised interface    -> EAndroidBatteryInterface (Fig 8 view)
+//
+// Construct one per device, register it as a sink on the EnergySampler,
+// and read the view when the experiment ends:
+//
+//   framework::SystemServer server(sim);
+//   ...install apps... server.boot();
+//   core::EAndroid ea(server);                 // subscribes to events
+//   energy::EnergySampler sampler(server);
+//   sampler.add_sink(&ea);
+//   sampler.start();
+//   ...drive scenario...
+//   std::cout << ea.view().render("after scenario");
+//
+// The paper's three overhead configurations map to Mode below.
+#pragma once
+
+#include <memory>
+
+#include "core/battery_interface.h"
+#include "core/engine.h"
+#include "core/window_tracker.h"
+#include "energy/slice.h"
+#include "framework/system_server.h"
+
+namespace eandroid::core {
+
+enum class Mode {
+  /// Monitoring on, accounting off ("E-Android framework" in Fig 10).
+  kFrameworkOnly,
+  /// Everything on ("Complete E-Android").
+  kComplete,
+};
+
+class EAndroid : public energy::AccountingSink {
+ public:
+  explicit EAndroid(framework::SystemServer& server,
+                    Mode mode = Mode::kComplete, EngineConfig config = {});
+
+  void on_slice(const energy::EnergySlice& slice) override {
+    engine_.on_slice(slice);
+  }
+
+  [[nodiscard]] WindowTracker& tracker() { return tracker_; }
+  [[nodiscard]] const WindowTracker& tracker() const { return tracker_; }
+  [[nodiscard]] EAndroidEngine& engine() { return engine_; }
+  [[nodiscard]] const EAndroidEngine& engine() const { return engine_; }
+
+  /// Current revised-battery-interface view.
+  [[nodiscard]] EAView view() const { return interface_.view(); }
+  [[nodiscard]] const EAndroidBatteryInterface& battery_interface() const {
+    return interface_;
+  }
+
+ private:
+  WindowTracker tracker_;
+  EAndroidEngine engine_;
+  EAndroidBatteryInterface interface_;
+};
+
+}  // namespace eandroid::core

@@ -1,0 +1,203 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace eandroid::core {
+
+EAndroidEngine::EAndroidEngine(framework::SystemServer& server,
+                               WindowTracker& tracker, EngineConfig config)
+    : server_(server), tracker_(tracker), config_(config) {}
+
+double EAndroidEngine::direct_mj(kernelsim::Uid uid) const {
+  auto it = direct_.find(uid);
+  return it == direct_.end() ? 0.0 : it->second.sum();
+}
+
+const energy::AppSliceEnergy* EAndroidEngine::direct_breakdown(
+    kernelsim::Uid uid) const {
+  auto it = direct_.find(uid);
+  return it == direct_.end() ? nullptr : &it->second;
+}
+
+double EAndroidEngine::collateral_mj(kernelsim::Uid uid) const {
+  auto it = maps_.find(uid);
+  if (it == maps_.end()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [entity, mj] : it->second) sum += mj;
+  return sum;
+}
+
+double EAndroidEngine::collateral_from(kernelsim::Uid driver,
+                                       Entity entity) const {
+  auto it = maps_.find(driver);
+  if (it == maps_.end()) return 0.0;
+  auto eit = it->second.find(entity);
+  return eit == it->second.end() ? 0.0 : eit->second;
+}
+
+const std::unordered_map<Entity, double>* EAndroidEngine::map_of(
+    kernelsim::Uid uid) const {
+  auto it = maps_.find(uid);
+  return it == maps_.end() ? nullptr : &it->second;
+}
+
+std::unordered_set<kernelsim::Uid> EAndroidEngine::reachable_from(
+    kernelsim::Uid root,
+    const std::unordered_map<kernelsim::Uid,
+                             std::unordered_set<kernelsim::Uid>>& edges)
+    const {
+  std::unordered_set<kernelsim::Uid> seen;
+  if (!config_.chain_propagation) {
+    // Ablation: only the direct neighbours charge.
+    auto it = edges.find(root);
+    if (it != edges.end()) {
+      seen = it->second;
+      seen.erase(root);
+    }
+    return seen;
+  }
+  std::deque<kernelsim::Uid> frontier{root};
+  seen.insert(root);
+  while (!frontier.empty()) {
+    const kernelsim::Uid at = frontier.front();
+    frontier.pop_front();
+    auto it = edges.find(at);
+    if (it == edges.end()) continue;
+    for (kernelsim::Uid next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  seen.erase(root);
+  return seen;
+}
+
+void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
+  if (!config_.accounting_enabled) return;
+  true_total_mj_ += slice.total_mj();
+  system_row_mj_ += slice.system_mj;
+
+  // 1. Direct ("original") energy, component by component.
+  for (const auto& [uid, e] : slice.apps) {
+    energy::AppSliceEnergy& acc = direct_[uid];
+    acc.cpu_mj += e.cpu_mj;
+    acc.camera_mj += e.camera_mj;
+    acc.gps_mj += e.gps_mj;
+    acc.wifi_mj += e.wifi_mj;
+    acc.audio_mj += e.audio_mj;
+    for (const auto& [routine, mj] : e.cpu_by_routine) {
+      acc.cpu_by_routine[routine] += mj;
+    }
+  }
+
+  const auto& windows = tracker_.open_windows();
+
+  // 2. Collateral screen energy per driver.
+  std::unordered_map<kernelsim::Uid, double> screen_collateral;
+  double claimed_screen = 0.0;
+  if (slice.screen_mj > 0.0) {
+    if (slice.screen_forced_by_wakelock) {
+      // The screen is only on because of leaked wakelocks: holders with an
+      // open wakelock window pay in full, split evenly.
+      std::unordered_set<kernelsim::Uid> holders;
+      for (const auto& [id, window] : windows) {
+        if (window.kind == WindowKind::kWakelock) holders.insert(window.driver);
+      }
+      if (!holders.empty()) {
+        const double share = slice.screen_mj / holders.size();
+        for (kernelsim::Uid holder : holders) {
+          screen_collateral[holder] += share;
+        }
+        claimed_screen = slice.screen_mj;
+      }
+    } else if (slice.screen_on) {
+      // Brightness escalations: each attacker pays the power delta above
+      // its pre-attack baseline.
+      const auto& params = server_.params();
+      const double current_mw =
+          params.screen_base_mw + params.screen_per_level_mw * slice.brightness;
+      if (current_mw > 0.0) {
+        double wanted = 0.0;
+        std::unordered_map<kernelsim::Uid, double> deltas;
+        for (const auto& [id, window] : windows) {
+          if (window.kind != WindowKind::kScreen) continue;
+          const int baseline = std::max(window.baseline_brightness, 0);
+          const double delta_mw = params.screen_per_level_mw *
+                                  std::max(0, slice.brightness - baseline);
+          if (delta_mw <= 0.0) continue;
+          deltas[window.driver] += delta_mw;
+          wanted += delta_mw;
+        }
+        if (wanted > 0.0) {
+          const double budget_mw = std::min(wanted, current_mw);
+          for (const auto& [driver, delta_mw] : deltas) {
+            const double mj =
+                slice.screen_mj * (delta_mw / wanted) * (budget_mw / current_mw);
+            screen_collateral[driver] += mj;
+            claimed_screen += mj;
+          }
+        }
+      }
+    }
+  }
+  screen_row_mj_ += slice.screen_mj - claimed_screen;
+
+  // 3. App->app edges from open windows.
+  std::unordered_map<kernelsim::Uid, std::unordered_set<kernelsim::Uid>> edges;
+  for (const auto& [id, window] : windows) {
+    if (window.kind == WindowKind::kActivity ||
+        window.kind == WindowKind::kInterrupt ||
+        window.kind == WindowKind::kService ||
+        window.kind == WindowKind::kPush) {
+      if (window.driver != window.driven) {
+        edges[window.driver].insert(window.driven);
+      }
+    }
+  }
+
+  auto slice_direct = [&slice](kernelsim::Uid uid) {
+    auto it = slice.apps.find(uid);
+    return it == slice.apps.end() ? 0.0 : it->second.sum();
+  };
+
+  // 4. Charge each driver's map: its own screen collateral plus, through
+  // the closure, every reached app's direct energy and screen collateral.
+  std::unordered_set<kernelsim::Uid> drivers;
+  for (const auto& [driver, set] : edges) drivers.insert(driver);
+  for (const auto& [driver, mj] : screen_collateral) drivers.insert(driver);
+
+  for (kernelsim::Uid driver : drivers) {
+    auto& map = maps_[driver];
+    auto own_screen = screen_collateral.find(driver);
+    if (own_screen != screen_collateral.end() && own_screen->second > 0.0) {
+      map[Entity::screen()] += own_screen->second;
+    }
+    for (kernelsim::Uid reached : reachable_from(driver, edges)) {
+      const double mj = slice_direct(reached);
+      if (mj > 0.0) map[Entity::app(reached)] += mj;
+      auto sit = screen_collateral.find(reached);
+      if (sit != screen_collateral.end() && sit->second > 0.0) {
+        map[Entity::screen()] += sit->second;
+      }
+    }
+  }
+}
+
+std::vector<kernelsim::Uid> EAndroidEngine::known_uids() const {
+  std::unordered_set<kernelsim::Uid> set;
+  for (const auto& [uid, mj] : direct_) set.insert(uid);
+  for (const auto& [uid, map] : maps_) set.insert(uid);
+  std::vector<kernelsim::Uid> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void EAndroidEngine::reset() {
+  direct_.clear();
+  maps_.clear();
+  screen_row_mj_ = 0.0;
+  system_row_mj_ = 0.0;
+  true_total_mj_ = 0.0;
+}
+
+}  // namespace eandroid::core

@@ -1,0 +1,40 @@
+// Collateral entities: the things an app's collateral map can charge.
+//
+// A map entry is either another app (energy the driven app consumed during
+// an attack window) or the screen (collateral screen energy from a
+// brightness escalation or a leaked screen wakelock). The paper's Fig 8
+// sample view shows both kinds in one inventory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kernel/types.h"
+
+namespace eandroid::core {
+
+struct Entity {
+  enum class Kind : std::uint8_t { kApp, kScreen };
+
+  Kind kind = Kind::kApp;
+  kernelsim::Uid uid;  // valid only for kApp
+
+  static Entity app(kernelsim::Uid u) { return Entity{Kind::kApp, u}; }
+  static Entity screen() { return Entity{Kind::kScreen, kernelsim::Uid{}}; }
+
+  [[nodiscard]] bool is_screen() const { return kind == Kind::kScreen; }
+  bool operator==(const Entity&) const = default;
+};
+
+}  // namespace eandroid::core
+
+namespace std {
+template <>
+struct hash<eandroid::core::Entity> {
+  size_t operator()(const eandroid::core::Entity& e) const noexcept {
+    return std::hash<std::int64_t>{}(
+        (static_cast<std::int64_t>(e.kind) << 32) ^ e.uid.value);
+  }
+};
+}  // namespace std

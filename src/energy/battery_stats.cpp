@@ -1,0 +1,58 @@
+#include "energy/battery_stats.h"
+
+#include <algorithm>
+
+namespace eandroid::energy {
+
+void BatteryStats::on_slice(const EnergySlice& slice) {
+  for (const auto& [uid, e] : slice.apps) {
+    app_mj_[uid] += e.sum();
+  }
+  screen_mj_ += slice.screen_mj;
+  system_mj_ += slice.system_mj;
+}
+
+double BatteryStats::app_energy_mj(kernelsim::Uid uid) const {
+  auto it = app_mj_.find(uid);
+  return it == app_mj_.end() ? 0.0 : it->second;
+}
+
+double BatteryStats::total_mj() const {
+  double total = screen_mj_ + system_mj_;
+  for (const auto& [uid, mj] : app_mj_) total += mj;
+  return total;
+}
+
+BatteryView BatteryStats::view() const {
+  BatteryView out;
+  out.total_mj = total_mj();
+  for (const auto& [uid, mj] : app_mj_) {
+    const framework::PackageRecord* pkg = packages_.find(uid);
+    BatteryRow row;
+    row.label = pkg != nullptr ? pkg->manifest.package
+                               : "uid:" + std::to_string(uid.value);
+    row.uid = uid;
+    row.energy_mj = mj;
+    out.rows.push_back(row);
+  }
+  out.rows.push_back(BatteryRow{"Screen", kernelsim::Uid{}, screen_mj_, 0.0});
+  out.rows.push_back(
+      BatteryRow{"Android OS", kernelsim::Uid{}, system_mj_, 0.0});
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const BatteryRow& a, const BatteryRow& b) {
+              if (a.energy_mj != b.energy_mj) return a.energy_mj > b.energy_mj;
+              return a.label < b.label;
+            });
+  if (out.total_mj > 0.0) {
+    for (auto& row : out.rows) row.percent = 100.0 * row.energy_mj / out.total_mj;
+  }
+  return out;
+}
+
+void BatteryStats::reset() {
+  app_mj_.clear();
+  screen_mj_ = 0.0;
+  system_mj_ = 0.0;
+}
+
+}  // namespace eandroid::energy

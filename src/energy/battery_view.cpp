@@ -1,0 +1,38 @@
+#include "energy/battery_view.h"
+
+#include <cstdio>
+
+namespace eandroid::energy {
+
+std::string BatteryView::render(const std::string& title) const {
+  std::string out;
+  out += "=== " + title + " ===\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-34s %12s %8s\n", "consumer",
+                "energy (mJ)", "share");
+  out += line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-34s %12.1f %7.1f%%\n",
+                  row.label.c_str(), row.energy_mj, row.percent);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-34s %12.1f\n", "total", total_mj);
+  out += line;
+  return out;
+}
+
+double BatteryView::energy_of(const std::string& label) const {
+  for (const auto& row : rows) {
+    if (row.label == label) return row.energy_mj;
+  }
+  return 0.0;
+}
+
+double BatteryView::percent_of(const std::string& label) const {
+  for (const auto& row : rows) {
+    if (row.label == label) return row.percent;
+  }
+  return 0.0;
+}
+
+}  // namespace eandroid::energy

@@ -1,0 +1,36 @@
+// Battery-interface view structures shared by all profilers.
+//
+// A view is what the human-battery interface renders: ranked rows of
+// energy consumers with percentages. E-Android's revised interface extends
+// rows with a collateral inventory (see core/battery_interface.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace eandroid::energy {
+
+struct BatteryRow {
+  std::string label;       // package name, "Screen", "Android OS"
+  kernelsim::Uid uid;      // invalid for pseudo-rows
+  double energy_mj = 0.0;
+  double percent = 0.0;    // of the view's total
+};
+
+struct BatteryView {
+  std::vector<BatteryRow> rows;  // sorted by energy, descending
+  double total_mj = 0.0;
+
+  /// Renders a fixed-width text table (the simulator's stand-in for the
+  /// Settings > Battery screen).
+  [[nodiscard]] std::string render(const std::string& title) const;
+
+  /// Energy of a row by label; 0 if absent.
+  [[nodiscard]] double energy_of(const std::string& label) const;
+  /// Percent of a row by label; 0 if absent.
+  [[nodiscard]] double percent_of(const std::string& label) const;
+};
+
+}  // namespace eandroid::energy

@@ -1,0 +1,70 @@
+#include "energy/eprof.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eandroid::energy {
+
+void Eprof::on_slice(const EnergySlice& slice) {
+  for (const auto& [uid, energy] : slice.apps) {
+    for (const auto& [routine, mj] : energy.cpu_by_routine) {
+      if (mj > 0.0) routines_[uid][routine] += mj;
+    }
+  }
+}
+
+double Eprof::app_cpu_mj(kernelsim::Uid uid) const {
+  auto it = routines_.find(uid);
+  if (it == routines_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [routine, mj] : it->second) total += mj;
+  return total;
+}
+
+double Eprof::routine_mj(kernelsim::Uid uid,
+                         const std::string& routine) const {
+  auto it = routines_.find(uid);
+  if (it == routines_.end()) return 0.0;
+  auto rit = it->second.find(routine);
+  return rit == it->second.end() ? 0.0 : rit->second;
+}
+
+std::vector<RoutineEnergy> Eprof::profile_of(kernelsim::Uid uid) const {
+  std::vector<RoutineEnergy> out;
+  auto it = routines_.find(uid);
+  if (it == routines_.end()) return out;
+  const double total = app_cpu_mj(uid);
+  for (const auto& [routine, mj] : it->second) {
+    RoutineEnergy entry;
+    entry.routine = routine;
+    entry.energy_mj = mj;
+    entry.percent_of_app = total > 0.0 ? 100.0 * mj / total : 0.0;
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RoutineEnergy& a, const RoutineEnergy& b) {
+              if (a.energy_mj != b.energy_mj) return a.energy_mj > b.energy_mj;
+              return a.routine < b.routine;
+            });
+  return out;
+}
+
+std::string Eprof::render(kernelsim::Uid uid) const {
+  const framework::PackageRecord* pkg = packages_.find(uid);
+  std::string out = "eprof profile: ";
+  out += pkg != nullptr ? pkg->manifest.package
+                        : "uid:" + std::to_string(uid.value);
+  out += "\n";
+  char line[128];
+  for (const RoutineEnergy& entry : profile_of(uid)) {
+    std::snprintf(line, sizeof(line), "  %-24s %10.1f mJ %6.1f%%\n",
+                  entry.routine.c_str(), entry.energy_mj,
+                  entry.percent_of_app);
+    out += line;
+  }
+  return out;
+}
+
+void Eprof::reset() { routines_.clear(); }
+
+}  // namespace eandroid::energy

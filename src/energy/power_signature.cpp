@@ -1,0 +1,53 @@
+#include "energy/power_signature.h"
+
+#include <algorithm>
+
+namespace eandroid::energy {
+
+void PowerSignatureDetector::on_slice(const EnergySlice& slice) {
+  const double seconds = slice.length().seconds();
+  if (seconds <= 0.0) return;
+  observed_s_ += seconds;
+  for (const auto& [uid, energy] : slice.apps) {
+    Profile& profile = profiles_[uid];
+    const double mj = energy.sum();
+    profile.energy_mj += mj;
+    profile.peak_mw = std::max(profile.peak_mw, mj / seconds);
+  }
+}
+
+double PowerSignatureDetector::average_mw_of(kernelsim::Uid uid) const {
+  if (observed_s_ <= 0.0) return 0.0;
+  auto it = profiles_.find(uid);
+  return it == profiles_.end() ? 0.0 : it->second.energy_mj / observed_s_;
+}
+
+std::vector<Suspect> PowerSignatureDetector::suspects(
+    double threshold_mw) const {
+  std::vector<Suspect> out;
+  if (observed_s_ <= 0.0) return out;
+  for (const auto& [uid, profile] : profiles_) {
+    const double average = profile.energy_mj / observed_s_;
+    if (average < threshold_mw) continue;
+    Suspect suspect;
+    const framework::PackageRecord* pkg = packages_.find(uid);
+    suspect.package = pkg != nullptr
+                          ? pkg->manifest.package
+                          : "uid:" + std::to_string(uid.value);
+    suspect.uid = uid;
+    suspect.average_mw = average;
+    suspect.peak_mw = profile.peak_mw;
+    out.push_back(suspect);
+  }
+  std::sort(out.begin(), out.end(), [](const Suspect& a, const Suspect& b) {
+    return a.average_mw > b.average_mw;
+  });
+  return out;
+}
+
+void PowerSignatureDetector::reset() {
+  profiles_.clear();
+  observed_s_ = 0.0;
+}
+
+}  // namespace eandroid::energy

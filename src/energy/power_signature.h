@@ -1,0 +1,56 @@
+// Power-signature malware detector (Kim et al., MobiSys 2008).
+//
+// The related-work baseline the paper argues against: build per-app power
+// profiles from metering data and flag apps whose sustained draw is
+// anomalous. It works for direct energy hogs (bluetooth worms, busy
+// loops) — and, as §VII argues, "power signature cannot tackle collateral
+// energy malware that drains energy via an indirect approach": the
+// collateral attacker's own signature stays flat while its victim's
+// spikes. We implement it so that claim is testable.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/slice.h"
+#include "framework/package_manager.h"
+
+namespace eandroid::energy {
+
+struct Suspect {
+  std::string package;
+  kernelsim::Uid uid;
+  double average_mw = 0.0;   // over the observation period
+  double peak_mw = 0.0;      // worst single slice
+};
+
+class PowerSignatureDetector : public AccountingSink {
+ public:
+  explicit PowerSignatureDetector(const framework::PackageManager& packages)
+      : packages_(packages) {}
+
+  void on_slice(const EnergySlice& slice) override;
+
+  /// Apps whose average direct power exceeds `threshold_mw`, worst first.
+  /// This is the detector's verdict — note it can only see *direct*
+  /// energy, which is exactly its blind spot.
+  [[nodiscard]] std::vector<Suspect> suspects(double threshold_mw) const;
+
+  [[nodiscard]] double average_mw_of(kernelsim::Uid uid) const;
+  [[nodiscard]] double observation_seconds() const { return observed_s_; }
+
+  void reset();
+
+ private:
+  struct Profile {
+    double energy_mj = 0.0;
+    double peak_mw = 0.0;
+  };
+
+  const framework::PackageManager& packages_;
+  std::unordered_map<kernelsim::Uid, Profile> profiles_;
+  double observed_s_ = 0.0;
+};
+
+}  // namespace eandroid::energy

@@ -1,0 +1,85 @@
+#include "energy/power_tutor.h"
+
+#include <algorithm>
+
+namespace eandroid::energy {
+
+void PowerTutor::on_slice(const EnergySlice& slice) {
+  for (const auto& [uid, e] : slice.apps) {
+    PerApp& app = apps_[uid];
+    app.cpu += e.cpu_mj;
+    app.camera += e.camera_mj;
+    app.gps += e.gps_mj;
+    app.wifi += e.wifi_mj;
+    app.audio += e.audio_mj;
+  }
+  // Screen policy: the foreground app pays.
+  if (slice.foreground.valid()) {
+    apps_[slice.foreground].screen += slice.screen_mj;
+  } else {
+    unattributed_screen_mj_ += slice.screen_mj;
+  }
+  system_mj_ += slice.system_mj;
+}
+
+double PowerTutor::app_energy_mj(kernelsim::Uid uid) const {
+  auto it = apps_.find(uid);
+  return it == apps_.end() ? 0.0 : it->second.sum();
+}
+
+double PowerTutor::component_energy_mj(kernelsim::Uid uid, HwPart part) const {
+  auto it = apps_.find(uid);
+  if (it == apps_.end()) return 0.0;
+  switch (part) {
+    case HwPart::kCpu: return it->second.cpu;
+    case HwPart::kScreen: return it->second.screen;
+    case HwPart::kCamera: return it->second.camera;
+    case HwPart::kGps: return it->second.gps;
+    case HwPart::kWifi: return it->second.wifi;
+    case HwPart::kAudio: return it->second.audio;
+  }
+  return 0.0;
+}
+
+double PowerTutor::total_mj() const {
+  double total = system_mj_ + unattributed_screen_mj_;
+  for (const auto& [uid, app] : apps_) total += app.sum();
+  return total;
+}
+
+BatteryView PowerTutor::view() const {
+  BatteryView out;
+  out.total_mj = total_mj();
+  for (const auto& [uid, app] : apps_) {
+    const framework::PackageRecord* pkg = packages_.find(uid);
+    BatteryRow row;
+    row.label = pkg != nullptr ? pkg->manifest.package
+                               : "uid:" + std::to_string(uid.value);
+    row.uid = uid;
+    row.energy_mj = app.sum();
+    out.rows.push_back(row);
+  }
+  out.rows.push_back(
+      BatteryRow{"Android OS", kernelsim::Uid{}, system_mj_, 0.0});
+  if (unattributed_screen_mj_ > 0.0) {
+    out.rows.push_back(BatteryRow{"Screen", kernelsim::Uid{},
+                                  unattributed_screen_mj_, 0.0});
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const BatteryRow& a, const BatteryRow& b) {
+              if (a.energy_mj != b.energy_mj) return a.energy_mj > b.energy_mj;
+              return a.label < b.label;
+            });
+  if (out.total_mj > 0.0) {
+    for (auto& row : out.rows) row.percent = 100.0 * row.energy_mj / out.total_mj;
+  }
+  return out;
+}
+
+void PowerTutor::reset() {
+  apps_.clear();
+  system_mj_ = 0.0;
+  unattributed_screen_mj_ = 0.0;
+}
+
+}  // namespace eandroid::energy

@@ -1,0 +1,115 @@
+#include "energy/sampler.h"
+
+#include <utility>
+
+#include "hw/cpu_power_model.h"
+
+namespace eandroid::energy {
+
+const char* to_string(HwPart part) {
+  switch (part) {
+    case HwPart::kCpu: return "cpu";
+    case HwPart::kScreen: return "screen";
+    case HwPart::kCamera: return "camera";
+    case HwPart::kGps: return "gps";
+    case HwPart::kWifi: return "wifi";
+    case HwPart::kAudio: return "audio";
+  }
+  return "?";
+}
+
+EnergySampler::EnergySampler(framework::SystemServer& server,
+                             sim::Duration period)
+    : server_(server), period_(period), window_begin_(server.simulator().now()) {}
+
+EnergySampler::~EnergySampler() { stop(); }
+
+void EnergySampler::start() {
+  if (stopper_) return;
+  window_begin_ = server_.simulator().now();
+  // Align the CPU scheduler's window with ours.
+  server_.cpu().sample_window();
+  stopper_ = server_.simulator().every(period_, [this] { tick(); });
+}
+
+void EnergySampler::stop() {
+  if (!stopper_) return;
+  stopper_();
+  stopper_ = nullptr;
+}
+
+void EnergySampler::flush() { tick(); }
+
+void EnergySampler::tick() {
+  auto& sim = server_.simulator();
+  const sim::TimePoint now = sim.now();
+  const sim::Duration window = now - window_begin_;
+  if (window <= sim::Duration(0)) return;
+  // P[mW] * t[s] = E[mJ].
+  const double window_s = window.seconds();
+  auto mj_of = [window_s](double mw) { return mw * window_s; };
+
+  EnergySlice slice;
+  slice.begin = window_begin_;
+  slice.end = now;
+  window_begin_ = now;
+
+  const auto& params = server_.params();
+
+  // --- CPU ---
+  const kernelsim::CpuWindow cpu = server_.cpu().sample_window();
+  const bool suspended = server_.cpu().suspended();
+  slice.system_mj += mj_of(suspended ? params.cpu_suspend_mw
+                                     : params.cpu_idle_awake_mw);
+  if (cpu.total_utilization > 0.0) {
+    // The governor picks the operating point for the whole window; apps
+    // split the active power by their share of the busy time.
+    const hw::CpuPowerModel model(params);
+    const double active_mw =
+        model.operating_point(cpu.total_utilization).active_mw;
+    const double mw_per_share = active_mw / cpu.total_utilization;
+    for (const auto& [uid, share] : cpu.share_by_uid) {
+      slice.apps[uid].cpu_mj += mj_of(mw_per_share * share);
+    }
+    for (const auto& [uid, routines] : cpu.share_by_uid_routine) {
+      for (const auto& [routine, share] : routines) {
+        slice.apps[uid].cpu_by_routine[routine] +=
+            mj_of(mw_per_share * share);
+      }
+    }
+  }
+
+  // --- Session components ---
+  const auto charge = [&](const hw::PowerBreakdown& breakdown,
+                          double AppSliceEnergy::*field) {
+    double attributed = 0.0;
+    for (const auto& [uid, mw] : breakdown.by_uid) {
+      slice.apps[uid].*field += mj_of(mw);
+      attributed += mw;
+    }
+    slice.system_mj += mj_of(breakdown.total_mw - attributed);
+  };
+  charge(server_.camera().breakdown(), &AppSliceEnergy::camera_mj);
+  charge(server_.gps().breakdown(), &AppSliceEnergy::gps_mj);
+  charge(server_.wifi().breakdown(), &AppSliceEnergy::wifi_mj);
+  charge(server_.audio().breakdown(), &AppSliceEnergy::audio_mj);
+
+  // --- Screen (policy applied by sinks) ---
+  slice.screen_on = server_.screen().on();
+  slice.brightness = server_.screen().brightness();
+  slice.screen_mj = mj_of(server_.screen().power_mw());
+  slice.foreground = server_.activities().foreground_uid();
+  slice.screen_forced_by_wakelock = server_.power().screen_forced_by_wakelock();
+  slice.screen_wakelock_owners = server_.power().screen_wakelock_owners();
+
+  // Net battery flow: consumption always drains; a connected charger
+  // back-fills at its rate over the same window.
+  server_.battery().drain(slice.total_mj(), now);
+  if (server_.battery().charging()) {
+    server_.battery().charge(mj_of(server_.battery().charge_rate_mw()), now);
+  }
+  for (AccountingSink* sink : sinks_) sink->on_slice(slice);
+  ++slices_;
+}
+
+}  // namespace eandroid::energy

@@ -1,0 +1,76 @@
+// EnergySlice: one sampling window's energy, broken down for attribution.
+//
+// The sampler integrates component power over each window and attributes
+// what is *mechanically* attributable (CPU active share, camera/GPS/WiFi/
+// audio sessions). Screen energy is policy — Android shows it as its own
+// row, PowerTutor charges the foreground app, E-Android charges collateral
+// screen energy to its initiator — so the slice carries the raw screen
+// energy plus the state needed by each policy, and the sinks decide.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/types.h"
+#include "sim/time.h"
+
+namespace eandroid::energy {
+
+enum class HwPart { kCpu, kScreen, kCamera, kGps, kWifi, kAudio };
+
+const char* to_string(HwPart part);
+
+/// Per-app energy within one slice, split by hardware part (mJ).
+struct AppSliceEnergy {
+  double cpu_mj = 0.0;
+  double camera_mj = 0.0;
+  double gps_mj = 0.0;
+  double wifi_mj = 0.0;
+  double audio_mj = 0.0;
+  /// eprof-style breakdown of cpu_mj by routine tag (sums to cpu_mj);
+  /// NOT additive with the fields above.
+  std::unordered_map<std::string, double> cpu_by_routine;
+
+  [[nodiscard]] double sum() const {
+    return cpu_mj + camera_mj + gps_mj + wifi_mj + audio_mj;
+  }
+};
+
+struct EnergySlice {
+  sim::TimePoint begin;
+  sim::TimePoint end;
+
+  /// Directly attributable energy per app (everything but screen).
+  std::unordered_map<kernelsim::Uid, AppSliceEnergy> apps;
+
+  /// CPU idle / suspend floor plus unattributed tails: the "Android OS"
+  /// row in the battery interface.
+  double system_mj = 0.0;
+
+  /// Raw screen energy this window, plus the policy inputs.
+  double screen_mj = 0.0;
+  bool screen_on = false;
+  int brightness = 0;
+  kernelsim::Uid foreground;
+  /// Screen stayed on only because of wakelocks (user timeout elapsed).
+  bool screen_forced_by_wakelock = false;
+  /// Holders of screen-keeping wakelocks during this window.
+  std::vector<kernelsim::Uid> screen_wakelock_owners;
+
+  [[nodiscard]] sim::Duration length() const { return end - begin; }
+  [[nodiscard]] double total_mj() const {
+    double total = system_mj + screen_mj;
+    for (const auto& [uid, e] : apps) total += e.sum();
+    return total;
+  }
+};
+
+/// A profiler that consumes slices (BatteryStats, PowerTutor, E-Android).
+class AccountingSink {
+ public:
+  virtual ~AccountingSink() = default;
+  virtual void on_slice(const EnergySlice& slice) = 0;
+};
+
+}  // namespace eandroid::energy

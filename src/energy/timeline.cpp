@@ -1,0 +1,57 @@
+#include "energy/timeline.h"
+
+#include <algorithm>
+
+namespace eandroid::energy {
+
+void TimelineRecorder::on_slice(const EnergySlice& slice) {
+  if (max_rows_ != 0 && rows_.size() >= max_rows_) {
+    ++dropped_;
+    return;
+  }
+  Row row;
+  row.t_seconds = slice.end.seconds();
+  row.total_mj = slice.total_mj();
+  row.screen_mj = slice.screen_mj;
+  row.system_mj = slice.system_mj;
+  row.brightness = slice.brightness;
+  row.screen_on = slice.screen_on;
+  row.screen_forced = slice.screen_forced_by_wakelock;
+  if (slice.foreground.valid()) {
+    const framework::PackageRecord* pkg = packages_.find(slice.foreground);
+    row.foreground = pkg != nullptr
+                         ? pkg->manifest.package
+                         : "uid:" + std::to_string(slice.foreground.value);
+  }
+  for (const auto& [uid, energy] : slice.apps) {
+    const framework::PackageRecord* pkg = packages_.find(uid);
+    row.apps.emplace_back(pkg != nullptr
+                              ? pkg->manifest.package
+                              : "uid:" + std::to_string(uid.value),
+                          energy.sum());
+  }
+  std::sort(row.apps.begin(), row.apps.end());
+  rows_.push_back(std::move(row));
+}
+
+void TimelineRecorder::write_csv(std::ostream& out) const {
+  out << "t_seconds,consumer,energy_mj,screen_on,screen_forced,brightness,"
+         "foreground\n";
+  for (const Row& row : rows_) {
+    auto line = [&](const std::string& consumer, double mj) {
+      out << row.t_seconds << ',' << consumer << ',' << mj << ','
+          << (row.screen_on ? 1 : 0) << ',' << (row.screen_forced ? 1 : 0)
+          << ',' << row.brightness << ',' << row.foreground << '\n';
+    };
+    for (const auto& [package, mj] : row.apps) line(package, mj);
+    line("Screen", row.screen_mj);
+    line("AndroidOS", row.system_mj);
+  }
+}
+
+void TimelineRecorder::clear() {
+  rows_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace eandroid::energy

@@ -1,0 +1,55 @@
+// TimelineRecorder: a per-slice trace of the device's power state.
+//
+// The paper's figures are drawn from logged traces; this sink records one
+// row per sampling window (time, per-app energy, screen, brightness,
+// foreground, forced flag) and exports CSV, so any figure can be re-drawn
+// from a run without re-instrumenting the code.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "energy/slice.h"
+#include "framework/package_manager.h"
+
+namespace eandroid::energy {
+
+class TimelineRecorder : public AccountingSink {
+ public:
+  /// Records energy per app for up to `max_rows` slices (0 = unbounded).
+  explicit TimelineRecorder(const framework::PackageManager& packages,
+                            std::size_t max_rows = 0)
+      : packages_(packages), max_rows_(max_rows) {}
+
+  void on_slice(const EnergySlice& slice) override;
+
+  struct Row {
+    double t_seconds = 0.0;
+    double total_mj = 0.0;
+    double screen_mj = 0.0;
+    double system_mj = 0.0;
+    int brightness = 0;
+    bool screen_on = false;
+    bool screen_forced = false;
+    std::string foreground;
+    /// (package, mJ) for every app with energy in the slice.
+    std::vector<std::pair<std::string, double>> apps;
+  };
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Writes a long-format CSV: one line per (slice, consumer).
+  void write_csv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  const framework::PackageManager& packages_;
+  std::size_t max_rows_;
+  std::vector<Row> rows_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace eandroid::energy

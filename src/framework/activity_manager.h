@@ -1,0 +1,165 @@
+// ActivityManager ("am"): task stacks and the activity lifecycle.
+//
+// This is the framework service E-Android instruments most heavily. The
+// model follows the slice of Android 5.x the paper depends on:
+//  * activities live in task stacks; the front task's top activity is the
+//    foreground (resumed) activity;
+//  * an opaque activity on top sends the one below to onStop; a
+//    *transparent* activity only pauses it (the distinction behind the
+//    wakelock-misuse bug and attack #4's overlay);
+//  * tasks can be reordered (moveTaskToFront) by users or by apps holding
+//    REORDER_TASKS;
+//  * implicit intents with several matches go through resolverActivity;
+//    E-Android collapses the double hop to (driving app -> chosen app);
+//  * every cross-app start / move / interruption is published on the
+//    event bus with the driving and driven uids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "framework/app_host.h"
+#include "framework/events.h"
+#include "framework/intent.h"
+#include "framework/package_manager.h"
+#include "kernel/binder.h"
+#include "kernel/process_table.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+class PowerManagerService;
+class WindowManager;
+
+struct ActivityRecord {
+  enum class State { kResumed, kPaused, kStopped, kDestroyed };
+
+  std::uint64_t id = 0;
+  kernelsim::Uid uid;
+  std::string package;
+  std::string name;
+  bool transparent = false;
+  State state = State::kStopped;
+  bool created = false;
+  /// startActivityForResult bookkeeping: who is waiting, and with what
+  /// request code. Delivered when this record finishes.
+  kernelsim::Uid requester;
+  int request_code = 0;
+  bool result_ok = false;  // set by the activity before finishing
+};
+
+const char* to_string(ActivityRecord::State state);
+
+struct Task {
+  std::uint64_t id = 0;
+  std::vector<ActivityRecord> stack;  // back() = top
+};
+
+class ActivityManager {
+ public:
+  using ResolverChooser = std::function<std::optional<ComponentRef>(
+      const std::vector<ComponentRef>&)>;
+
+  ActivityManager(sim::Simulator& sim, PackageManager& packages,
+                  kernelsim::ProcessTable& processes,
+                  kernelsim::BinderDriver& binder, AppHost& host,
+                  EventBus& events, PowerManagerService& power,
+                  WindowManager& windows);
+
+  /// Brings up the launcher as the initial foreground task.
+  void boot(const std::string& launcher_package);
+
+  // --- User operations (attributed to the launcher / by_user) ---
+  /// Tap an app icon: create-or-foreground the app's own task.
+  bool user_launch(const std::string& package);
+  void user_press_home();
+  /// Back key: offers the foreground app on_back_pressed, else finishes
+  /// the top activity.
+  void user_press_back();
+  /// Bring a backgrounded task forward from recents.
+  bool user_switch_to(const std::string& package);
+
+  // --- App operations ---
+  /// startActivity(); resolves explicit or implicit intents. Returns
+  /// false if resolution fails (unknown component, not exported, no
+  /// implicit match).
+  bool start_activity(kernelsim::Uid caller, const Intent& intent);
+  /// startActivityForResult(): like start_activity, but when the started
+  /// activity finishes the caller's on_activity_result runs with
+  /// `request_code` — the camera-returns-the-video mechanism of Fig 1.
+  bool start_activity_for_result(kernelsim::Uid caller, const Intent& intent,
+                                 int request_code);
+  /// setResult(RESULT_OK) + finish() from the activity itself.
+  bool finish_activity_with_result(kernelsim::Uid caller,
+                                   const std::string& name, bool ok);
+  /// An app sends the HOME intent (what malware #4 does after the click
+  /// hijack): the launcher comes forward, the caller is the driving app.
+  bool start_home(kernelsim::Uid caller);
+  /// moveTaskToFront(); apps need REORDER_TASKS.
+  bool move_task_to_front(kernelsim::Uid caller, const std::string& package);
+  /// finish() the caller's topmost instance of `name`.
+  bool finish_activity(kernelsim::Uid caller, const std::string& name);
+
+  /// Chooser invoked when an implicit intent matches several activities
+  /// (stands in for the user's pick inside resolverActivity). Defaults to
+  /// the first (lexicographically smallest) match.
+  void set_resolver_chooser(ResolverChooser chooser) {
+    chooser_ = std::move(chooser);
+  }
+
+  // --- Queries ---
+  [[nodiscard]] kernelsim::Uid foreground_uid() const;
+  [[nodiscard]] const ActivityRecord* foreground_activity() const;
+  [[nodiscard]] ActivityRecord::State activity_state(
+      const std::string& package, const std::string& name) const;
+  /// Uids with at least one non-destroyed activity not in the front task.
+  [[nodiscard]] std::vector<kernelsim::Uid> background_uids() const;
+  /// True if `uid` has any non-destroyed activity in `state`.
+  [[nodiscard]] bool has_activity_in_state(kernelsim::Uid uid,
+                                           ActivityRecord::State state) const;
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+ private:
+  Task* find_task_of_package(const std::string& package);
+  Task& front_task() { return tasks_.back(); }
+  [[nodiscard]] const ActivityRecord* top_of(const Task& task) const;
+
+  /// Pushes a new record for (package, decl) onto `task`.
+  ActivityRecord& push_record(Task& task, const PackageRecord& pkg,
+                              const ActivityDecl& decl);
+
+  /// Recomputes every activity's state from stack shape, fires lifecycle
+  /// callbacks for transitions, and publishes foreground-change /
+  /// interrupt events. `driving` is the operation's initiator.
+  void sync_stacks(kernelsim::Uid driving, bool by_user);
+
+  void publish_start(kernelsim::Uid driving, kernelsim::Uid driven,
+                     const std::string& component, bool by_user);
+
+  void on_process_death(const kernelsim::ProcessInfo& info);
+  /// Runs the requester's onActivityResult callback (no-op if none).
+  void deliver_result(kernelsim::Uid requester, int request_code, bool ok);
+
+  sim::Simulator& sim_;
+  PackageManager& packages_;
+  kernelsim::ProcessTable& processes_;
+  kernelsim::BinderDriver& binder_;
+  AppHost& host_;
+  EventBus& events_;
+  PowerManagerService& power_;
+  WindowManager& windows_;
+
+  std::vector<Task> tasks_;  // back() = front-most
+  ResolverChooser chooser_;
+  kernelsim::Uid launcher_uid_;
+  std::string launcher_package_;
+  kernelsim::Uid last_foreground_;
+  std::uint64_t next_task_ = 1;
+  std::uint64_t next_record_ = 1;
+};
+
+}  // namespace eandroid::framework

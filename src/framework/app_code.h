@@ -1,0 +1,83 @@
+// The interface application code implements.
+//
+// Mirrors the Android component callbacks that matter for the paper's
+// energy behaviours: the activity lifecycle (including the onPause /
+// onStop / onDestroy distinction exploited by wakelock misuse), service
+// callbacks, and touch input (used by attack #4's transparent-overlay
+// click hijack). Apps receive a Context giving them the same framework
+// APIs a real app gets through its SDK bindings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eandroid::framework {
+
+class Context;
+
+class AppCode {
+ public:
+  virtual ~AppCode() = default;
+
+  /// Called once when the app's process starts, before any component
+  /// callback. The context stays valid for the app's lifetime.
+  virtual void on_process_start(Context& /*ctx*/) {}
+
+  /// The app's process died (killed or crashed). No Context is passed —
+  /// there is nothing left to call into; implementations should drop any
+  /// per-process state (wakelock ids, session ids, timers) so a later
+  /// relaunch starts clean.
+  virtual void on_process_death() {}
+
+  // --- Activity lifecycle (names refer to the manifest declaration) ---
+  virtual void on_activity_create(Context& /*ctx*/,
+                                  const std::string& /*activity*/) {}
+  virtual void on_activity_resume(Context& /*ctx*/,
+                                  const std::string& /*activity*/) {}
+  virtual void on_activity_pause(Context& /*ctx*/,
+                                 const std::string& /*activity*/) {}
+  virtual void on_activity_stop(Context& /*ctx*/,
+                                const std::string& /*activity*/) {}
+  virtual void on_activity_destroy(Context& /*ctx*/,
+                                   const std::string& /*activity*/) {}
+
+  // --- Service lifecycle ---
+  virtual void on_service_create(Context& /*ctx*/,
+                                 const std::string& /*service*/) {}
+  /// A startService() command was delivered (may repeat).
+  virtual void on_service_start_command(Context& /*ctx*/,
+                                        const std::string& /*service*/) {}
+  virtual void on_service_destroy(Context& /*ctx*/,
+                                  const std::string& /*service*/) {}
+
+  /// A broadcast this app registered for (statically in the manifest or
+  /// dynamically) was delivered.
+  virtual void on_broadcast(Context& /*ctx*/, const std::string& /*action*/) {}
+
+  /// An alarm set through the AlarmManager fired (`tag` as given).
+  virtual void on_alarm(Context& /*ctx*/, const std::string& /*tag*/) {}
+
+  /// A push message arrived (extension substrate; see
+  /// framework/push_service.h).
+  virtual void on_push(Context& /*ctx*/, std::uint64_t /*bytes*/) {}
+
+  /// An activity this app launched with startActivityForResult finished.
+  virtual void on_activity_result(Context& /*ctx*/, int /*request_code*/,
+                                  bool /*ok*/) {}
+
+  /// Touch delivered to this app's focused window at (x, y).
+  virtual void on_touch(Context& /*ctx*/, int /*x*/, int /*y*/) {}
+
+  /// Back pressed while this app's activity is foreground. Return true if
+  /// consumed (e.g. the app shows its exit dialog instead of finishing).
+  virtual bool on_back_pressed(Context& /*ctx*/,
+                               const std::string& /*activity*/) {
+    return false;
+  }
+
+  /// A dialog owned by this app was answered (`ok` = positive button).
+  virtual void on_dialog_result(Context& /*ctx*/,
+                                const std::string& /*dialog*/, bool /*ok*/) {}
+};
+
+}  // namespace eandroid::framework

@@ -1,0 +1,39 @@
+// AppHost: process-management facade the framework services use.
+//
+// ActivityManager and ServiceManager need to spawn an app's process on
+// first component launch, find its pid, deliver callbacks into app code
+// with the right Context, and kill it. SystemServer implements this; the
+// indirection keeps the managers free of a dependency on the composition
+// root.
+#pragma once
+
+#include "framework/app_code.h"
+#include "kernel/types.h"
+
+namespace eandroid::framework {
+
+class Context;
+
+class AppHost {
+ public:
+  virtual ~AppHost() = default;
+
+  /// Spawns the app's process if not running; returns its pid.
+  virtual kernelsim::Pid ensure_process(kernelsim::Uid uid) = 0;
+
+  /// Pid of the app's process, or an invalid Pid if not running.
+  [[nodiscard]] virtual kernelsim::Pid pid_of(kernelsim::Uid uid) const = 0;
+
+  /// The app's code object, or nullptr for declaration-only packages
+  /// (e.g. the synthetic corpus used by the Fig 2 study).
+  virtual AppCode* code_of(kernelsim::Uid uid) = 0;
+
+  /// Context handed to the app's callbacks. Valid while the process runs.
+  virtual Context& context_of(kernelsim::Uid uid) = 0;
+
+  /// Kills the app's process (death observers fire: wakelocks release,
+  /// bindings drop).
+  virtual void kill_app(kernelsim::Uid uid) = 0;
+};
+
+}  // namespace eandroid::framework

@@ -1,0 +1,212 @@
+#include "framework/context.h"
+
+#include <utility>
+
+#include "framework/system_server.h"
+
+namespace eandroid::framework {
+
+Context::Context(SystemServer& server, kernelsim::Uid uid, std::string package)
+    : server_(server), uid_(uid), package_(std::move(package)) {}
+
+kernelsim::Pid Context::pid() const { return server_.pid_of(uid_); }
+
+bool Context::start_activity(const Intent& intent) {
+  return server_.activities().start_activity(uid_, intent);
+}
+
+bool Context::start_activity_for_result(const Intent& intent,
+                                        int request_code) {
+  return server_.activities().start_activity_for_result(uid_, intent,
+                                                        request_code);
+}
+
+bool Context::finish_activity(const std::string& name) {
+  return server_.activities().finish_activity(uid_, name);
+}
+
+bool Context::finish_activity_with_result(const std::string& name, bool ok) {
+  return server_.activities().finish_activity_with_result(uid_, name, ok);
+}
+
+bool Context::start_home() { return server_.activities().start_home(uid_); }
+
+bool Context::move_task_to_front(const std::string& package) {
+  return server_.activities().move_task_to_front(uid_, package);
+}
+
+bool Context::is_foreground() const {
+  return server_.activities().foreground_uid() == uid_;
+}
+
+bool Context::start_service(const Intent& intent) {
+  return server_.services().start_service(uid_, intent);
+}
+
+bool Context::stop_service(const Intent& intent) {
+  return server_.services().stop_service(uid_, intent);
+}
+
+bool Context::stop_self(const std::string& service) {
+  return server_.services().stop_self(uid_, service);
+}
+
+bool Context::start_foreground(const std::string& service) {
+  return server_.services().start_foreground(uid_, service);
+}
+
+bool Context::stop_foreground(const std::string& service) {
+  return server_.services().stop_foreground(uid_, service);
+}
+
+std::optional<BindingId> Context::bind_service(const Intent& intent) {
+  return server_.services().bind_service(uid_, intent);
+}
+
+bool Context::unbind_service(BindingId id) {
+  return server_.services().unbind_service(uid_, id);
+}
+
+bool Context::is_service_running(const std::string& package,
+                                 const std::string& service) const {
+  return server_.services().running(package, service);
+}
+
+std::optional<WakelockId> Context::acquire_wakelock(WakelockType type,
+                                                    const std::string& tag,
+                                                    sim::Duration timeout) {
+  const kernelsim::Pid p = server_.ensure_process(uid_);
+  return server_.power().acquire(uid_, p, type, tag, timeout);
+}
+
+bool Context::release_wakelock(WakelockId id) {
+  return server_.power().release(uid_, id);
+}
+
+bool Context::set_brightness(int value) {
+  return server_.settings().set_brightness(uid_, value);
+}
+
+bool Context::set_screen_mode(BrightnessMode mode) {
+  return server_.settings().set_mode(uid_, mode);
+}
+
+int Context::brightness() const {
+  return server_.settings().effective_brightness();
+}
+
+BrightnessMode Context::screen_mode() const {
+  return server_.settings().mode();
+}
+
+int Context::send_broadcast(const std::string& action) {
+  server_.ensure_process(uid_);
+  return server_.broadcasts().send_broadcast(uid_, action);
+}
+
+void Context::register_receiver(const std::string& action) {
+  server_.broadcasts().register_receiver(uid_, action);
+}
+
+void Context::unregister_receiver(const std::string& action) {
+  server_.broadcasts().unregister_receiver(uid_, action);
+}
+
+AlarmId Context::set_alarm(sim::Duration delay, const std::string& tag,
+                           bool repeating, sim::Duration period) {
+  return server_.alarms().set(uid_, delay, tag, repeating, period);
+}
+
+bool Context::cancel_alarm(AlarmId id) { return server_.alarms().cancel(id); }
+
+void Context::register_push_endpoint() {
+  server_.push().register_endpoint(uid_);
+}
+
+bool Context::send_push(const std::string& target_package,
+                        std::uint64_t bytes) {
+  server_.ensure_process(uid_);
+  return server_.push().send_push(uid_, target_package, bytes);
+}
+
+std::uint64_t Context::post_notification(const std::string& title,
+                                         const std::string& activity) {
+  server_.ensure_process(uid_);
+  return server_.notifications().post(uid_, title, activity);
+}
+
+std::uint64_t Context::post_full_screen_notification(
+    const std::string& title, const std::string& activity) {
+  server_.ensure_process(uid_);
+  return server_.notifications().post_full_screen(uid_, title, activity);
+}
+
+void Context::cancel_notification(std::uint64_t id) {
+  server_.notifications().cancel(id);
+}
+
+std::uint64_t Context::show_dialog(const std::string& name, int ok_x,
+                                   int ok_y) {
+  return server_.windows().show_dialog(uid_, name, ok_x, ok_y);
+}
+
+void Context::dismiss_dialog(std::uint64_t id) {
+  server_.windows().dismiss_dialog(id);
+}
+
+void Context::set_cpu_load(const std::string& key, double duty) {
+  const kernelsim::Pid p = server_.ensure_process(uid_);
+  auto it = loads_.find(key);
+  if (it == loads_.end()) {
+    loads_[key] = server_.cpu().add_load(p, duty, key);
+  } else {
+    server_.cpu().set_duty(it->second, duty);
+  }
+}
+
+void Context::clear_cpu_load(const std::string& key) {
+  auto it = loads_.find(key);
+  if (it == loads_.end()) return;
+  server_.cpu().remove_load(it->second);
+  loads_.erase(it);
+}
+
+void Context::cpu_burst(sim::Duration cpu_time) {
+  const kernelsim::Pid p = pid();
+  if (p.valid()) server_.cpu().charge_burst(p, cpu_time);
+}
+
+hw::SessionId Context::camera_begin() {
+  return server_.camera().begin_session(uid_);
+}
+void Context::camera_end(hw::SessionId id) { server_.camera().end_session(id); }
+hw::SessionId Context::gps_begin() { return server_.gps().begin_session(uid_); }
+void Context::gps_end(hw::SessionId id) { server_.gps().end_session(id); }
+hw::SessionId Context::wifi_begin() {
+  return server_.wifi().begin_session(uid_);
+}
+void Context::wifi_end(hw::SessionId id) { server_.wifi().end_session(id); }
+hw::SessionId Context::audio_begin() {
+  return server_.audio().begin_session(uid_);
+}
+void Context::audio_end(hw::SessionId id) { server_.audio().end_session(id); }
+
+std::uint64_t Context::surface_flinger_shm_bytes() const {
+  return server_.windows().surface_flinger_shm_bytes();
+}
+
+sim::TimePoint Context::now() const { return server_.simulator().now(); }
+
+sim::EventHandle Context::schedule(sim::Duration delay,
+                                   std::function<void()> callback) {
+  return server_.simulator().schedule(delay, std::move(callback));
+}
+
+std::function<void()> Context::every(sim::Duration period,
+                                     std::function<void()> task) {
+  return server_.simulator().every(period, std::move(task));
+}
+
+void Context::on_process_died() { loads_.clear(); }
+
+}  // namespace eandroid::framework

@@ -1,0 +1,136 @@
+// Context: the API surface an app's code programs against.
+//
+// Mirrors the SDK facilities the paper's apps and malware use: starting
+// activities and services, binding, wakelocks, screen settings, plus the
+// simulator-level stand-ins for real workload (CPU load, camera/GPS/WiFi/
+// audio sessions) and the SurfaceFlinger side channel. Each installed app
+// gets one Context; all calls are attributed to that app's uid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "framework/alarm_manager.h"
+#include "framework/intent.h"
+#include "framework/power_manager.h"
+#include "framework/service_manager.h"
+#include "framework/settings_provider.h"
+#include "hw/session_component.h"
+#include "kernel/cpu_sched.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+class SystemServer;
+
+class Context {
+ public:
+  Context(SystemServer& server, kernelsim::Uid uid, std::string package);
+
+  [[nodiscard]] kernelsim::Uid uid() const { return uid_; }
+  [[nodiscard]] const std::string& package() const { return package_; }
+  [[nodiscard]] kernelsim::Pid pid() const;
+
+  // --- Activities ---
+  bool start_activity(const Intent& intent);
+  bool start_activity_for_result(const Intent& intent, int request_code);
+  bool finish_activity(const std::string& name);
+  /// setResult(RESULT_OK/CANCELED) + finish().
+  bool finish_activity_with_result(const std::string& name, bool ok);
+  bool start_home();
+  bool move_task_to_front(const std::string& package);
+  [[nodiscard]] bool is_foreground() const;
+
+  // --- Services ---
+  bool start_service(const Intent& intent);
+  bool stop_service(const Intent& intent);
+  bool stop_self(const std::string& service);
+  /// startForeground()/stopForeground() on the caller's own service.
+  bool start_foreground(const std::string& service);
+  bool stop_foreground(const std::string& service);
+  std::optional<BindingId> bind_service(const Intent& intent);
+  bool unbind_service(BindingId id);
+  /// ActivityManager.getRunningServices() analog — observable by any app
+  /// without permissions (as on Android 5.x).
+  [[nodiscard]] bool is_service_running(const std::string& package,
+                                        const std::string& service) const;
+
+  // --- Power ---
+  std::optional<WakelockId> acquire_wakelock(
+      WakelockType type, const std::string& tag,
+      sim::Duration timeout = sim::Duration(0));
+  bool release_wakelock(WakelockId id);
+
+  // --- Screen settings ---
+  bool set_brightness(int value);
+  bool set_screen_mode(BrightnessMode mode);
+  [[nodiscard]] int brightness() const;
+  [[nodiscard]] BrightnessMode screen_mode() const;
+
+  // --- Broadcasts & alarms ---
+  /// sendBroadcast(); deliveries wake matching receivers.
+  int send_broadcast(const std::string& action);
+  void register_receiver(const std::string& action);
+  void unregister_receiver(const std::string& action);
+  AlarmId set_alarm(sim::Duration delay, const std::string& tag,
+                    bool repeating = false,
+                    sim::Duration period = sim::Duration(0));
+  bool cancel_alarm(AlarmId id);
+  /// Push messaging (extension): opt in to receive, send to a package.
+  void register_push_endpoint();
+  bool send_push(const std::string& target_package,
+                 std::uint64_t bytes = 2048);
+
+  // --- Notifications ---
+  std::uint64_t post_notification(const std::string& title,
+                                  const std::string& activity);
+  /// Full-screen intent: the activity takes the screen immediately.
+  std::uint64_t post_full_screen_notification(const std::string& title,
+                                              const std::string& activity);
+  void cancel_notification(std::uint64_t id);
+
+  // --- Dialogs ---
+  std::uint64_t show_dialog(const std::string& name, int ok_x = 540,
+                            int ok_y = 960);
+  void dismiss_dialog(std::uint64_t id);
+
+  // --- Workload stand-ins ---
+  /// Sets a named steady CPU load (fraction of one core). Key lets an app
+  /// keep separate loads for an activity and a service.
+  void set_cpu_load(const std::string& key, double duty);
+  void clear_cpu_load(const std::string& key);
+  /// One-shot CPU burst (e.g. handling a message).
+  void cpu_burst(sim::Duration cpu_time);
+
+  hw::SessionId camera_begin();
+  void camera_end(hw::SessionId id);
+  hw::SessionId gps_begin();
+  void gps_end(hw::SessionId id);
+  hw::SessionId wifi_begin();
+  void wifi_end(hw::SessionId id);
+  hw::SessionId audio_begin();
+  void audio_end(hw::SessionId id);
+
+  // --- Side channel & misc ---
+  [[nodiscard]] std::uint64_t surface_flinger_shm_bytes() const;
+  [[nodiscard]] sim::TimePoint now() const;
+  sim::EventHandle schedule(sim::Duration delay,
+                            std::function<void()> callback);
+  std::function<void()> every(sim::Duration period,
+                              std::function<void()> task);
+
+  /// Called by the system when the app's process dies: forgets load
+  /// handles (the scheduler already ignores dead pids).
+  void on_process_died();
+
+ private:
+  SystemServer& server_;
+  kernelsim::Uid uid_;
+  std::string package_;
+  std::unordered_map<std::string, kernelsim::LoadHandle> loads_;
+};
+
+}  // namespace eandroid::framework

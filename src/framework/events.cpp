@@ -1,0 +1,31 @@
+#include "framework/events.h"
+
+namespace eandroid::framework {
+
+const char* to_string(FwEventType type) {
+  switch (type) {
+    case FwEventType::kActivityStart: return "activity_start";
+    case FwEventType::kActivityMoveToFront: return "activity_move_to_front";
+    case FwEventType::kActivityInterrupt: return "activity_interrupt";
+    case FwEventType::kForegroundChange: return "foreground_change";
+    case FwEventType::kActivityFinish: return "activity_finish";
+    case FwEventType::kAppDestroyed: return "app_destroyed";
+    case FwEventType::kServiceStart: return "service_start";
+    case FwEventType::kServiceStop: return "service_stop";
+    case FwEventType::kServiceStopSelf: return "service_stop_self";
+    case FwEventType::kServiceBind: return "service_bind";
+    case FwEventType::kServiceUnbind: return "service_unbind";
+    case FwEventType::kBrightnessChange: return "brightness_change";
+    case FwEventType::kScreenModeChange: return "screen_mode_change";
+    case FwEventType::kScreenOn: return "screen_on";
+    case FwEventType::kScreenOff: return "screen_off";
+    case FwEventType::kWakelockAcquire: return "wakelock_acquire";
+    case FwEventType::kWakelockRelease: return "wakelock_release";
+    case FwEventType::kBroadcastDelivered: return "broadcast_delivered";
+    case FwEventType::kAlarmFired: return "alarm_fired";
+    case FwEventType::kPushDelivered: return "push_delivered";
+  }
+  return "unknown";
+}
+
+}  // namespace eandroid::framework

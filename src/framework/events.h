@@ -1,0 +1,95 @@
+// Framework event bus.
+//
+// Every event that can open or close a collateral-energy window (paper
+// Fig 5) is published here by the framework services; E-Android's monitor
+// subscribes. The baseline Android profilers deliberately do NOT subscribe
+// — that blindness is the paper's point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "sim/time.h"
+
+namespace eandroid::framework {
+
+enum class FwEventType {
+  // Activity manager.
+  kActivityStart,        // driving started driven's activity
+  kActivityMoveToFront,  // driving moved driven's task forward
+  kActivityInterrupt,    // driving's activity pushed driven off the screen
+  kForegroundChange,     // driven = new foreground app; driving = previous
+  kActivityFinish,       // driven finished one of its activities
+  kAppDestroyed,         // driven's process exited
+  // Services.
+  kServiceStart,
+  kServiceStop,
+  kServiceStopSelf,
+  kServiceBind,
+  kServiceUnbind,
+  // Screen settings.
+  kBrightnessChange,     // brightness_before/after valid
+  kScreenModeChange,     // to_manual_mode valid
+  kScreenOn,
+  kScreenOff,
+  // Wakelocks.
+  kWakelockAcquire,      // handle = wakelock id; screen_wakelock valid
+  kWakelockRelease,
+  // Broadcasts (component = action string).
+  kBroadcastDelivered,
+  // Alarms (component = tag).
+  kAlarmFired,
+  // Push messages (extension; component = "push").
+  kPushDelivered,
+};
+
+const char* to_string(FwEventType type);
+
+struct FwEvent {
+  FwEventType type{};
+  sim::TimePoint when;
+
+  /// The app performing the operation (paper: "driving app"). For user
+  /// operations this is the system app (launcher / SystemUI) and
+  /// `by_user` is set.
+  kernelsim::Uid driving;
+  /// The app being operated on (paper: "driven app"); also the new
+  /// foreground app for kForegroundChange.
+  kernelsim::Uid driven;
+  bool by_user = false;
+
+  // Type-specific payload.
+  int brightness_before = -1;
+  int brightness_after = -1;
+  bool to_manual_mode = false;
+  bool screen_wakelock = false;
+  std::uint64_t handle = 0;  // wakelock id / service binding id
+  std::string component;     // activity or service name
+};
+
+class EventBus {
+ public:
+  using Listener = std::function<void(const FwEvent&)>;
+
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  void publish(const FwEvent& event) {
+    // Copy guards against listeners subscribing re-entrantly.
+    const auto snapshot = listeners_;
+    for (const auto& listener : snapshot) listener(event);
+    ++published_;
+  }
+
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+
+ private:
+  std::vector<Listener> listeners_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace eandroid::framework

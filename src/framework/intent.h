@@ -1,0 +1,51 @@
+// Intents: the message objects behind Android IPC.
+//
+// An explicit intent names its target component; an implicit intent names
+// only an action and is resolved by the system (via resolverActivity when
+// several apps match). The paper's IPC-based collateral attacks are all
+// launched through intents, so both forms are modeled, including the
+// resolver double-hop that E-Android must collapse (§IV-A "Activity").
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace eandroid::framework {
+
+/// Names one component (activity or service) of one package.
+struct ComponentRef {
+  std::string package;
+  std::string component;
+
+  bool operator==(const ComponentRef&) const = default;
+};
+
+struct Intent {
+  /// Action string, e.g. "android.media.action.VIDEO_CAPTURE".
+  std::string action;
+
+  /// Set for explicit intents; empty for implicit ones.
+  std::optional<ComponentRef> target;
+
+  /// Approximate payload size, charged as Binder traffic.
+  std::uint64_t extras_bytes = 256;
+
+  /// FLAG_ACTIVITY_NEW_TASK: launch in (or bring forward) the target
+  /// app's own task rather than on top of the caller's task.
+  bool new_task = false;
+
+  [[nodiscard]] bool is_explicit() const { return target.has_value(); }
+
+  static Intent explicit_for(std::string package, std::string component) {
+    Intent intent;
+    intent.target = ComponentRef{std::move(package), std::move(component)};
+    return intent;
+  }
+  static Intent implicit(std::string action) {
+    Intent intent;
+    intent.action = std::move(action);
+    return intent;
+  }
+};
+
+}  // namespace eandroid::framework

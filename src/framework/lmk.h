@@ -1,0 +1,77 @@
+// Low-memory killer (lowmemorykiller / oom_adj model).
+//
+// The paper's attack #2 leans on the fact that "Android does not kill
+// background apps immediately" — but it does kill them *eventually*, in
+// oom_adj order, when memory runs short. Modeling that closes the loop on
+// several behaviours: cached victims of a background-spawn attack die
+// before service-holding apps; a leaked wakelock ends when its cached
+// holder is reclaimed (link-to-death); and a bound service's host is
+// protected by its binding, which is precisely why attack #3's pin is so
+// effective.
+//
+// Priority classes (smaller = more important, killed last):
+//   0 foreground   — the resumed activity's app
+//   1 visible      — paused but visible (under a transparent overlay)
+//   2 service      — hosts a live service or holds a wakelock
+//   3 cached       — stopped activities only
+//   4 empty        — process with no live components
+// Within a class, the least-recently-foregrounded process dies first.
+//
+// Disabled by default (budget 0) so experiments that do not care about
+// memory pressure keep their exact behaviour.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "framework/activity_manager.h"
+#include "framework/app_host.h"
+#include "framework/events.h"
+#include "framework/package_manager.h"
+#include "framework/power_manager.h"
+#include "framework/service_manager.h"
+#include "kernel/process_table.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+class LowMemoryKiller {
+ public:
+  LowMemoryKiller(sim::Simulator& sim, kernelsim::ProcessTable& processes,
+                  PackageManager& packages, ActivityManager& activities,
+                  ServiceManager& services, PowerManagerService& power,
+                  AppHost& host, EventBus& events);
+
+  /// Total app memory before reclaim kicks in; 0 disables the killer.
+  void set_budget_mb(int mb) { budget_mb_ = mb; }
+  [[nodiscard]] int budget_mb() const { return budget_mb_; }
+
+  /// Reclaims cached/empty processes (never `exclude`, never priority 0)
+  /// until the budget holds or nothing killable remains. Returns kills.
+  int maybe_reclaim(kernelsim::Uid exclude = kernelsim::Uid{});
+
+  /// oom_adj class of a uid's process (see header comment); 5 if the uid
+  /// has no live process.
+  [[nodiscard]] int priority_of(kernelsim::Uid uid) const;
+
+  /// Sum of live app processes' RSS (launcher/system apps included).
+  [[nodiscard]] int total_rss_mb() const;
+
+  [[nodiscard]] std::uint64_t kills() const { return kills_; }
+
+ private:
+  sim::Simulator& sim_;
+  kernelsim::ProcessTable& processes_;
+  PackageManager& packages_;
+  ActivityManager& activities_;
+  ServiceManager& services_;
+  PowerManagerService& power_;
+  AppHost& host_;
+  EventBus& events_;
+  /// Last time each uid held the foreground (LRU key).
+  std::unordered_map<kernelsim::Uid, sim::TimePoint> last_foreground_;
+  int budget_mb_ = 0;
+  std::uint64_t kills_ = 0;
+};
+
+}  // namespace eandroid::framework

@@ -1,0 +1,93 @@
+// AndroidManifest model.
+//
+// Carries exactly the facts the paper's corpus study (Fig 2) inspects —
+// exported components, WAKE_LOCK and WRITE_SETTINGS permissions — plus the
+// component declarations the framework needs for intent resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eandroid::framework {
+
+enum class Permission {
+  kWakeLock,        // android.permission.WAKE_LOCK
+  kWriteSettings,   // android.permission.WRITE_SETTINGS
+  kCamera,
+  kInternet,
+  kReorderTasks,    // android.permission.REORDER_TASKS
+  kSystemAlertWindow,
+};
+
+struct ActivityDecl {
+  std::string name;
+  bool exported = false;
+  /// Implicit-intent actions this activity answers.
+  std::vector<std::string> intent_actions;
+  /// Transparent activities cover without stopping the one below
+  /// (victim goes to onPause, not onStop) — used by attack #4.
+  bool transparent = false;
+};
+
+struct ServiceDecl {
+  std::string name;
+  bool exported = false;
+  std::vector<std::string> intent_actions;
+};
+
+/// A manifest-declared broadcast receiver; the app is woken (its process
+/// spawned if needed) whenever a matching action is broadcast — the
+/// auto-launch channel the paper's malware uses ("some apps would be
+/// opened when a user unlocks the screen by monitoring the
+/// ACTION_USER_PRESENT intent").
+struct ReceiverDecl {
+  std::string name;
+  std::vector<std::string> actions;
+};
+
+struct Manifest {
+  std::string package;
+  std::string category;  // Play-store category, for the corpus study
+  std::vector<ActivityDecl> activities;
+  std::vector<ServiceDecl> services;
+  std::vector<ReceiverDecl> receivers;
+  std::vector<Permission> permissions;
+
+  /// Resident set of the app's process when running (for the low-memory
+  /// killer's budget arithmetic).
+  int memory_mb = 80;
+
+  [[nodiscard]] bool has_permission(Permission p) const {
+    for (auto q : permissions) {
+      if (q == p) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool has_exported_component() const {
+    for (const auto& a : activities) {
+      if (a.exported) return true;
+    }
+    for (const auto& s : services) {
+      if (s.exported) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const ActivityDecl* find_activity(const std::string& n) const {
+    for (const auto& a : activities) {
+      if (a.name == n) return &a;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const ServiceDecl* find_service(const std::string& n) const {
+    for (const auto& s : services) {
+      if (s.name == n) return &s;
+    }
+    return nullptr;
+  }
+  /// The first declared activity is the root (launcher) activity.
+  [[nodiscard]] const ActivityDecl* root_activity() const {
+    return activities.empty() ? nullptr : &activities.front();
+  }
+};
+
+}  // namespace eandroid::framework

@@ -1,0 +1,70 @@
+// NotificationService: status-bar notifications and full-screen intents.
+//
+// §III-A lists "the activity invoked by a notification" among the popups
+// that interrupt a foreground activity into the wakelock-leak state. Two
+// delivery modes are modeled:
+//  * regular notifications sit in the status bar until the user taps them
+//    (tapping is a user-driven launch of the poster's activity);
+//  * full-screen intents (alarm clocks, incoming calls) start the
+//    poster's activity over the foreground immediately — an app-driven
+//    interruption that flows through the ordinary ActivityManager
+//    machinery, so E-Android's interrupt window opens with the poster as
+//    the driving app.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "framework/activity_manager.h"
+#include "framework/events.h"
+#include "framework/package_manager.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+struct Notification {
+  std::uint64_t id = 0;
+  kernelsim::Uid poster;
+  std::string title;
+  std::string activity;  // launched on tap / full-screen
+};
+
+class NotificationService {
+ public:
+  NotificationService(sim::Simulator& sim, PackageManager& packages,
+                      ActivityManager& activities)
+      : sim_(sim), packages_(packages), activities_(activities) {}
+
+  /// Posts a status-bar notification; returns its id.
+  std::uint64_t post(kernelsim::Uid poster, std::string title,
+                     std::string activity);
+
+  /// Posts a full-screen notification: the poster's activity immediately
+  /// takes the screen (app-driven interruption). Returns 0 on failure
+  /// (unknown activity).
+  std::uint64_t post_full_screen(kernelsim::Uid poster, std::string title,
+                                 std::string activity);
+
+  /// The user taps a notification: user-driven launch of the poster's
+  /// activity; the notification is dismissed.
+  bool user_tap_notification(std::uint64_t id);
+
+  void cancel(std::uint64_t id);
+  void cancel_all_of(kernelsim::Uid poster);
+
+  [[nodiscard]] const std::vector<Notification>& active() const {
+    return notifications_;
+  }
+  [[nodiscard]] std::size_t count_of(kernelsim::Uid poster) const;
+
+ private:
+  sim::Simulator& sim_;
+  PackageManager& packages_;
+  ActivityManager& activities_;
+  std::vector<Notification> notifications_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace eandroid::framework

@@ -1,0 +1,104 @@
+#include "framework/package_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eandroid::framework {
+
+kernelsim::Uid PackageManager::install(Manifest manifest,
+                                       std::unique_ptr<AppCode> code,
+                                       bool system_app) {
+  const kernelsim::Uid uid{next_app_uid_++};
+  const std::string package = manifest.package;
+  PackageRecord record{std::move(manifest), uid, system_app, std::move(code)};
+  package_by_uid_[uid] = package;
+  by_package_.emplace(package, std::move(record));
+  return uid;
+}
+
+const PackageRecord* PackageManager::find(const std::string& package) const {
+  auto it = by_package_.find(package);
+  return it == by_package_.end() ? nullptr : &it->second;
+}
+
+const PackageRecord* PackageManager::find(kernelsim::Uid uid) const {
+  auto it = package_by_uid_.find(uid);
+  return it == package_by_uid_.end() ? nullptr : find(it->second);
+}
+
+AppCode* PackageManager::code_for(kernelsim::Uid uid) {
+  auto it = package_by_uid_.find(uid);
+  if (it == package_by_uid_.end()) return nullptr;
+  auto pit = by_package_.find(it->second);
+  return pit == by_package_.end() ? nullptr : pit->second.code.get();
+}
+
+bool PackageManager::is_system_app(kernelsim::Uid uid) const {
+  const PackageRecord* record = find(uid);
+  return record != nullptr && record->system_app;
+}
+
+bool PackageManager::has_permission(kernelsim::Uid uid, Permission p) const {
+  const PackageRecord* record = find(uid);
+  return record != nullptr && record->manifest.has_permission(p);
+}
+
+std::optional<ComponentRef> PackageManager::resolve_activity(
+    kernelsim::Uid caller, const Intent& intent) const {
+  if (!intent.is_explicit()) return std::nullopt;
+  const PackageRecord* record = find(intent.target->package);
+  if (record == nullptr) return std::nullopt;
+  const ActivityDecl* decl =
+      record->manifest.find_activity(intent.target->component);
+  if (decl == nullptr) return std::nullopt;
+  const bool same_app = record->uid == caller;
+  if (!decl->exported && !same_app) return std::nullopt;
+  return *intent.target;
+}
+
+std::vector<ComponentRef> PackageManager::query_implicit_activities(
+    const std::string& action) const {
+  std::vector<ComponentRef> out;
+  for (const auto& [package, record] : by_package_) {
+    for (const auto& activity : record.manifest.activities) {
+      if (!activity.exported) continue;
+      for (const auto& a : activity.intent_actions) {
+        if (a == action) {
+          out.push_back(ComponentRef{package, activity.name});
+          break;
+        }
+      }
+    }
+  }
+  // Deterministic resolver order.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.package < b.package ||
+           (a.package == b.package && a.component < b.component);
+  });
+  return out;
+}
+
+std::optional<ComponentRef> PackageManager::resolve_service(
+    kernelsim::Uid caller, const Intent& intent) const {
+  if (!intent.is_explicit()) return std::nullopt;
+  const PackageRecord* record = find(intent.target->package);
+  if (record == nullptr) return std::nullopt;
+  const ServiceDecl* decl =
+      record->manifest.find_service(intent.target->component);
+  if (decl == nullptr) return std::nullopt;
+  const bool same_app = record->uid == caller;
+  if (!decl->exported && !same_app) return std::nullopt;
+  return *intent.target;
+}
+
+std::vector<const PackageRecord*> PackageManager::all_packages() const {
+  std::vector<const PackageRecord*> out;
+  out.reserve(by_package_.size());
+  for (const auto& [package, record] : by_package_) out.push_back(&record);
+  std::sort(out.begin(), out.end(), [](const auto* a, const auto* b) {
+    return a->manifest.package < b->manifest.package;
+  });
+  return out;
+}
+
+}  // namespace eandroid::framework

@@ -1,0 +1,65 @@
+// Package manager: installation, uid assignment, intent resolution,
+// permission checks.
+//
+// Each installed package gets a fresh uid (Android's one-sandbox-per-app
+// model); intent resolution enforces the `exported` attribute for
+// cross-app targets exactly as the threat model requires (the attacker
+// "does not need any permission to use an exported component").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "framework/app_code.h"
+#include "framework/intent.h"
+#include "framework/manifest.h"
+#include "kernel/types.h"
+
+namespace eandroid::framework {
+
+struct PackageRecord {
+  Manifest manifest;
+  kernelsim::Uid uid;
+  bool system_app = false;
+  std::unique_ptr<AppCode> code;
+};
+
+class PackageManager {
+ public:
+  /// Installs a package; returns its uid. `system_app` marks launcher /
+  /// SystemUI / resolver — apps E-Android excludes from the attack list.
+  kernelsim::Uid install(Manifest manifest, std::unique_ptr<AppCode> code,
+                         bool system_app = false);
+
+  [[nodiscard]] const PackageRecord* find(const std::string& package) const;
+  [[nodiscard]] const PackageRecord* find(kernelsim::Uid uid) const;
+  [[nodiscard]] AppCode* code_for(kernelsim::Uid uid);
+
+  [[nodiscard]] bool is_system_app(kernelsim::Uid uid) const;
+  [[nodiscard]] bool has_permission(kernelsim::Uid uid, Permission p) const;
+
+  /// Resolves an explicit activity intent; nullopt if the package or
+  /// activity does not exist, or the activity is neither exported nor
+  /// owned by the caller.
+  [[nodiscard]] std::optional<ComponentRef> resolve_activity(
+      kernelsim::Uid caller, const Intent& intent) const;
+
+  /// All exported activities answering an implicit action (resolver list).
+  [[nodiscard]] std::vector<ComponentRef> query_implicit_activities(
+      const std::string& action) const;
+
+  [[nodiscard]] std::optional<ComponentRef> resolve_service(
+      kernelsim::Uid caller, const Intent& intent) const;
+
+  [[nodiscard]] std::vector<const PackageRecord*> all_packages() const;
+
+ private:
+  std::unordered_map<std::string, PackageRecord> by_package_;
+  std::unordered_map<kernelsim::Uid, std::string> package_by_uid_;
+  std::int32_t next_app_uid_ = kernelsim::kFirstAppUid;
+};
+
+}  // namespace eandroid::framework

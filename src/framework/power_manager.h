@@ -1,0 +1,112 @@
+// PowerManagerService: wakelocks, screen on/off policy, system suspend.
+//
+// Faithful to the slice of Android the paper relies on:
+//  * four wakelock types; three keep the screen on (SCREEN_DIM,
+//    SCREEN_BRIGHT, FULL), all four keep the CPU awake;
+//  * acquiring requires the WAKE_LOCK permission;
+//  * a wakelock is registered with a Binder token linked to the owner's
+//    death, so only process death (or an explicit release) frees it —
+//    the "link-to-death" mechanism described in §III-A;
+//  * with no screen wakelock and no user activity for the timeout
+//    (30 s default) the screen turns off; with no wakelock at all the
+//    device then suspends (CPU halted, processes frozen).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "framework/events.h"
+#include "framework/package_manager.h"
+#include "hw/power_params.h"
+#include "hw/screen.h"
+#include "kernel/binder.h"
+#include "kernel/cpu_sched.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+enum class WakelockType { kPartial, kScreenDim, kScreenBright, kFull };
+
+[[nodiscard]] constexpr bool keeps_screen_on(WakelockType t) {
+  return t != WakelockType::kPartial;
+}
+
+struct WakelockId {
+  std::uint64_t id = 0;
+  [[nodiscard]] constexpr bool valid() const { return id != 0; }
+};
+
+struct WakelockInfo {
+  WakelockId id;
+  kernelsim::Uid owner;
+  kernelsim::Pid owner_pid;
+  WakelockType type;
+  std::string tag;
+  sim::TimePoint acquired_at;
+};
+
+class PowerManagerService {
+ public:
+  PowerManagerService(sim::Simulator& sim, const hw::PowerParams& params,
+                      hw::Screen& screen, kernelsim::ProcessTable& processes,
+                      kernelsim::BinderDriver& binder,
+                      kernelsim::CpuScheduler& cpu, PackageManager& packages,
+                      EventBus& events);
+
+  /// Acquires a wakelock for `owner` (running in `owner_pid`). Fails
+  /// without the WAKE_LOCK permission (system apps are exempt). A positive
+  /// `timeout` auto-releases the lock after that long (the SDK's
+  /// acquire(long) overload — the defensive idiom against no-sleep bugs).
+  std::optional<WakelockId> acquire(kernelsim::Uid owner,
+                                    kernelsim::Pid owner_pid, WakelockType type,
+                                    std::string tag,
+                                    sim::Duration timeout = sim::Duration(0));
+
+  /// Releases a wakelock; only the owner can release. Returns false for
+  /// unknown/foreign/already-released locks.
+  bool release(kernelsim::Uid owner, WakelockId id);
+
+  /// User interaction: turns the screen on and rewinds the auto-off timer.
+  void user_activity();
+
+  [[nodiscard]] bool screen_on() const { return screen_.on(); }
+  /// True when the screen is on *only* because of a held screen wakelock
+  /// (the user-activity timeout has lapsed). This is the state in which
+  /// screen energy is collateral to the wakelock holder.
+  [[nodiscard]] bool screen_forced_by_wakelock() const;
+  [[nodiscard]] bool suspended() const { return cpu_.suspended(); }
+
+  [[nodiscard]] std::size_t held_count() const { return held_.size(); }
+  [[nodiscard]] const WakelockInfo* find(WakelockId id) const;
+  [[nodiscard]] std::vector<const WakelockInfo*> held_by(
+      kernelsim::Uid uid) const;
+  /// Owners of currently-held screen-keeping wakelocks.
+  [[nodiscard]] std::vector<kernelsim::Uid> screen_wakelock_owners() const;
+
+ private:
+  void release_internal(WakelockId id, bool by_death);
+  void reevaluate();
+  void arm_timeout();
+
+  sim::Simulator& sim_;
+  const hw::PowerParams& params_;
+  hw::Screen& screen_;
+  kernelsim::ProcessTable& processes_;
+  kernelsim::BinderDriver& binder_;
+  kernelsim::CpuScheduler& cpu_;
+  PackageManager& packages_;
+  EventBus& events_;
+
+  std::unordered_map<std::uint64_t, WakelockInfo> held_;
+  std::unordered_map<std::uint64_t, kernelsim::BinderToken> tokens_;
+  std::unordered_map<std::uint64_t, std::uint64_t> lock_by_token_;
+  sim::TimePoint last_user_activity_;
+  sim::EventHandle timeout_event_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace eandroid::framework

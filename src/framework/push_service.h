@@ -1,0 +1,65 @@
+// PushService: app-to-app push messages over the radio.
+//
+// Models the oldest energy attack in the literature (Martin et al.,
+// PerCom 2004: "sending repeated network requests to a victim"): a push
+// wakes the target's process, lights the WiFi radio on both ends (tail
+// power included), and costs the receiver a CPU burst to handle. The
+// paper's E-Android leaves network collateral as future work; we
+// implement it as an extension — each delivery is published with
+// (driving = sender, driven = receiver) and the tracker opens a bounded
+// handling window (WindowKind::kPush) so the receiver's wake-up cost is
+// charged to the sender.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "framework/app_host.h"
+#include "framework/events.h"
+#include "framework/package_manager.h"
+#include "hw/session_component.h"
+#include "kernel/binder.h"
+#include "kernel/cpu_sched.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+class PushService {
+ public:
+  /// The window the tracker keeps open after a delivery; covers the
+  /// receiver's wake-up handling and the radio tail.
+  static constexpr sim::Duration kHandlingWindow = sim::seconds(2);
+
+  PushService(sim::Simulator& sim, PackageManager& packages,
+              kernelsim::BinderDriver& binder, kernelsim::CpuScheduler& cpu,
+              hw::SessionComponent& wifi, AppHost& host, EventBus& events);
+
+  /// Opts a package in to receiving pushes (FCM-registration analog).
+  void register_endpoint(kernelsim::Uid uid);
+  void unregister_endpoint(kernelsim::Uid uid);
+  [[nodiscard]] bool registered(kernelsim::Uid uid) const {
+    return endpoints_.contains(uid);
+  }
+
+  /// Sends `bytes` of push payload from `sender` to `target`'s package.
+  /// Returns false when the target is not a registered endpoint. The
+  /// receiver's process is spawned if needed (high-priority push).
+  bool send_push(kernelsim::Uid sender, const std::string& target_package,
+                 std::uint64_t bytes = 2048);
+
+  [[nodiscard]] std::uint64_t pushes_delivered() const { return delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  PackageManager& packages_;
+  kernelsim::BinderDriver& binder_;
+  kernelsim::CpuScheduler& cpu_;
+  hw::SessionComponent& wifi_;
+  AppHost& host_;
+  EventBus& events_;
+  std::unordered_set<kernelsim::Uid> endpoints_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace eandroid::framework

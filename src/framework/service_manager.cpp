@@ -1,0 +1,259 @@
+#include "framework/service_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace eandroid::framework {
+
+namespace {
+std::string key_of(const ComponentRef& ref) {
+  return ref.package + "/" + ref.component;
+}
+}  // namespace
+
+ServiceManager::ServiceManager(sim::Simulator& sim, PackageManager& packages,
+                               kernelsim::ProcessTable& processes,
+                               kernelsim::BinderDriver& binder, AppHost& host,
+                               EventBus& events)
+    : sim_(sim),
+      packages_(packages),
+      processes_(processes),
+      binder_(binder),
+      host_(host),
+      events_(events) {
+  // A dying host process takes its services with it (no onDestroy runs —
+  // the process is gone). Bindings from live clients are dropped.
+  processes_.add_death_observer([this](const kernelsim::ProcessInfo& info) {
+    for (auto& [key, record] : records_) {
+      if (record.uid != info.uid || !record.alive) continue;
+      record.alive = false;
+      record.started = false;
+      record.foreground = false;
+      for (const Binding& binding : record.bindings) {
+        binder_.unlink_to_death(binding.client_token);
+        record_by_binding_.erase(binding.id);
+      }
+      record.bindings.clear();
+    }
+  });
+}
+
+ServiceManager::ServiceRecord& ServiceManager::record_for(
+    const ComponentRef& ref, kernelsim::Uid uid) {
+  auto [it, inserted] = records_.try_emplace(key_of(ref));
+  if (inserted) {
+    it->second.ref = ref;
+    it->second.uid = uid;
+  }
+  return it->second;
+}
+
+void ServiceManager::publish(FwEventType type, kernelsim::Uid driving,
+                             kernelsim::Uid driven,
+                             const std::string& component,
+                             std::uint64_t handle) {
+  FwEvent event;
+  event.type = type;
+  event.when = sim_.now();
+  event.driving = driving;
+  event.driven = driven;
+  event.component = component;
+  event.handle = handle;
+  events_.publish(event);
+}
+
+void ServiceManager::bring_up(ServiceRecord& record) {
+  if (record.alive) return;
+  host_.ensure_process(record.uid);
+  record.alive = true;
+  if (AppCode* code = host_.code_of(record.uid)) {
+    code->on_service_create(host_.context_of(record.uid),
+                            record.ref.component);
+  }
+  EA_LOG(kDebug, sim_.now(), "services")
+      << key_of(record.ref) << " created";
+}
+
+void ServiceManager::maybe_tear_down(ServiceRecord& record) {
+  if (!record.alive || record.started || !record.bindings.empty()) return;
+  record.alive = false;
+  record.foreground = false;
+  if (AppCode* code = host_.code_of(record.uid)) {
+    code->on_service_destroy(host_.context_of(record.uid),
+                             record.ref.component);
+  }
+  EA_LOG(kDebug, sim_.now(), "services")
+      << key_of(record.ref) << " destroyed";
+}
+
+bool ServiceManager::start_service(kernelsim::Uid caller,
+                                   const Intent& intent) {
+  const auto ref = packages_.resolve_service(caller, intent);
+  if (!ref) return false;
+  const PackageRecord* pkg = packages_.find(ref->package);
+  ServiceRecord& record = record_for(*ref, pkg->uid);
+
+  // Charge the Binder round trip.
+  const kernelsim::Pid from = host_.pid_of(caller);
+  const kernelsim::Pid to = host_.ensure_process(record.uid);
+  binder_.transact(from, to, intent.extras_bytes);
+
+  const bool was_alive = record.alive;
+  bring_up(record);
+  record.started = true;
+  if (AppCode* code = host_.code_of(record.uid)) {
+    code->on_service_start_command(host_.context_of(record.uid),
+                                   ref->component);
+  }
+  publish(FwEventType::kServiceStart, caller, record.uid, ref->component);
+  (void)was_alive;
+  return true;
+}
+
+bool ServiceManager::stop_service(kernelsim::Uid caller,
+                                  const Intent& intent) {
+  const auto ref = packages_.resolve_service(caller, intent);
+  if (!ref) return false;
+  auto it = records_.find(key_of(*ref));
+  if (it == records_.end() || !it->second.alive) return false;
+  ServiceRecord& record = it->second;
+  record.started = false;
+  publish(FwEventType::kServiceStop, caller, record.uid, ref->component);
+  // The paper's attack #3 hinge: a binding keeps the service alive here.
+  maybe_tear_down(record);
+  return true;
+}
+
+bool ServiceManager::stop_self(kernelsim::Uid caller,
+                               const std::string& service) {
+  const PackageRecord* pkg = packages_.find(caller);
+  if (pkg == nullptr) return false;
+  auto it = records_.find(pkg->manifest.package + "/" + service);
+  if (it == records_.end() || !it->second.alive) return false;
+  ServiceRecord& record = it->second;
+  record.started = false;
+  publish(FwEventType::kServiceStopSelf, caller, record.uid, service);
+  maybe_tear_down(record);
+  return true;
+}
+
+std::optional<BindingId> ServiceManager::bind_service(kernelsim::Uid caller,
+                                                      const Intent& intent) {
+  const auto ref = packages_.resolve_service(caller, intent);
+  if (!ref) return std::nullopt;
+  const PackageRecord* pkg = packages_.find(ref->package);
+  ServiceRecord& record = record_for(*ref, pkg->uid);
+
+  const kernelsim::Pid from = host_.pid_of(caller);
+  const kernelsim::Pid to = host_.ensure_process(record.uid);
+  binder_.transact(from, to, intent.extras_bytes);
+  bring_up(record);
+
+  const std::uint64_t id = next_binding_++;
+  const kernelsim::Pid client_pid = host_.ensure_process(caller);
+  const kernelsim::BinderToken token = binder_.mint_token(client_pid);
+  record.bindings.push_back(Binding{id, caller, token});
+  record_by_binding_[id] = key_of(*ref);
+
+  // Client death drops the binding (and may tear the service down). The
+  // unbind event is still published so profilers observing the bus see
+  // the connection close.
+  binder_.link_to_death(token, [this, id, caller](kernelsim::BinderToken) {
+    auto bit = record_by_binding_.find(id);
+    if (bit == record_by_binding_.end()) return;
+    auto rit = records_.find(bit->second);
+    record_by_binding_.erase(bit);
+    if (rit == records_.end()) return;
+    ServiceRecord& rec = rit->second;
+    auto& bs = rec.bindings;
+    bs.erase(std::remove_if(bs.begin(), bs.end(),
+                            [id](const Binding& b) { return b.id == id; }),
+             bs.end());
+    publish(FwEventType::kServiceUnbind, caller, rec.uid, rec.ref.component,
+            id);
+    maybe_tear_down(rec);
+  });
+
+  publish(FwEventType::kServiceBind, caller, record.uid, ref->component, id);
+  return BindingId{id};
+}
+
+bool ServiceManager::unbind_service(kernelsim::Uid caller, BindingId id) {
+  auto bit = record_by_binding_.find(id.id);
+  if (bit == record_by_binding_.end()) return false;
+  auto rit = records_.find(bit->second);
+  if (rit == records_.end()) return false;
+  ServiceRecord& record = rit->second;
+  auto& bs = record.bindings;
+  auto found = std::find_if(bs.begin(), bs.end(), [&](const Binding& b) {
+    return b.id == id.id && b.client_uid == caller;
+  });
+  if (found == bs.end()) return false;
+  binder_.unlink_to_death(found->client_token);
+  bs.erase(found);
+  record_by_binding_.erase(bit);
+  publish(FwEventType::kServiceUnbind, caller, record.uid,
+          record.ref.component, id.id);
+  maybe_tear_down(record);
+  return true;
+}
+
+bool ServiceManager::start_foreground(kernelsim::Uid caller,
+                                      const std::string& service) {
+  const PackageRecord* pkg = packages_.find(caller);
+  if (pkg == nullptr) return false;
+  auto it = records_.find(pkg->manifest.package + "/" + service);
+  if (it == records_.end() || !it->second.alive) return false;
+  it->second.foreground = true;
+  return true;
+}
+
+bool ServiceManager::stop_foreground(kernelsim::Uid caller,
+                                     const std::string& service) {
+  const PackageRecord* pkg = packages_.find(caller);
+  if (pkg == nullptr) return false;
+  auto it = records_.find(pkg->manifest.package + "/" + service);
+  if (it == records_.end() || !it->second.foreground) return false;
+  it->second.foreground = false;
+  return true;
+}
+
+bool ServiceManager::is_foreground_service(const std::string& package,
+                                           const std::string& service) const {
+  auto it = records_.find(package + "/" + service);
+  return it != records_.end() && it->second.alive && it->second.foreground;
+}
+
+bool ServiceManager::has_foreground_service(kernelsim::Uid uid) const {
+  for (const auto& [key, record] : records_) {
+    if (record.uid == uid && record.alive && record.foreground) return true;
+  }
+  return false;
+}
+
+bool ServiceManager::running(const std::string& package,
+                             const std::string& service) const {
+  auto it = records_.find(package + "/" + service);
+  return it != records_.end() && it->second.alive;
+}
+
+int ServiceManager::binding_count(const std::string& package,
+                                  const std::string& service) const {
+  auto it = records_.find(package + "/" + service);
+  return it == records_.end() ? 0
+                              : static_cast<int>(it->second.bindings.size());
+}
+
+std::vector<std::string> ServiceManager::running_services_of(
+    kernelsim::Uid uid) const {
+  std::vector<std::string> out;
+  for (const auto& [key, record] : records_) {
+    if (record.alive && record.uid == uid) out.push_back(record.ref.component);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace eandroid::framework

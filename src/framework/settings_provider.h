@@ -1,0 +1,63 @@
+// Settings provider: screen brightness value and mode.
+//
+// Semantics from the paper (§IV-A "Screen & Wakelock" and attack #5):
+//  * brightness has 256 levels, settable manually or chosen by the system
+//    in auto mode;
+//  * a value written while in auto mode is saved but "not valid until the
+//    mode is switched to manual";
+//  * writes by third-party apps require WRITE_SETTINGS; SystemUI writes
+//    count as user operations.
+// Every effective change is published so E-Android's screen state machine
+// (Fig 5d) can open/close collateral windows.
+#pragma once
+
+#include "framework/events.h"
+#include "framework/package_manager.h"
+#include "hw/screen.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+enum class BrightnessMode { kAuto, kManual };
+
+class SettingsProvider {
+ public:
+  SettingsProvider(sim::Simulator& sim, hw::Screen& screen,
+                   PackageManager& packages, EventBus& events);
+
+  /// Writes the brightness setting. Returns false when the caller lacks
+  /// WRITE_SETTINGS (and is not the user / a system app). In auto mode the
+  /// value is stored but not applied.
+  bool set_brightness(kernelsim::Uid caller, int value, bool by_user = false);
+
+  /// Switches auto/manual. Switching to manual applies the stored manual
+  /// brightness — this is the attack #5 "camouflage as auto settings"
+  /// trigger E-Android watches for.
+  bool set_mode(kernelsim::Uid caller, BrightnessMode mode,
+                bool by_user = false);
+
+  [[nodiscard]] BrightnessMode mode() const { return mode_; }
+  /// The brightness currently applied to the panel.
+  [[nodiscard]] int effective_brightness() const;
+  /// The stored manual setting (may differ from effective in auto mode).
+  [[nodiscard]] int manual_setting() const { return manual_brightness_; }
+
+  /// The ambient-driven level used in auto mode (fixed in the simulator's
+  /// default environment; tests can vary it).
+  void set_auto_level(int level);
+
+ private:
+  [[nodiscard]] bool allowed(kernelsim::Uid caller, bool by_user) const;
+  void apply(kernelsim::Uid driving, bool by_user);
+
+  sim::Simulator& sim_;
+  hw::Screen& screen_;
+  PackageManager& packages_;
+  EventBus& events_;
+  BrightnessMode mode_ = BrightnessMode::kAuto;
+  int manual_brightness_ = 102;
+  int auto_level_ = 102;
+};
+
+}  // namespace eandroid::framework

@@ -1,0 +1,157 @@
+// SystemServer: the composition root of the simulated device.
+//
+// Owns the kernel objects, the hardware models, and every framework
+// service, and implements AppHost (per-app process management + Context
+// delivery). A test or bench builds one SystemServer per simulated phone,
+// installs apps, calls boot(), and then drives user actions while an
+// energy profiler (energy/ or core/) samples power.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "framework/activity_manager.h"
+#include "framework/alarm_manager.h"
+#include "framework/app_host.h"
+#include "framework/broadcast_manager.h"
+#include "framework/context.h"
+#include "framework/events.h"
+#include "framework/lmk.h"
+#include "framework/notification_service.h"
+#include "framework/package_manager.h"
+#include "framework/push_service.h"
+#include "framework/power_manager.h"
+#include "framework/service_manager.h"
+#include "framework/settings_provider.h"
+#include "framework/window_manager.h"
+#include "hw/battery.h"
+#include "hw/power_params.h"
+#include "hw/screen.h"
+#include "hw/session_component.h"
+#include "kernel/binder.h"
+#include "kernel/cpu_sched.h"
+#include "kernel/process_table.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+/// Well-known system package names.
+inline constexpr const char* kLauncherPackage = "com.android.launcher";
+inline constexpr const char* kSystemUiPackage = "com.android.systemui";
+inline constexpr const char* kPhonePackage = "com.android.phone";
+
+class SystemServer : public AppHost {
+ public:
+  explicit SystemServer(sim::Simulator& sim,
+                        const hw::PowerParams& params = hw::nexus4_params());
+  ~SystemServer() override = default;
+
+  SystemServer(const SystemServer&) = delete;
+  SystemServer& operator=(const SystemServer&) = delete;
+
+  /// Installs a third-party app. Call before or after boot().
+  kernelsim::Uid install(Manifest manifest, std::unique_ptr<AppCode> code);
+
+  /// Installs the launcher and SystemUI, then brings up the home screen.
+  void boot();
+
+  // --- User agent (drives the device like the experimenter's finger) ---
+  void user_tap(int x, int y);
+  bool user_launch(const std::string& package) {
+    return activities_.user_launch(package);
+  }
+  void user_press_home() { activities_.user_press_home(); }
+  void user_press_back() { activities_.user_press_back(); }
+  bool user_switch_to(const std::string& package) {
+    return activities_.user_switch_to(package);
+  }
+  /// User changes brightness through SystemUI's slider.
+  void user_set_brightness(int value);
+  void user_set_screen_mode(BrightnessMode mode);
+  /// User unlocks the device: screen on, ACTION_USER_PRESENT broadcast —
+  /// the auto-launch trigger the paper's stealthy malware listens for.
+  void user_unlock();
+  /// An incoming call pops the phone UI over the foreground app for
+  /// `duration` — the benign interruption of §III-A that strands leaked
+  /// wakelocks.
+  void simulate_incoming_call(sim::Duration duration);
+  /// Charger plugged/unplugged: battery refills at `rate_mw`, the screen
+  /// lights briefly, and POWER_CONNECTED/DISCONNECTED is broadcast.
+  void plug_charger(double rate_mw = 5000.0);
+  void unplug_charger();
+
+  // --- Subsystem access ---
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] kernelsim::ProcessTable& processes() { return processes_; }
+  [[nodiscard]] kernelsim::BinderDriver& binder() { return binder_; }
+  [[nodiscard]] kernelsim::CpuScheduler& cpu() { return cpu_; }
+  [[nodiscard]] hw::Screen& screen() { return screen_; }
+  [[nodiscard]] hw::SessionComponent& camera() { return camera_; }
+  [[nodiscard]] hw::SessionComponent& gps() { return gps_; }
+  [[nodiscard]] hw::SessionComponent& wifi() { return wifi_; }
+  [[nodiscard]] hw::SessionComponent& audio() { return audio_; }
+  [[nodiscard]] hw::Battery& battery() { return battery_; }
+  [[nodiscard]] EventBus& events() { return events_; }
+  [[nodiscard]] PackageManager& packages() { return packages_; }
+  [[nodiscard]] SettingsProvider& settings() { return settings_; }
+  [[nodiscard]] PowerManagerService& power() { return power_; }
+  [[nodiscard]] WindowManager& windows() { return windows_; }
+  [[nodiscard]] ServiceManager& services() { return services_; }
+  [[nodiscard]] ActivityManager& activities() { return activities_; }
+  [[nodiscard]] BroadcastManager& broadcasts() { return broadcasts_; }
+  [[nodiscard]] AlarmManager& alarms() { return alarms_; }
+  [[nodiscard]] PushService& push() { return push_; }
+  [[nodiscard]] LowMemoryKiller& lmk() { return lmk_; }
+  [[nodiscard]] NotificationService& notifications() {
+    return notifications_;
+  }
+  [[nodiscard]] const hw::PowerParams& params() const { return params_; }
+  [[nodiscard]] kernelsim::Uid launcher_uid() const { return launcher_uid_; }
+  [[nodiscard]] kernelsim::Uid systemui_uid() const { return systemui_uid_; }
+  [[nodiscard]] kernelsim::Uid phone_uid() const { return phone_uid_; }
+
+  // --- AppHost ---
+  kernelsim::Pid ensure_process(kernelsim::Uid uid) override;
+  [[nodiscard]] kernelsim::Pid pid_of(kernelsim::Uid uid) const override;
+  AppCode* code_of(kernelsim::Uid uid) override;
+  Context& context_of(kernelsim::Uid uid) override;
+  void kill_app(kernelsim::Uid uid) override;
+
+ private:
+  sim::Simulator& sim_;
+  hw::PowerParams params_;
+
+  kernelsim::ProcessTable processes_;
+  kernelsim::BinderDriver binder_;
+  kernelsim::CpuScheduler cpu_;
+
+  hw::Screen screen_;
+  hw::SessionComponent camera_;
+  hw::SessionComponent gps_;
+  hw::SessionComponent wifi_;
+  hw::SessionComponent audio_;
+  hw::Battery battery_;
+
+  EventBus events_;
+  PackageManager packages_;
+  SettingsProvider settings_;
+  PowerManagerService power_;
+  WindowManager windows_;
+  ServiceManager services_;
+  ActivityManager activities_;
+  BroadcastManager broadcasts_;
+  AlarmManager alarms_;
+  PushService push_;
+  LowMemoryKiller lmk_;
+  NotificationService notifications_;
+
+  std::unordered_map<kernelsim::Uid, kernelsim::Pid> process_of_;
+  std::unordered_map<kernelsim::Uid, std::unique_ptr<Context>> contexts_;
+  kernelsim::Uid launcher_uid_;
+  kernelsim::Uid systemui_uid_;
+  kernelsim::Uid phone_uid_;
+};
+
+}  // namespace eandroid::framework

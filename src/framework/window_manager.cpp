@@ -1,0 +1,62 @@
+#include "framework/window_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eandroid::framework {
+
+std::uint64_t WindowManager::show_dialog(kernelsim::Uid owner,
+                                         std::string name, int ok_x,
+                                         int ok_y) {
+  const std::uint64_t id = next_id_++;
+  dialogs_.push_back(Dialog{id, owner, std::move(name), ok_x, ok_y});
+  return id;
+}
+
+void WindowManager::dismiss_dialog(std::uint64_t id) {
+  dialogs_.erase(std::remove_if(dialogs_.begin(), dialogs_.end(),
+                                [id](const Dialog& d) { return d.id == id; }),
+                 dialogs_.end());
+}
+
+void WindowManager::dismiss_dialogs_of(kernelsim::Uid owner) {
+  dialogs_.erase(
+      std::remove_if(dialogs_.begin(), dialogs_.end(),
+                     [owner](const Dialog& d) { return d.owner == owner; }),
+      dialogs_.end());
+}
+
+bool WindowManager::has_dialog(kernelsim::Uid owner) const {
+  return std::any_of(dialogs_.begin(), dialogs_.end(),
+                     [owner](const Dialog& d) { return d.owner == owner; });
+}
+
+std::uint64_t WindowManager::dialog_shm_offset(const std::string& name) {
+  // FNV-1a, bucketed into page-aligned offsets so distinct dialog styles
+  // produce distinct, stable deltas.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return 4096 * (1 + (h % 64));
+}
+
+std::uint64_t WindowManager::surface_flinger_shm_bytes() const {
+  std::uint64_t bytes = 1 << 20;  // renderer baseline
+  if (foreground_name_) {
+    const std::string fg = foreground_name_();
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : fg) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    bytes += 4096 * (h % 256);
+  }
+  for (const auto& dialog : dialogs_) {
+    bytes += dialog_shm_offset(dialog.name);
+  }
+  return bytes;
+}
+
+}  // namespace eandroid::framework

@@ -1,0 +1,70 @@
+// WindowManager: dialogs and the SurfaceFlinger side channel.
+//
+// Two pieces of window machinery matter to the paper:
+//  * modal dialogs (the exit-confirmation dialog attack #4 hijacks), with
+//    a known positive-button position;
+//  * the SurfaceFlinger shared-virtual-memory side channel (Chen et al.,
+//    USENIX Security 2014) the paper's malware #4 uses to *infer* that the
+//    victim's exit dialog appeared without any permission: the renderer's
+//    shared memory size shifts by a UI-state-specific offset.
+// Overlay (transparent activity) routing is handled by the activity stack;
+// touch dispatch order is overlay > dialog > foreground activity and is
+// implemented by SystemServer::user_tap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework {
+
+struct Dialog {
+  std::uint64_t id = 0;
+  kernelsim::Uid owner;
+  std::string name;
+  int ok_x = 540;  // positive-button position; stable per app style
+  int ok_y = 960;
+};
+
+class WindowManager {
+ public:
+  explicit WindowManager(sim::Simulator& sim) : sim_(sim) {}
+
+  std::uint64_t show_dialog(kernelsim::Uid owner, std::string name,
+                            int ok_x = 540, int ok_y = 960);
+  void dismiss_dialog(std::uint64_t id);
+  void dismiss_dialogs_of(kernelsim::Uid owner);
+
+  [[nodiscard]] const Dialog* top_dialog() const {
+    return dialogs_.empty() ? nullptr : &dialogs_.back();
+  }
+  [[nodiscard]] bool has_dialog(kernelsim::Uid owner) const;
+
+  /// Lets the shm channel reflect the foreground UI; set by SystemServer.
+  void set_foreground_name_provider(std::function<std::string()> provider) {
+    foreground_name_ = std::move(provider);
+  }
+
+  /// SurfaceFlinger's shared virtual memory size, observable by any app
+  /// without permissions. Deterministic in (foreground activity, dialogs).
+  [[nodiscard]] std::uint64_t surface_flinger_shm_bytes() const;
+
+  /// The shm delta a given dialog style contributes; what malware #4
+  /// learns offline by profiling the victim ("the style of a dialog
+  /// usually remains unchanged").
+  [[nodiscard]] static std::uint64_t dialog_shm_offset(
+      const std::string& dialog_name);
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<Dialog> dialogs_;  // back() = topmost
+  std::function<std::string()> foreground_name_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace eandroid::framework

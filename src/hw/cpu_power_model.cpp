@@ -1,0 +1,29 @@
+#include "hw/cpu_power_model.h"
+
+#include <algorithm>
+
+namespace eandroid::hw {
+
+CpuPowerModel::OperatingPoint CpuPowerModel::operating_point(
+    double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const auto& steps = params_.cpu_freq_steps;
+  if (steps.empty()) {
+    return OperatingPoint{0.0, params_.cpu_active_mw * u};
+  }
+  if (u <= 0.0) return OperatingPoint{steps.front().freq_mhz, 0.0};
+
+  const double max_freq = steps.back().freq_mhz;
+  // Ondemand: slowest step whose capacity covers the demand.
+  for (const CpuFreqStep& step : steps) {
+    const double capacity = step.freq_mhz / max_freq;
+    if (u <= capacity + 1e-12) {
+      // Busy fraction at this (slower) frequency.
+      const double busy = u / capacity;
+      return OperatingPoint{step.freq_mhz, step.active_mw * busy};
+    }
+  }
+  return OperatingPoint{max_freq, steps.back().active_mw * u};
+}
+
+}  // namespace eandroid::hw

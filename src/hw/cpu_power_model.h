@@ -1,0 +1,40 @@
+// CPU power model with optional DVFS (frequency stepping).
+//
+// PowerTutor-family models fit per-frequency coefficients: at a lower
+// frequency (and voltage) the same cycle costs less energy, so an
+// ondemand-style governor that picks the smallest frequency able to serve
+// the demand saves power at partial utilization. The model is memoryless
+// per sampling window: given the window's utilization (measured against
+// the fastest step), it selects the slowest step with enough capacity and
+// reports the resulting power.
+//
+// With no steps configured (the default Nexus-4 parameter set) the model
+// degrades to the classic linear `idle + active * utilization` form, so
+// existing calibrations are untouched; DVFS is opt-in via
+// PowerParams::cpu_freq_steps.
+#pragma once
+
+#include <vector>
+
+#include "hw/power_params.h"
+
+namespace eandroid::hw {
+
+class CpuPowerModel {
+ public:
+  explicit CpuPowerModel(const PowerParams& params) : params_(params) {}
+
+  struct OperatingPoint {
+    double freq_mhz = 0.0;   // 0 when the legacy linear model is in use
+    double active_mw = 0.0;  // power above idle for this window
+  };
+
+  /// `utilization` is the window's demand as a fraction of the fastest
+  /// step's capacity, in [0, 1].
+  [[nodiscard]] OperatingPoint operating_point(double utilization) const;
+
+ private:
+  const PowerParams& params_;
+};
+
+}  // namespace eandroid::hw

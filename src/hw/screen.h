@@ -1,0 +1,40 @@
+// Screen hardware model.
+//
+// Power = base + per_level * brightness while on; zero while off.
+// The screen itself knows nothing about apps or settings policy — the
+// framework's SettingsProvider and PowerManagerService decide brightness
+// and on/off; the energy layer decides who pays (that policy difference is
+// the heart of the paper's screen-based attacks).
+#pragma once
+
+#include <algorithm>
+
+#include "hw/power_params.h"
+
+namespace eandroid::hw {
+
+class Screen {
+ public:
+  explicit Screen(const PowerParams& params) : params_(params) {}
+
+  void set_on(bool on) { on_ = on; }
+  [[nodiscard]] bool on() const { return on_; }
+
+  /// Brightness level, clamped to [0, levels-1].
+  void set_brightness(int level) {
+    brightness_ = std::clamp(level, 0, params_.screen_levels - 1);
+  }
+  [[nodiscard]] int brightness() const { return brightness_; }
+
+  [[nodiscard]] double power_mw() const {
+    if (!on_) return 0.0;
+    return params_.screen_base_mw + params_.screen_per_level_mw * brightness_;
+  }
+
+ private:
+  const PowerParams& params_;
+  bool on_ = true;
+  int brightness_ = 102;  // Android's default ~40%
+};
+
+}  // namespace eandroid::hw

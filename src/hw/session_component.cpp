@@ -1,0 +1,52 @@
+#include "hw/session_component.h"
+
+namespace eandroid::hw {
+
+SessionId SessionComponent::begin_session(kernelsim::Uid uid) {
+  const SessionId id{next_session_++};
+  sessions_[id.id] = uid;
+  return id;
+}
+
+void SessionComponent::end_session(SessionId id) {
+  auto it = sessions_.find(id.id);
+  if (it == sessions_.end()) return;
+  last_owner_ = it->second;
+  sessions_.erase(it);
+  if (sessions_.empty() && tail_ > sim::Duration(0)) {
+    tail_until_ = sim_.now() + tail_;
+  }
+}
+
+void SessionComponent::end_sessions_of(kernelsim::Uid uid) {
+  bool removed = false;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second == uid) {
+      last_owner_ = uid;
+      it = sessions_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (removed && sessions_.empty() && tail_ > sim::Duration(0)) {
+    tail_until_ = sim_.now() + tail_;
+  }
+}
+
+PowerBreakdown SessionComponent::breakdown() const {
+  PowerBreakdown out;
+  if (!sessions_.empty()) {
+    out.total_mw = active_mw_;
+    const double share = active_mw_ / static_cast<double>(sessions_.size());
+    for (const auto& [id, uid] : sessions_) out.by_uid[uid] += share;
+    return out;
+  }
+  if (tail_mw_ > 0.0 && sim_.now() < tail_until_) {
+    out.total_mw = tail_mw_;
+    if (last_owner_.valid()) out.by_uid[last_owner_] = tail_mw_;
+  }
+  return out;
+}
+
+}  // namespace eandroid::hw

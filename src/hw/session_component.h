@@ -1,0 +1,73 @@
+// Session-based hardware component (camera, GPS, WiFi, audio).
+//
+// These components have no meaningful "utilization"; they are on or off,
+// with a tail-power state after the last user releases them — the property
+// that made state-based energy models (AppScope, system-call tracing) more
+// accurate than pure utilization models. A session is opened by an app
+// (identified by uid) and closed by it; concurrent sessions share the
+// active power equally for attribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::hw {
+
+struct SessionId {
+  std::uint64_t id = 0;
+  [[nodiscard]] constexpr bool valid() const { return id != 0; }
+};
+
+/// Per-uid power attribution for one instant, in milliwatts.
+struct PowerBreakdown {
+  double total_mw = 0.0;
+  std::unordered_map<kernelsim::Uid, double> by_uid;
+};
+
+class SessionComponent {
+ public:
+  SessionComponent(sim::Simulator& sim, std::string name, double active_mw,
+                   double tail_mw, sim::Duration tail)
+      : sim_(sim),
+        name_(std::move(name)),
+        active_mw_(active_mw),
+        tail_mw_(tail_mw),
+        tail_(tail) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Opens a usage session attributed to `uid`.
+  SessionId begin_session(kernelsim::Uid uid);
+
+  /// Closes a session; entering the tail state if it was the last one.
+  /// Unknown/already-closed ids are ignored.
+  void end_session(SessionId id);
+
+  /// Closes every session owned by `uid` (process death cleanup).
+  void end_sessions_of(kernelsim::Uid uid);
+
+  [[nodiscard]] bool active() const { return !sessions_.empty(); }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
+  /// Instantaneous power with per-uid attribution. Tail power is charged
+  /// to the uid whose session ended last (it caused the tail).
+  [[nodiscard]] PowerBreakdown breakdown() const;
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  double active_mw_;
+  double tail_mw_;
+  sim::Duration tail_;
+
+  std::unordered_map<std::uint64_t, kernelsim::Uid> sessions_;
+  kernelsim::Uid last_owner_{};
+  sim::TimePoint tail_until_{};
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace eandroid::hw

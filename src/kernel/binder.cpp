@@ -1,0 +1,82 @@
+#include "kernel/binder.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace eandroid::kernelsim {
+
+namespace {
+// Measured Binder round-trips on period hardware are tens of microseconds;
+// we charge a flat cost plus a per-KB copy cost.
+constexpr sim::Duration kPerTransaction = sim::micros(60);
+constexpr sim::Duration kPerKb = sim::micros(8);
+}  // namespace
+
+BinderDriver::BinderDriver(sim::Simulator& sim, ProcessTable& processes)
+    : sim_(sim), processes_(processes) {
+  processes_.add_death_observer(
+      [this](const ProcessInfo& info) { on_process_death(info); });
+}
+
+BinderToken BinderDriver::mint_token(Pid owner) {
+  const BinderToken token{next_token_++};
+  token_owner_[token.id] = owner;
+  tokens_by_pid_[owner].push_back(token.id);
+  return token;
+}
+
+bool BinderDriver::link_to_death(BinderToken token, DeathRecipient recipient) {
+  auto it = token_owner_.find(token.id);
+  if (it == token_owner_.end() || !processes_.alive(it->second)) {
+    // Matches Binder: linking to a dead (or reaped) object delivers the
+    // obituary immediately.
+    recipient(token);
+    return false;
+  }
+  recipients_[token.id].push_back(std::move(recipient));
+  return true;
+}
+
+void BinderDriver::unlink_to_death(BinderToken token) {
+  recipients_.erase(token.id);
+}
+
+sim::Duration BinderDriver::transact(Pid from, Pid to, std::uint64_t bytes) {
+  const sim::Duration cost =
+      kPerTransaction + kPerKb * static_cast<std::int64_t>(bytes / 1024);
+  auto& from_stats = per_pid_stats_[from];
+  ++from_stats.count;
+  from_stats.bytes += bytes;
+  auto& to_stats = per_pid_stats_[to];
+  ++to_stats.count;
+  to_stats.bytes += bytes;
+  ++total_.count;
+  total_.bytes += bytes;
+  EA_LOG(kTrace, sim_.now(), "binder")
+      << "txn " << from.value << " -> " << to.value << " (" << bytes << "B)";
+  return cost;
+}
+
+const TransactionStats& BinderDriver::stats_for(Pid pid) const {
+  static const TransactionStats kEmpty;
+  auto it = per_pid_stats_.find(pid);
+  return it == per_pid_stats_.end() ? kEmpty : it->second;
+}
+
+void BinderDriver::on_process_death(const ProcessInfo& info) {
+  auto it = tokens_by_pid_.find(info.pid);
+  if (it == tokens_by_pid_.end()) return;
+  const std::vector<std::uint64_t> token_ids = std::move(it->second);
+  tokens_by_pid_.erase(it);
+  for (std::uint64_t id : token_ids) {
+    token_owner_.erase(id);
+    auto rit = recipients_.find(id);
+    if (rit == recipients_.end()) continue;
+    const std::vector<DeathRecipient> rs = std::move(rit->second);
+    recipients_.erase(rit);
+    for (const auto& recipient : rs) recipient(BinderToken{id});
+  }
+}
+
+}  // namespace eandroid::kernelsim

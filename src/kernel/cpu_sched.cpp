@@ -1,0 +1,144 @@
+#include "kernel/cpu_sched.h"
+
+#include <algorithm>
+
+namespace eandroid::kernelsim {
+
+CpuScheduler::CpuScheduler(sim::Simulator& sim, ProcessTable& processes,
+                           int cores)
+    : sim_(sim),
+      processes_(processes),
+      accrue_mark_(sim.now()),
+      window_start_(sim.now()),
+      cores_(cores < 1 ? 1 : cores) {
+  // Dying processes stop accruing at the instant of death, not at the
+  // next window boundary. The table has already marked the pid dead when
+  // observers run, so the victim's last stretch is accrued explicitly.
+  processes_.add_death_observer([this](const ProcessInfo& info) {
+    const double dt = (sim_.now() - accrue_mark_).seconds();
+    integrate();  // live loads + advances the mark
+    for (auto it = loads_.begin(); it != loads_.end();) {
+      if (it->second.pid != info.pid) {
+        ++it;
+        continue;
+      }
+      if (dt > 0.0 && !suspended_ && it->second.duty > 0.0) {
+        accrued_[info.uid][it->second.routine] += it->second.duty * dt;
+      }
+      it = loads_.erase(it);
+    }
+  });
+}
+
+void CpuScheduler::integrate() {
+  const sim::TimePoint now = sim_.now();
+  const double dt = (now - accrue_mark_).seconds();
+  accrue_mark_ = now;
+  if (dt <= 0.0 || suspended_) return;
+  for (const auto& [id, load] : loads_) {
+    if (load.duty <= 0.0) continue;
+    const ProcessInfo* info = processes_.find(load.pid);
+    if (info == nullptr || !info->alive) continue;
+    accrued_[info->uid][load.routine] += load.duty * dt;
+  }
+}
+
+LoadHandle CpuScheduler::add_load(Pid pid, double duty,
+                                  std::string routine) {
+  integrate();
+  const LoadHandle h{next_load_++};
+  loads_[h.id] = Load{pid, std::clamp(duty, 0.0, 1.0), std::move(routine)};
+  return h;
+}
+
+void CpuScheduler::set_duty(LoadHandle h, double duty) {
+  integrate();
+  auto it = loads_.find(h.id);
+  if (it != loads_.end()) it->second.duty = std::clamp(duty, 0.0, 1.0);
+}
+
+void CpuScheduler::remove_load(LoadHandle h) {
+  integrate();
+  loads_.erase(h.id);
+}
+
+void CpuScheduler::charge_burst(Pid pid, sim::Duration cpu_time) {
+  if (suspended_) return;  // halted processes cannot run
+  const ProcessInfo* info = processes_.find(pid);
+  if (info == nullptr) return;
+  pending_bursts_[info->uid] += cpu_time;
+}
+
+void CpuScheduler::set_suspended(bool suspended) {
+  integrate();
+  suspended_ = suspended;
+}
+
+double CpuScheduler::instantaneous_utilization() const {
+  if (suspended_) return 0.0;
+  double demand = 0.0;
+  for (const auto& [id, load] : loads_) {
+    if (processes_.alive(load.pid)) demand += load.duty;
+  }
+  return std::min(1.0, demand / cores_);
+}
+
+CpuWindow CpuScheduler::sample_window() {
+  integrate();
+  const sim::TimePoint now = sim_.now();
+  const sim::Duration window = now - window_start_;
+  window_start_ = now;
+
+  CpuWindow out;
+  if (window <= sim::Duration(0)) {
+    pending_bursts_.clear();
+    accrued_.clear();
+    return out;
+  }
+  const double window_s = window.seconds();
+
+  // Demand per uid (and per routine): time-weighted steady duties (exact
+  // under mid-window changes, suspend, and process death) plus bursts
+  // spread over the window. Bursts survive suspension-at-sample-time —
+  // they were charged while awake.
+  std::unordered_map<Uid, double> demand;
+  std::unordered_map<Uid, std::unordered_map<std::string, double>>
+      routine_demand;
+  double total_demand = 0.0;
+  for (const auto& [uid, routines] : accrued_) {
+    for (const auto& [routine, core_seconds] : routines) {
+      const double duty = core_seconds / window_s;
+      if (duty <= 0.0) continue;
+      demand[uid] += duty;
+      routine_demand[uid][routine] += duty;
+      total_demand += duty;
+    }
+  }
+  for (const auto& [uid, cpu_time] : pending_bursts_) {
+    const double duty =
+        static_cast<double>(cpu_time.micros()) / window.micros();
+    demand[uid] += duty;
+    routine_demand[uid]["ipc"] += duty;
+    total_demand += duty;
+  }
+  pending_bursts_.clear();
+  accrued_.clear();
+
+  if (total_demand <= 0.0) return out;
+
+  // Saturate at the package's core count; apps share proportionally.
+  // Utilization is normalized over all cores so the power model's input
+  // stays in [0, 1].
+  out.total_utilization = std::min(1.0, total_demand / cores_);
+  const double scale = out.total_utilization / total_demand;
+  for (const auto& [uid, d] : demand) {
+    if (d <= 0.0) continue;
+    out.share_by_uid[uid] = d * scale;
+    for (const auto& [routine, rd] : routine_demand[uid]) {
+      if (rd > 0.0) out.share_by_uid_routine[uid][routine] = rd * scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace eandroid::kernelsim

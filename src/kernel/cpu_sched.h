@@ -1,0 +1,99 @@
+// CPU scheduler model with per-uid utilization accounting.
+//
+// The energy layer needs exactly what /proc gives PowerTutor on a phone:
+// total CPU utilization over a sampling window plus each app's share of it.
+// We model a single-core CPU where each live process contributes a steady
+// "duty" in [0,1] (long-running workloads: video encoding, service compute)
+// plus one-shot bursts of CPU time (IPC handling, component launches).
+// Demand beyond one core saturates and shares proportionally.
+//
+// When the system is suspended (deep sleep), processes are halted and no
+// CPU time accrues — matching Android's default-suspend policy the paper
+// describes; a partial wakelock keeps the CPU running.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "kernel/process_table.h"
+#include "kernel/types.h"
+#include "sim/simulator.h"
+
+namespace eandroid::kernelsim {
+
+/// Handle identifying a steady CPU load owned by a process.
+struct LoadHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] constexpr bool valid() const { return id != 0; }
+};
+
+/// Utilization for one sampling window, as read by the energy sampler.
+struct CpuWindow {
+  double total_utilization = 0.0;                  // [0, 1]
+  std::unordered_map<Uid, double> share_by_uid;    // sums to total
+  /// Routine-level split of each uid's share (eprof-style accounting);
+  /// inner maps sum to the uid's share. Bursts land under "ipc".
+  std::unordered_map<Uid, std::unordered_map<std::string, double>>
+      share_by_uid_routine;
+};
+
+class CpuScheduler {
+ public:
+  /// `cores` — number of identical cores; demand saturates at this many
+  /// cores' worth of work and utilization is normalized to [0, 1] over
+  /// the whole package.
+  CpuScheduler(sim::Simulator& sim, ProcessTable& processes, int cores = 1);
+
+  [[nodiscard]] int cores() const { return cores_; }
+
+  /// Adds a steady load of `duty` (fraction of one core) owned by `pid`.
+  /// Loads of dead processes stop counting automatically. `routine` tags
+  /// the load for eprof-style per-routine accounting.
+  LoadHandle add_load(Pid pid, double duty, std::string routine = "main");
+
+  /// Adjusts an existing load's duty.
+  void set_duty(LoadHandle h, double duty);
+
+  void remove_load(LoadHandle h);
+
+  /// Charges a one-shot burst of `cpu_time` to `pid`, consumed by the next
+  /// sampling window (e.g. Binder transaction handling).
+  void charge_burst(Pid pid, sim::Duration cpu_time);
+
+  /// True while the system is in deep sleep; set by the power manager.
+  void set_suspended(bool suspended);
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
+  /// Closes the sampling window that began at the previous call (or at
+  /// construction) and returns its utilization breakdown. Bursts are
+  /// consumed; steady loads persist.
+  CpuWindow sample_window();
+
+  /// Instantaneous utilization from steady loads only (no window needed).
+  [[nodiscard]] double instantaneous_utilization() const;
+
+ private:
+  struct Load {
+    Pid pid;
+    double duty;
+    std::string routine;
+  };
+
+  /// Accrues busy time at the current loads up to now; called before any
+  /// state mutation so mid-window changes are accounted exactly.
+  void integrate();
+
+  sim::Simulator& sim_;
+  ProcessTable& processes_;
+  std::unordered_map<std::uint64_t, Load> loads_;
+  std::unordered_map<Uid, sim::Duration> pending_bursts_;
+  /// Time-weighted core-seconds accrued since the window started.
+  std::unordered_map<Uid, std::unordered_map<std::string, double>> accrued_;
+  sim::TimePoint accrue_mark_;
+  sim::TimePoint window_start_;
+  int cores_ = 1;
+  bool suspended_ = false;
+  std::uint64_t next_load_ = 1;
+};
+
+}  // namespace eandroid::kernelsim

@@ -1,0 +1,57 @@
+#include "kernel/process_table.h"
+
+#include <utility>
+
+namespace eandroid::kernelsim {
+
+Pid ProcessTable::spawn(Uid uid, std::string name) {
+  const Pid pid{next_pid_++};
+  table_.emplace(pid, ProcessInfo{pid, uid, std::move(name), true});
+  return pid;
+}
+
+bool ProcessTable::kill(Pid pid) {
+  auto it = table_.find(pid);
+  if (it == table_.end() || !it->second.alive) return false;
+  it->second.alive = false;
+  // Copy: observers may spawn/kill processes re-entrantly.
+  const ProcessInfo dead = it->second;
+  for (const auto& obs : death_observers_) obs(dead);
+  return true;
+}
+
+bool ProcessTable::alive(Pid pid) const {
+  auto it = table_.find(pid);
+  return it != table_.end() && it->second.alive;
+}
+
+const ProcessInfo* ProcessTable::find(Pid pid) const {
+  auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<Pid> ProcessTable::pids_of(Uid uid) const {
+  std::vector<Pid> out;
+  for (const auto& [pid, info] : table_) {
+    if (info.alive && info.uid == uid) out.push_back(pid);
+  }
+  return out;
+}
+
+int ProcessTable::kill_uid(Uid uid) {
+  int n = 0;
+  for (Pid pid : pids_of(uid)) {
+    if (kill(pid)) ++n;
+  }
+  return n;
+}
+
+std::size_t ProcessTable::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, info] : table_) {
+    if (info.alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace eandroid::kernelsim

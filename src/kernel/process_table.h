@@ -1,0 +1,59 @@
+// Process table for the simulated OS.
+//
+// Processes are created when an app first runs a component and killed when
+// the app is destroyed (or by the low-memory killer in a real system; we
+// only kill explicitly). Death observers are how Binder's link-to-death and
+// the wakelock auto-release are driven, exactly as on Android where the
+// Binder kernel driver dispatches death notifications.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace eandroid::kernelsim {
+
+struct ProcessInfo {
+  Pid pid;
+  Uid uid;
+  std::string name;
+  bool alive = true;
+};
+
+class ProcessTable {
+ public:
+  using DeathObserver = std::function<void(const ProcessInfo&)>;
+
+  /// Spawns a process owned by `uid`. Process names follow the Android
+  /// convention of the package name plus an optional ":remote" suffix.
+  Pid spawn(Uid uid, std::string name);
+
+  /// Kills `pid`; death observers run synchronously, in registration order.
+  /// Killing a dead or unknown pid is a no-op returning false.
+  bool kill(Pid pid);
+
+  [[nodiscard]] bool alive(Pid pid) const;
+  [[nodiscard]] const ProcessInfo* find(Pid pid) const;
+
+  /// All live processes owned by `uid`.
+  [[nodiscard]] std::vector<Pid> pids_of(Uid uid) const;
+
+  /// Kills every live process of `uid`; returns how many died.
+  int kill_uid(Uid uid);
+
+  void add_death_observer(DeathObserver obs) {
+    death_observers_.push_back(std::move(obs));
+  }
+
+  [[nodiscard]] std::size_t live_count() const;
+
+ private:
+  std::unordered_map<Pid, ProcessInfo> table_;
+  std::vector<DeathObserver> death_observers_;
+  std::int32_t next_pid_ = 100;
+};
+
+}  // namespace eandroid::kernelsim

@@ -1,0 +1,47 @@
+// Strong identifier types shared by the kernel and framework layers.
+//
+// Android attributes energy to Linux user IDs (each app gets a unique uid),
+// and the paper's accounting is keyed on uids throughout; we mirror that.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace eandroid::kernelsim {
+
+/// Linux process id.
+struct Pid {
+  std::int32_t value = -1;
+  constexpr auto operator<=>(const Pid&) const = default;
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+};
+
+/// Linux user id; one per installed app in Android's sandbox model.
+struct Uid {
+  std::int32_t value = -1;
+  constexpr auto operator<=>(const Uid&) const = default;
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+};
+
+/// Reserved uid for the system server / framework itself.
+inline constexpr Uid kSystemUid{1000};
+/// First uid handed to installed applications (Android convention).
+inline constexpr std::int32_t kFirstAppUid = 10000;
+
+}  // namespace eandroid::kernelsim
+
+namespace std {
+template <>
+struct hash<eandroid::kernelsim::Pid> {
+  size_t operator()(const eandroid::kernelsim::Pid& p) const noexcept {
+    return std::hash<std::int32_t>{}(p.value);
+  }
+};
+template <>
+struct hash<eandroid::kernelsim::Uid> {
+  size_t operator()(const eandroid::kernelsim::Uid& u) const noexcept {
+    return std::hash<std::int32_t>{}(u.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace eandroid::sim {
+
+EventHandle EventQueue::push(TimePoint when, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Only events that are actually still scheduled can be cancelled;
+  // handles of fired or already-cancelled events are a safe no-op.
+  if (pending_.erase(h.id) == 0) return false;
+  // The entry cannot be removed from the middle of a binary heap; mark it
+  // dead and discard it lazily when it reaches the head.
+  cancelled_.insert(h.id);
+  return true;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const { return pending_.empty(); }
+
+std::size_t EventQueue::size() const { return pending_.size(); }
+
+TimePoint EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Callback EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() returns a const ref; the Entry is about to be
+  // popped, so moving the callback out is safe.
+  Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
+  pending_.erase(heap_.top().id);
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace eandroid::sim

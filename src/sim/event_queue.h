@@ -1,0 +1,72 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events scheduled at the same virtual instant fire in insertion order
+// (FIFO), which keeps framework call/callback sequences deterministic.
+// Events can be cancelled via the handle returned by push().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace eandroid::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `when`.
+  EventHandle push(TimePoint when, Callback cb);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest pending event's callback.
+  /// Precondition: !empty().
+  Callback pop();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries sitting at the head of the heap.
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Ids of events that are scheduled and not cancelled. Keeping the
+  /// exact set (rather than a counter) makes cancel() of an
+  /// already-fired handle a safe no-op.
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace eandroid::sim

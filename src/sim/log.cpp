@@ -1,0 +1,33 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+namespace eandroid::sim {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "T";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo:  return "I";
+    case LogLevel::kWarn:  return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff:   return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, TimePoint when, const std::string& tag,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s %s] %-12s %s\n", level_name(level),
+               format_time(when).c_str(), tag.c_str(), message.c_str());
+}
+
+}  // namespace eandroid::sim

@@ -1,0 +1,65 @@
+// Minimal leveled logger, timestamped on the virtual clock.
+//
+// The simulator is quiet by default; tests and benches flip the level up to
+// trace framework/event activity. Output goes to stderr so bench stdout
+// stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace eandroid::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, TimePoint when, const std::string& tag,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+namespace detail {
+// Builds the message with a stream and hands it to the logger on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, TimePoint when, std::string tag)
+      : level_(level), when_(when), tag_(std::move(tag)) {}
+  ~LogLine() { Logger::instance().write(level_, when_, tag_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  TimePoint when_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+/// Usage: EA_LOG(kDebug, sim.now(), "am") << "start activity " << name;
+#define EA_LOG(level, when, tag)                                            \
+  if (!::eandroid::sim::Logger::instance().enabled(                          \
+          ::eandroid::sim::LogLevel::level)) {                               \
+  } else                                                                     \
+    ::eandroid::sim::detail::LogLine(::eandroid::sim::LogLevel::level,       \
+                                     (when), (tag))
+
+}  // namespace eandroid::sim

@@ -1,0 +1,66 @@
+// The simulator: virtual clock plus event loop.
+//
+// Every simulated subsystem holds a reference to one Simulator and uses it
+// to read the current virtual time, schedule future work, and register
+// periodic tasks (e.g. the energy sampler). The loop is single-threaded and
+// deterministic: given the same seed and the same schedule of user actions,
+// two runs produce identical traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace eandroid::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules `cb` to run `delay` after the current instant.
+  EventHandle schedule(Duration delay, EventQueue::Callback cb) {
+    return queue_.push(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at an absolute instant (must not be in the past).
+  EventHandle schedule_at(TimePoint when, EventQueue::Callback cb) {
+    return queue_.push(when < now_ ? now_ : when, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns false if it already ran.
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+  /// Registers a repeating task with a fixed period. The task keeps firing
+  /// until the returned canceller is invoked or the simulation ends.
+  /// Returns a function that stops the task.
+  std::function<void()> every(Duration period, std::function<void()> task);
+
+  /// Runs until the event queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run.
+  void run_until(TimePoint until);
+
+  /// Advances virtual time by `d`, running any events that fall inside.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until the queue is empty (use with care: periodic tasks never
+  /// drain on their own).
+  void run_all();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  TimePoint now_;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace eandroid::sim

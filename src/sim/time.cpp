@@ -1,0 +1,20 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace eandroid::sim {
+
+std::string format_time(TimePoint t) {
+  const std::int64_t total_ms = t.millis();
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t s = (total_ms / 1000) % 60;
+  const std::int64_t m = (total_ms / 60'000) % 60;
+  const std::int64_t h = total_ms / 3'600'000;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace eandroid::sim

@@ -1,0 +1,94 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated subsystems (kernel, framework, energy accounting) share one
+// virtual clock owned by sim::Simulator. Time is held as a signed 64-bit
+// count of microseconds, wrapped in strong types so that durations and
+// absolute instants cannot be mixed up and raw integers cannot be passed
+// where a time is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace eandroid::sim {
+
+/// A span of virtual time (microsecond resolution).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr std::int64_t millis() const { return micros_ / 1000; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(micros_ + o.micros_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(micros_ - o.micros_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration(micros_ * k);
+  }
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration(micros_ / k);
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An absolute instant on the simulator's virtual clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr std::int64_t millis() const { return micros_ / 1000; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(micros_ + d.micros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(micros_ - d.micros());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration(micros_ - o.micros_);
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Convenience constructors, e.g. `millis(30)` or `seconds(60)`.
+constexpr Duration micros(std::int64_t v) { return Duration(v); }
+constexpr Duration millis(std::int64_t v) { return Duration(v * 1000); }
+constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000); }
+constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+constexpr Duration hours(std::int64_t v) { return minutes(v * 60); }
+
+/// Formats a time point as "H:MM:SS.mmm" for logs and traces.
+std::string format_time(TimePoint t);
+
+}  // namespace eandroid::sim

@@ -1,0 +1,96 @@
+#include "analysis/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace eandroid::analysis {
+namespace {
+
+TEST(CorpusTest, GeneratesRequestedSize) {
+  const auto corpus = generate_corpus();
+  EXPECT_EQ(corpus.size(), 1124u);
+}
+
+TEST(CorpusTest, DeterministicInSeed) {
+  const auto a = generate_corpus();
+  const auto b = generate_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].package, b[i].package);
+    EXPECT_EQ(a[i].permissions.size(), b[i].permissions.size());
+  }
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  CorpusSpec other;
+  other.seed = 99;
+  const auto a = generate_corpus();
+  const auto b = generate_corpus(other);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].permissions.size() != b[i].permissions.size()) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(CorpusTest, CoversAll28Categories) {
+  const auto stats = analyze_corpus(generate_corpus());
+  EXPECT_EQ(stats.by_category.size(), kCategories.size());
+  for (const char* category : kCategories) {
+    EXPECT_GT(stats.by_category.at(category).apps, 0) << category;
+  }
+}
+
+TEST(CorpusTest, AggregateRatesMatchPaperFig2) {
+  const auto stats = analyze_corpus(generate_corpus());
+  // Fig 2: 72% exported, 81% WAKE_LOCK, 21% WRITE_SETTINGS. Sampling
+  // noise over 1,124 draws stays within ±3 points.
+  EXPECT_NEAR(stats.exported_pct(), 72.0, 3.0);
+  EXPECT_NEAR(stats.wake_lock_pct(), 81.0, 3.0);
+  EXPECT_NEAR(stats.write_settings_pct(), 21.0, 3.0);
+}
+
+TEST(CorpusTest, CategoryTiltsShowInPerCategoryRates) {
+  const auto stats = analyze_corpus(generate_corpus());
+  // Tools request WRITE_SETTINGS far more often than finance apps.
+  const auto& tools = stats.by_category.at("tools");
+  const auto& finance = stats.by_category.at("finance");
+  EXPECT_GT(100.0 * tools.with_write_settings / tools.apps,
+            100.0 * finance.with_write_settings / finance.apps);
+}
+
+TEST(CorpusTest, AnalyzeEmptyCorpusIsZero) {
+  const CorpusStats stats = analyze_corpus({});
+  EXPECT_EQ(stats.total_apps, 0);
+  EXPECT_DOUBLE_EQ(stats.exported_pct(), 0.0);
+}
+
+TEST(CorpusTest, CustomTargetsAreHonoured) {
+  CorpusSpec spec;
+  spec.total_apps = 5000;
+  spec.exported_rate = 0.30;
+  spec.wake_lock_rate = 0.50;
+  spec.write_settings_rate = 0.10;
+  const auto stats = analyze_corpus(generate_corpus(spec));
+  EXPECT_NEAR(stats.exported_pct(), 30.0, 3.0);
+  EXPECT_NEAR(stats.wake_lock_pct(), 50.0, 3.0);
+  EXPECT_NEAR(stats.write_settings_pct(), 10.0, 2.0);
+}
+
+TEST(CorpusTest, RenderMentionsPaperTargets) {
+  const auto stats = analyze_corpus(generate_corpus());
+  const std::string text = render_stats(stats, /*per_category=*/true);
+  EXPECT_NE(text.find("72%"), std::string::npos);
+  EXPECT_NE(text.find("81%"), std::string::npos);
+  EXPECT_NE(text.find("21%"), std::string::npos);
+  EXPECT_NE(text.find("game"), std::string::npos);
+}
+
+TEST(CorpusTest, EveryManifestHasRootActivity) {
+  for (const auto& manifest : generate_corpus()) {
+    EXPECT_NE(manifest.root_activity(), nullptr);
+    EXPECT_FALSE(manifest.package.empty());
+  }
+}
+
+}  // namespace
+}  // namespace eandroid::analysis

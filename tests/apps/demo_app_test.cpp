@@ -1,0 +1,150 @@
+#include "apps/demo_app.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/testbed.h"
+
+namespace eandroid::apps {
+namespace {
+
+using framework::Intent;
+
+TEST(DemoAppTest, ManifestMatchesSpec) {
+  const DemoAppSpec spec = victim_spec();
+  DemoApp app(spec);
+  const framework::Manifest m = app.manifest();
+  EXPECT_EQ(m.package, spec.package);
+  ASSERT_FALSE(m.activities.empty());
+  EXPECT_EQ(m.activities[0].name, DemoApp::kRootActivity);
+  ASSERT_EQ(m.services.size(), 1u);
+  EXPECT_EQ(m.services[0].name, DemoApp::kService);
+  EXPECT_TRUE(m.services[0].exported);
+  // The wakelock bug implies the permission.
+  EXPECT_TRUE(m.has_permission(framework::Permission::kWakeLock));
+}
+
+TEST(DemoAppTest, ForegroundCpuLoadAppliesAndClears) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(), 0.08, 1e-9);
+  bed.server().user_press_home();
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(), 0.0, 1e-9);
+}
+
+TEST(DemoAppTest, BackgroundCpuPersistsAfterStop) {
+  DemoAppSpec spec = message_spec();
+  spec.background_cpu = 0.2;
+  Testbed bed;
+  bed.install<DemoApp>(spec);
+  bed.start();
+  bed.server().user_launch(spec.package);
+  bed.server().user_press_home();
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(), 0.2, 1e-9);
+}
+
+TEST(DemoAppTest, CameraSessionFollowsForeground) {
+  Testbed bed;
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.camera");
+  EXPECT_TRUE(bed.server().camera().active());
+  bed.server().user_press_home();
+  EXPECT_FALSE(bed.server().camera().active());
+}
+
+TEST(DemoAppTest, CameraAutoFinishesAfterCapture) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(Intent::implicit("android.media.action.VIDEO_CAPTURE"));
+  EXPECT_EQ(bed.server().activities().foreground_uid(),
+            bed.uid_of("com.example.camera"));
+  bed.sim().run_for(sim::seconds(31));
+  // The capture returned; Message is foreground again.
+  EXPECT_EQ(bed.server().activities().foreground_uid(),
+            bed.uid_of("com.example.message"));
+  EXPECT_FALSE(bed.server().camera().active());
+}
+
+TEST(DemoAppTest, WakelockBugAcquiresOnCreateLeaksOnStop) {
+  Testbed bed;
+  DemoApp* victim = bed.install<DemoApp>(victim_spec());
+  bed.start();
+  bed.server().user_launch("com.example.victim");
+  EXPECT_TRUE(victim->holds_wakelock());
+  bed.server().user_press_home();  // onStop: NOT released (the bug)
+  EXPECT_TRUE(victim->holds_wakelock());
+  EXPECT_EQ(bed.server().power().held_count(), 1u);
+}
+
+TEST(DemoAppTest, WakelockReleasedOnDestroy) {
+  Testbed bed;
+  DemoApp* victim = bed.install<DemoApp>(victim_spec());
+  bed.start();
+  bed.server().user_launch("com.example.victim");
+  bed.context_of("com.example.victim").finish_activity(DemoApp::kRootActivity);
+  EXPECT_FALSE(victim->holds_wakelock());
+  EXPECT_EQ(bed.server().power().held_count(), 0u);
+}
+
+TEST(DemoAppTest, ExitDialogFlowDestroysOnOk) {
+  Testbed bed;
+  DemoApp* victim = bed.install<DemoApp>(victim_spec());
+  bed.start();
+  bed.server().user_launch("com.example.victim");
+  bed.server().user_press_back();
+  // Dialog shown; app still alive.
+  ASSERT_NE(bed.server().windows().top_dialog(), nullptr);
+  EXPECT_EQ(bed.server().activities().activity_state("com.example.victim",
+                                                     DemoApp::kRootActivity),
+            framework::ActivityRecord::State::kResumed);
+  bed.server().user_tap(540, 960);  // OK
+  EXPECT_EQ(bed.server().activities().activity_state("com.example.victim",
+                                                     DemoApp::kRootActivity),
+            framework::ActivityRecord::State::kDestroyed);
+  EXPECT_FALSE(victim->holds_wakelock());  // proper exit releases
+}
+
+TEST(DemoAppTest, ExitDialogCancelKeepsRunning) {
+  Testbed bed;
+  bed.install<DemoApp>(victim_spec());
+  bed.start();
+  bed.server().user_launch("com.example.victim");
+  bed.server().user_press_back();
+  bed.server().user_tap(10, 10);  // outside OK
+  EXPECT_EQ(bed.server().activities().activity_state("com.example.victim",
+                                                     DemoApp::kRootActivity),
+            framework::ActivityRecord::State::kResumed);
+}
+
+TEST(DemoAppTest, ServiceLoadFollowsServiceLifecycle) {
+  Testbed bed;
+  DemoAppSpec spec = victim_spec();
+  bed.install<DemoApp>(spec);
+  bed.start();
+  bed.context_of(spec.package)
+      .start_service(Intent::explicit_for(spec.package, DemoApp::kService));
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(),
+              spec.service_cpu, 1e-9);
+  bed.context_of(spec.package)
+      .stop_service(Intent::explicit_for(spec.package, DemoApp::kService));
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(), 0.0, 1e-9);
+}
+
+TEST(DemoAppTest, MusicUsesAudioWhileForeground) {
+  Testbed bed;
+  bed.install<DemoApp>(music_spec());
+  bed.start();
+  bed.server().user_launch("com.example.music");
+  EXPECT_TRUE(bed.server().audio().active());
+  bed.server().user_press_home();
+  EXPECT_FALSE(bed.server().audio().active());
+}
+
+}  // namespace
+}  // namespace eandroid::apps

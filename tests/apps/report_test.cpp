@@ -1,0 +1,69 @@
+#include "apps/report.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "energy/eprof.h"
+#include "energy/power_signature.h"
+
+namespace eandroid::apps {
+namespace {
+
+TEST(ReportTest, ContainsAllSectionsWhenEnabled) {
+  Testbed bed;
+  energy::Eprof eprof(bed.server().packages());
+  energy::PowerSignatureDetector detector(bed.server().packages());
+  bed.sampler().add_sink(&eprof);
+  bed.sampler().add_sink(&detector);
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(
+          framework::Intent::implicit("android.media.action.VIDEO_CAPTURE"));
+  bed.run_for(sim::seconds(20));
+
+  const std::string report = render_device_report(bed, &eprof, &detector);
+  EXPECT_NE(report.find("device report"), std::string::npos);
+  EXPECT_NE(report.find("battery:"), std::string::npos);
+  EXPECT_NE(report.find("Android BatteryStats"), std::string::npos);
+  EXPECT_NE(report.find("PowerTutor"), std::string::npos);
+  EXPECT_NE(report.find("collateral accounting"), std::string::npos);
+  EXPECT_NE(report.find("open collateral windows: 1"), std::string::npos);
+  EXPECT_NE(report.find("eprof"), std::string::npos);
+  EXPECT_NE(report.find("power-signature suspects"), std::string::npos);
+}
+
+TEST(ReportTest, SectionsCanBeDisabled) {
+  Testbed bed;
+  bed.start();
+  bed.run_for(sim::seconds(1));
+  ReportOptions options;
+  options.include_android_view = false;
+  options.include_powertutor_view = false;
+  options.include_open_windows = false;
+  const std::string report =
+      render_device_report(bed, nullptr, nullptr, options);
+  EXPECT_EQ(report.find("Android BatteryStats"), std::string::npos);
+  EXPECT_EQ(report.find("PowerTutor"), std::string::npos);
+  EXPECT_EQ(report.find("open collateral windows"), std::string::npos);
+  EXPECT_NE(report.find("collateral accounting"), std::string::npos);
+}
+
+TEST(ReportTest, ReflectsChargerAndForcedScreen) {
+  Testbed bed;
+  auto* malware = bed.install<WakelockMalware>();
+  bed.start();
+  (void)bed.context_of(WakelockMalware::kPackage);
+  malware->attack();
+  bed.server().plug_charger();
+  bed.run_for(sim::minutes(1));
+  const std::string report = render_device_report(bed);
+  EXPECT_NE(report.find("charging"), std::string::npos);
+  EXPECT_NE(report.find("forced by wakelock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eandroid::apps

@@ -1,0 +1,106 @@
+// The extended stock-app cast, including the paper's benign-collateral
+// story: legitimate apps boost brightness in the foreground, and
+// E-Android charges them the delta — accurate accounting, not an alarm.
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+namespace eandroid::apps {
+namespace {
+
+TEST(StockAppsTest, BrowserUsesWifiWhileForeground) {
+  Testbed bed;
+  bed.install<DemoApp>(browser_spec());
+  bed.start();
+  bed.server().user_launch("com.example.browser");
+  EXPECT_TRUE(bed.server().wifi().active());
+  bed.server().user_press_home();
+  EXPECT_FALSE(bed.server().wifi().active());
+}
+
+TEST(StockAppsTest, BrowserBoostsAndRestoresBrightness) {
+  Testbed bed;
+  bed.install<DemoApp>(browser_spec());
+  bed.start();
+  const int before = bed.server().screen().brightness();
+  bed.server().user_launch("com.example.browser");
+  EXPECT_EQ(bed.server().screen().brightness(), 180);
+  // The legit boost opens a screen window (the paper's point: collateral
+  // exists in normal apps too)...
+  EXPECT_TRUE(bed.eandroid()->tracker().has_window(
+      core::WindowKind::kScreen, bed.uid_of("com.example.browser"),
+      kernelsim::Uid{}));
+  bed.server().user_press_home();
+  // ...and the polite restore closes it and puts the panel back.
+  EXPECT_EQ(bed.server().screen().brightness(), before);
+  EXPECT_EQ(bed.eandroid()->tracker().open_count(), 0u);
+}
+
+TEST(StockAppsTest, BrowserChargedForItsOwnBoost) {
+  Testbed bed;
+  bed.install<DemoApp>(browser_spec());
+  bed.start();
+  bed.server().user_launch("com.example.browser");
+  for (int i = 0; i < 2; ++i) {
+    bed.sim().run_for(sim::seconds(15));
+    bed.server().user_tap(1, 1);
+  }
+  bed.run_for(sim::Duration(0));
+  const double screen_collateral = bed.eandroid()->engine().collateral_from(
+      bed.uid_of("com.example.browser"), core::Entity::screen());
+  EXPECT_GT(screen_collateral, 0.0);
+  // Roughly the delta share: (180-102)*2.4 / (300+180*2.4) of screen mJ.
+  const double screen_total = 30.0 * (300.0 + 180 * 2.4);
+  EXPECT_LT(screen_collateral, screen_total);
+}
+
+TEST(StockAppsTest, MapsUsesGps) {
+  Testbed bed;
+  bed.install<DemoApp>(maps_spec());
+  bed.start();
+  bed.server().user_launch("com.example.maps");
+  EXPECT_TRUE(bed.server().gps().active());
+  bed.server().user_press_home();
+  EXPECT_FALSE(bed.server().gps().active());
+  // GPS tail power persists briefly after.
+  EXPECT_GT(bed.server().gps().breakdown().total_mw, 0.0);
+}
+
+TEST(StockAppsTest, GameBurnsCpu) {
+  Testbed bed;
+  bed.install<DemoApp>(game_spec());
+  bed.start();
+  bed.server().user_launch("com.example.game3d");
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(), 0.70, 1e-9);
+  bed.run_for(sim::seconds(10));
+  // ~700 mW for 10 s.
+  EXPECT_NEAR(bed.battery_stats().app_energy_mj(
+                  bed.uid_of("com.example.game3d")),
+              7000.0, 100.0);
+}
+
+TEST(StockAppsTest, FullCastCoexists) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.install<DemoApp>(contacts_spec());
+  bed.install<DemoApp>(music_spec());
+  bed.install<DemoApp>(browser_spec());
+  bed.install<DemoApp>(maps_spec());
+  bed.install<DemoApp>(game_spec());
+  bed.install<DemoApp>(victim_spec());
+  bed.start();
+  for (const char* package :
+       {"com.example.message", "com.example.browser", "com.example.maps",
+        "com.example.game3d", "com.example.music"}) {
+    EXPECT_TRUE(bed.server().user_launch(package)) << package;
+    bed.sim().run_for(sim::seconds(5));
+  }
+  bed.run_for(sim::seconds(1));
+  EXPECT_NEAR(bed.battery_stats().total_mj(),
+              bed.server().battery().consumed_total_mj(), 1e-3);
+}
+
+}  // namespace
+}  // namespace eandroid::apps

@@ -1,0 +1,118 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/testbed.h"
+
+namespace eandroid::core {
+namespace {
+
+using apps::DemoApp;
+using apps::Testbed;
+
+TEST(AdvisorTest, TooShortObservationIsEmpty) {
+  Testbed bed;
+  bed.start();
+  bed.run_for(sim::seconds(2));
+  BatteryAdvisor advisor(bed.server(), *bed.eandroid());
+  const BatteryForecast forecast = advisor.forecast(sim::seconds(10));
+  EXPECT_TRUE(forecast.advice.empty());
+  EXPECT_DOUBLE_EQ(forecast.average_draw_mw, 0.0);
+  EXPECT_NE(BatteryAdvisor::render(forecast).find("not enough observation"),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, ForecastMatchesObservedDraw) {
+  Testbed bed;
+  apps::DemoAppSpec spec = apps::message_spec();
+  spec.foreground_cpu = 0.3;
+  bed.install<DemoApp>(spec);
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  for (int i = 0; i < 3; ++i) {
+    bed.sim().run_for(sim::seconds(20));
+    bed.server().user_tap(1, 1);
+  }
+  bed.run_for(sim::Duration(0));
+  BatteryAdvisor advisor(bed.server(), *bed.eandroid());
+  const BatteryForecast forecast = advisor.forecast();
+  // Screen ~545 + idle 150 + app 300 ≈ 995 mW.
+  EXPECT_NEAR(forecast.average_draw_mw, 995.0, 30.0);
+  EXPECT_NEAR(forecast.lifetime_h,
+              bed.server().battery().capacity_mj() /
+                  forecast.average_draw_mw / 3600.0,
+              1e-9);
+  EXPECT_LE(forecast.remaining_h, forecast.lifetime_h);
+}
+
+TEST(AdvisorTest, MalwareTopsTheAdviceIncludingCollateral) {
+  Testbed bed;
+  apps::DemoAppSpec victim = apps::victim_spec();
+  victim.wakelock_bug = false;
+  victim.exit_dialog = false;
+  bed.install<DemoApp>(victim);
+  bed.install<apps::BinderMalware>(victim.package, DemoApp::kService);
+  bed.start();
+  (void)bed.context_of(apps::BinderMalware::kPackage);
+  bed.server().user_launch(victim.package);
+  bed.context_of(victim.package)
+      .start_service(framework::Intent::explicit_for(victim.package,
+                                                     DemoApp::kService));
+  bed.sim().run_for(sim::seconds(1));
+  bed.context_of(victim.package)
+      .stop_service(framework::Intent::explicit_for(victim.package,
+                                                    DemoApp::kService));
+  bed.server().user_press_home();
+  for (int i = 0; i < 3; ++i) {
+    bed.sim().run_for(sim::seconds(20));
+    bed.server().user_tap(1, 1);
+  }
+  bed.run_for(sim::Duration(0));
+
+  BatteryAdvisor advisor(bed.server(), *bed.eandroid());
+  const BatteryForecast forecast = advisor.forecast();
+  ASSERT_GE(forecast.advice.size(), 2u);
+  // Removing the malware (which owns the collateral) buys at least as
+  // much as removing the victim.
+  const AppAdvice* malware = nullptr;
+  const AppAdvice* victim_advice = nullptr;
+  for (const auto& advice : forecast.advice) {
+    if (advice.package == apps::BinderMalware::kPackage) malware = &advice;
+    if (advice.package == victim.package) victim_advice = &advice;
+  }
+  ASSERT_NE(malware, nullptr);
+  ASSERT_NE(victim_advice, nullptr);
+  EXPECT_GT(malware->gain_h, 0.0);
+  EXPECT_GE(malware->responsible_mw, victim_advice->responsible_mw * 0.9);
+}
+
+TEST(AdvisorTest, SystemAppsNeverAdvised) {
+  Testbed bed;
+  bed.start();
+  bed.run_for(sim::seconds(30));
+  BatteryAdvisor advisor(bed.server(), *bed.eandroid());
+  for (const auto& advice : advisor.forecast().advice) {
+    EXPECT_NE(advice.package, framework::kLauncherPackage);
+    EXPECT_NE(advice.package, framework::kSystemUiPackage);
+  }
+}
+
+TEST(AdvisorTest, RenderListsAdvice) {
+  Testbed bed;
+  apps::DemoAppSpec spec = apps::message_spec();
+  spec.foreground_cpu = 0.4;
+  bed.install<DemoApp>(spec);
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.run_for(sim::seconds(20));
+  BatteryAdvisor advisor(bed.server(), *bed.eandroid());
+  const std::string text = BatteryAdvisor::render(advisor.forecast());
+  EXPECT_NE(text.find("battery advisor"), std::string::npos);
+  EXPECT_NE(text.find("com.example.message"), std::string::npos);
+  EXPECT_NE(text.find("buys +"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eandroid::core

@@ -1,0 +1,119 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/testbed.h"
+
+namespace eandroid::core {
+namespace {
+
+using apps::DemoApp;
+using apps::Testbed;
+using framework::Intent;
+
+bool has_alert(const std::vector<Alert>& alerts, AlertKind kind,
+               const std::string& package) {
+  for (const auto& alert : alerts) {
+    if (alert.kind == kind && alert.package == package) return true;
+  }
+  return false;
+}
+
+TEST(DetectorTest, QuietDeviceHasNoAlerts) {
+  Testbed bed;
+  bed.install<DemoApp>(apps::message_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.run_for(sim::seconds(30));
+  CollateralAttackDetector detector(bed.server(), *bed.eandroid());
+  EXPECT_TRUE(detector.scan().empty());
+  EXPECT_NE(detector.render({}).find("no collateral-energy alerts"),
+            std::string::npos);
+}
+
+TEST(DetectorTest, FlagsBindServiceAttacker) {
+  Testbed bed;
+  apps::DemoAppSpec victim = apps::victim_spec();
+  victim.wakelock_bug = false;
+  victim.exit_dialog = false;
+  bed.install<DemoApp>(victim);
+  bed.install<apps::BinderMalware>(victim.package, DemoApp::kService);
+  bed.start();
+  (void)bed.context_of(apps::BinderMalware::kPackage);
+  bed.server().user_launch(victim.package);
+  bed.context_of(victim.package)
+      .start_service(Intent::explicit_for(victim.package, DemoApp::kService));
+  bed.sim().run_for(sim::seconds(1));
+  bed.context_of(victim.package)
+      .stop_service(Intent::explicit_for(victim.package, DemoApp::kService));
+  bed.server().user_press_home();
+  for (int i = 0; i < 3; ++i) {
+    bed.sim().run_for(sim::seconds(20));
+    bed.server().user_tap(1, 1);
+  }
+  bed.run_for(sim::Duration(0));
+
+  CollateralAttackDetector detector(bed.server(), *bed.eandroid());
+  const auto alerts = detector.scan();
+  EXPECT_TRUE(has_alert(alerts, AlertKind::kCollateralAttacker,
+                        apps::BinderMalware::kPackage));
+  // The victim is no attacker: its own energy dominates.
+  EXPECT_FALSE(has_alert(alerts, AlertKind::kCollateralAttacker,
+                         victim.package));
+}
+
+TEST(DetectorTest, FlagsWakelockMalwareAsScreenAbuserAndNoSleep) {
+  Testbed bed;
+  auto* malware = bed.install<apps::WakelockMalware>();
+  bed.start();
+  (void)bed.context_of(apps::WakelockMalware::kPackage);
+  malware->attack();
+  bed.run_for(sim::minutes(2));
+
+  CollateralAttackDetector detector(bed.server(), *bed.eandroid());
+  const auto alerts = detector.scan();
+  EXPECT_TRUE(has_alert(alerts, AlertKind::kScreenAbuser,
+                        apps::WakelockMalware::kPackage));
+  EXPECT_TRUE(has_alert(alerts, AlertKind::kNoSleepBug,
+                        apps::WakelockMalware::kPackage));
+  const std::string text = detector.render(alerts);
+  EXPECT_NE(text.find("screen-abuser"), std::string::npos);
+  EXPECT_NE(text.find(apps::WakelockMalware::kPackage), std::string::npos);
+}
+
+TEST(DetectorTest, BenignDriverIsReportedByDesign) {
+  // The Message drives the Camera: rule 1 fires; the paper says such
+  // collateral can be welcome — the tool reports, the user decides.
+  Testbed bed;
+  bed.install<DemoApp>(apps::message_spec());
+  bed.install<DemoApp>(apps::camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(Intent::implicit("android.media.action.VIDEO_CAPTURE"));
+  bed.run_for(sim::seconds(30));
+  CollateralAttackDetector detector(bed.server(), *bed.eandroid());
+  EXPECT_TRUE(has_alert(detector.scan(), AlertKind::kCollateralAttacker,
+                        "com.example.message"));
+}
+
+TEST(DetectorTest, ThresholdsAreRespected) {
+  Testbed bed;
+  bed.install<DemoApp>(apps::message_spec());
+  bed.install<DemoApp>(apps::camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(Intent::implicit("android.media.action.VIDEO_CAPTURE"));
+  bed.run_for(sim::seconds(30));
+  DetectorConfig strict;
+  strict.attacker_floor_mj = 1e9;  // impossible floor
+  CollateralAttackDetector detector(bed.server(), *bed.eandroid(), strict);
+  EXPECT_FALSE(has_alert(detector.scan(), AlertKind::kCollateralAttacker,
+                         "com.example.message"));
+}
+
+}  // namespace
+}  // namespace eandroid::core

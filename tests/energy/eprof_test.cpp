@@ -1,0 +1,97 @@
+#include "energy/eprof.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+namespace eandroid::energy {
+namespace {
+
+using apps::DemoApp;
+using apps::Testbed;
+
+class EprofTest : public ::testing::Test {
+ protected:
+  EprofTest() : eprof_(bed_.server().packages()) {
+    apps::DemoAppSpec spec = apps::victim_spec();
+    spec.package = "com.eprof.app";
+    spec.wakelock_bug = false;
+    spec.exit_dialog = false;
+    spec.foreground_cpu = 0.10;  // DemoApp tags this "activity"
+    spec.service_cpu = 0.30;     // and this "service"
+    bed_.install<DemoApp>(spec);
+    bed_.sampler().add_sink(&eprof_);
+    bed_.start();
+  }
+  Testbed bed_;
+  Eprof eprof_;
+};
+
+TEST_F(EprofTest, SplitsEnergyByRoutine) {
+  bed_.server().user_launch("com.eprof.app");
+  bed_.context_of("com.eprof.app")
+      .start_service(
+          framework::Intent::explicit_for("com.eprof.app", DemoApp::kService));
+  bed_.run_for(sim::seconds(10));
+  const kernelsim::Uid uid = bed_.uid_of("com.eprof.app");
+  const double activity = eprof_.routine_mj(uid, "activity");
+  const double service = eprof_.routine_mj(uid, "service");
+  EXPECT_GT(activity, 0.0);
+  EXPECT_GT(service, 0.0);
+  // 0.30 vs 0.10 duty -> 3:1 energy split.
+  EXPECT_NEAR(service / activity, 3.0, 0.05);
+}
+
+TEST_F(EprofTest, RoutineSumMatchesAppCpuEnergy) {
+  bed_.server().user_launch("com.eprof.app");
+  bed_.run_for(sim::seconds(5));
+  const kernelsim::Uid uid = bed_.uid_of("com.eprof.app");
+  // Eprof's per-routine total equals the profilers' per-app CPU total.
+  EXPECT_NEAR(eprof_.app_cpu_mj(uid),
+              bed_.battery_stats().app_energy_mj(uid), 1e-6);
+}
+
+TEST_F(EprofTest, IpcBurstsLandUnderIpcRoutine) {
+  bed_.server().user_launch("com.eprof.app");
+  bed_.context_of("com.eprof.app").cpu_burst(sim::millis(100));
+  bed_.run_for(sim::seconds(1));
+  EXPECT_GT(eprof_.routine_mj(bed_.uid_of("com.eprof.app"), "ipc"), 0.0);
+}
+
+TEST_F(EprofTest, ProfileSortedWithPercents) {
+  bed_.server().user_launch("com.eprof.app");
+  bed_.context_of("com.eprof.app")
+      .start_service(
+          framework::Intent::explicit_for("com.eprof.app", DemoApp::kService));
+  bed_.run_for(sim::seconds(10));
+  const auto profile = eprof_.profile_of(bed_.uid_of("com.eprof.app"));
+  ASSERT_GE(profile.size(), 2u);
+  EXPECT_EQ(profile[0].routine, "service");  // the hog is first
+  double percent_sum = 0.0;
+  for (const auto& entry : profile) percent_sum += entry.percent_of_app;
+  EXPECT_NEAR(percent_sum, 100.0, 1e-6);
+}
+
+TEST_F(EprofTest, UnknownAppIsEmpty) {
+  EXPECT_TRUE(eprof_.profile_of(kernelsim::Uid{42}).empty());
+  EXPECT_DOUBLE_EQ(eprof_.app_cpu_mj(kernelsim::Uid{42}), 0.0);
+}
+
+TEST_F(EprofTest, RenderNamesRoutines) {
+  bed_.server().user_launch("com.eprof.app");
+  bed_.run_for(sim::seconds(2));
+  const std::string text = eprof_.render(bed_.uid_of("com.eprof.app"));
+  EXPECT_NE(text.find("com.eprof.app"), std::string::npos);
+  EXPECT_NE(text.find("activity"), std::string::npos);
+}
+
+TEST_F(EprofTest, ResetClears) {
+  bed_.server().user_launch("com.eprof.app");
+  bed_.run_for(sim::seconds(2));
+  eprof_.reset();
+  EXPECT_DOUBLE_EQ(eprof_.app_cpu_mj(bed_.uid_of("com.eprof.app")), 0.0);
+}
+
+}  // namespace
+}  // namespace eandroid::energy

@@ -1,0 +1,151 @@
+#include "energy/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::energy {
+namespace {
+
+using framework::testing::RecordingApp;
+using framework::testing::simple_manifest;
+
+/// Sink that accumulates raw slices for inspection.
+class CollectingSink : public AccountingSink {
+ public:
+  void on_slice(const EnergySlice& slice) override {
+    slices.push_back(slice);
+    total_mj += slice.total_mj();
+  }
+  std::vector<EnergySlice> slices;
+  double total_mj = 0.0;
+};
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  SamplerTest() : server_(sim_), sampler_(server_, sim::millis(250)) {
+    framework::Manifest m = simple_manifest("com.app");
+    m.permissions.push_back(framework::Permission::kWakeLock);
+    server_.install(std::move(m), std::make_unique<RecordingApp>());
+    server_.boot();
+    sampler_.add_sink(&sink_);
+    sampler_.start();
+  }
+
+  kernelsim::Uid uid() { return server_.packages().find("com.app")->uid; }
+  framework::Context& ctx() {
+    server_.ensure_process(uid());
+    return server_.context_of(uid());
+  }
+
+  sim::Simulator sim_;
+  framework::SystemServer server_;
+  EnergySampler sampler_;
+  CollectingSink sink_;
+};
+
+TEST_F(SamplerTest, EmitsOneSlicePerPeriod) {
+  sim_.run_for(sim::seconds(1));
+  EXPECT_EQ(sink_.slices.size(), 4u);
+  EXPECT_EQ(sampler_.slices_emitted(), 4u);
+}
+
+TEST_F(SamplerTest, SliceWindowsAreContiguous) {
+  sim_.run_for(sim::seconds(1));
+  for (std::size_t i = 1; i < sink_.slices.size(); ++i) {
+    EXPECT_EQ(sink_.slices[i].begin, sink_.slices[i - 1].end);
+  }
+}
+
+TEST_F(SamplerTest, BatteryDrainMatchesSliceTotals) {
+  ctx().set_cpu_load("x", 0.5);
+  sim_.run_for(sim::seconds(10));
+  sampler_.flush();
+  EXPECT_NEAR(server_.battery().drained_mj(), sink_.total_mj, 1e-6);
+}
+
+TEST_F(SamplerTest, IdleAwakeDrawsBaseline) {
+  sim_.run_for(sim::millis(250));
+  ASSERT_FALSE(sink_.slices.empty());
+  const EnergySlice& slice = sink_.slices.front();
+  // 250 ms of idle CPU + screen at default brightness.
+  const auto& p = server_.params();
+  const double expected_cpu = p.cpu_idle_awake_mw * 0.25;
+  const double expected_screen =
+      (p.screen_base_mw + 102 * p.screen_per_level_mw) * 0.25;
+  EXPECT_NEAR(slice.system_mj, expected_cpu, 1e-6);
+  EXPECT_NEAR(slice.screen_mj, expected_screen, 1e-6);
+  EXPECT_TRUE(slice.screen_on);
+}
+
+TEST_F(SamplerTest, CpuLoadAttributedToApp) {
+  ctx().set_cpu_load("x", 0.4);
+  sink_.slices.clear();
+  sim_.run_for(sim::millis(250));
+  ASSERT_FALSE(sink_.slices.empty());
+  const EnergySlice& slice = sink_.slices.back();
+  const double expected = server_.params().cpu_active_mw * 0.4 * 0.25;
+  EXPECT_NEAR(slice.apps.at(uid()).cpu_mj, expected, 1e-6);
+}
+
+TEST_F(SamplerTest, CameraSessionAttributedToApp) {
+  const hw::SessionId session = ctx().camera_begin();
+  sink_.slices.clear();
+  sim_.run_for(sim::millis(250));
+  const EnergySlice& slice = sink_.slices.back();
+  EXPECT_NEAR(slice.apps.at(uid()).camera_mj,
+              server_.params().camera_active_mw * 0.25, 1e-6);
+  ctx().camera_end(session);
+}
+
+TEST_F(SamplerTest, SuspendedDeviceDrawsAlmostNothing) {
+  sim_.run_for(sim::minutes(1));  // screen times out, device suspends
+  ASSERT_TRUE(server_.power().suspended());
+  sink_.slices.clear();
+  sim_.run_for(sim::millis(250));
+  const EnergySlice& slice = sink_.slices.back();
+  EXPECT_NEAR(slice.total_mj(), server_.params().cpu_suspend_mw * 0.25, 1e-6);
+  EXPECT_FALSE(slice.screen_on);
+  EXPECT_DOUBLE_EQ(slice.screen_mj, 0.0);
+}
+
+TEST_F(SamplerTest, ForcedScreenFlagReachesSlices) {
+  ctx().acquire_wakelock(framework::WakelockType::kScreenBright, "t");
+  sim_.run_for(sim::minutes(1));
+  sink_.slices.clear();
+  sim_.run_for(sim::millis(250));
+  const EnergySlice& slice = sink_.slices.back();
+  EXPECT_TRUE(slice.screen_forced_by_wakelock);
+  ASSERT_EQ(slice.screen_wakelock_owners.size(), 1u);
+  EXPECT_EQ(slice.screen_wakelock_owners[0], uid());
+}
+
+TEST_F(SamplerTest, FlushClosesPartialWindow) {
+  sim_.run_for(sim::millis(100));  // not a full period
+  EXPECT_TRUE(sink_.slices.empty());
+  sampler_.flush();
+  ASSERT_EQ(sink_.slices.size(), 1u);
+  EXPECT_EQ(sink_.slices[0].length(), sim::millis(100));
+}
+
+TEST_F(SamplerTest, StopHaltsEmission) {
+  sim_.run_for(sim::millis(500));
+  const std::size_t n = sink_.slices.size();
+  sampler_.stop();
+  sim_.run_for(sim::seconds(2));
+  EXPECT_EQ(sink_.slices.size(), n);
+}
+
+TEST_F(SamplerTest, ForegroundUidRecorded) {
+  server_.user_launch("com.app");
+  sink_.slices.clear();
+  sim_.run_for(sim::millis(250));
+  EXPECT_EQ(sink_.slices.back().foreground, uid());
+}
+
+}  // namespace
+}  // namespace eandroid::energy

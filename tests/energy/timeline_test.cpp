@@ -1,0 +1,106 @@
+#include "energy/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/testbed.h"
+
+namespace eandroid::energy {
+namespace {
+
+using apps::DemoApp;
+using apps::Testbed;
+
+TEST(TimelineTest, RecordsOneRowPerSlice) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages());
+  bed.sampler().add_sink(&recorder);
+  bed.start();
+  bed.sim().run_for(sim::seconds(2));  // 8 slices at 250 ms
+  EXPECT_EQ(recorder.rows().size(), 8u);
+  EXPECT_NEAR(recorder.rows().back().t_seconds, 2.0, 1e-9);
+}
+
+TEST(TimelineTest, RowsCaptureForegroundAndAppEnergy) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages());
+  bed.sampler().add_sink(&recorder);
+  bed.install<DemoApp>(apps::message_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.run_for(sim::seconds(1));
+  const auto& row = recorder.rows().back();
+  EXPECT_EQ(row.foreground, "com.example.message");
+  ASSERT_FALSE(row.apps.empty());
+  EXPECT_EQ(row.apps[0].first, "com.example.message");
+  EXPECT_GT(row.apps[0].second, 0.0);
+  EXPECT_TRUE(row.screen_on);
+}
+
+TEST(TimelineTest, MaxRowsCapDropsExcess) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages(), /*max_rows=*/3);
+  bed.sampler().add_sink(&recorder);
+  bed.start();
+  bed.sim().run_for(sim::seconds(2));
+  EXPECT_EQ(recorder.rows().size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 5u);
+}
+
+TEST(TimelineTest, CsvHasHeaderAndPseudoRows) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages());
+  bed.sampler().add_sink(&recorder);
+  bed.start();
+  bed.run_for(sim::millis(250));
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("t_seconds,consumer,energy_mj"), std::string::npos);
+  EXPECT_NE(csv.find(",Screen,"), std::string::npos);
+  EXPECT_NE(csv.find(",AndroidOS,"), std::string::npos);
+}
+
+TEST(TimelineTest, CsvEnergySumsMatchBattery) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages());
+  bed.sampler().add_sink(&recorder);
+  bed.install<DemoApp>(apps::message_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.run_for(sim::seconds(3));
+  double total = 0.0;
+  for (const auto& row : recorder.rows()) total += row.total_mj;
+  EXPECT_NEAR(total, bed.server().battery().drained_mj(), 1e-6);
+}
+
+TEST(TimelineTest, ClearResets) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages(), 1);
+  bed.sampler().add_sink(&recorder);
+  bed.start();
+  bed.sim().run_for(sim::seconds(1));
+  recorder.clear();
+  EXPECT_TRUE(recorder.rows().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TimelineTest, ForcedScreenFlagAppearsInTrace) {
+  Testbed bed;
+  TimelineRecorder recorder(bed.server().packages());
+  bed.sampler().add_sink(&recorder);
+  auto* malware = bed.install<apps::WakelockMalware>();
+  bed.start();
+  (void)bed.context_of(apps::WakelockMalware::kPackage);
+  malware->attack();
+  bed.run_for(sim::minutes(1));
+  bool saw_forced = false;
+  for (const auto& row : recorder.rows()) saw_forced |= row.screen_forced;
+  EXPECT_TRUE(saw_forced);
+}
+
+}  // namespace
+}  // namespace eandroid::energy

@@ -1,0 +1,316 @@
+#include "framework/activity_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::EventLog;
+using testing::RecordingApp;
+using State = ActivityRecord::State;
+
+class ActivityManagerTest : public ::testing::Test {
+ protected:
+  ActivityManagerTest() : server_(sim_) {}
+
+  RecordingApp* install(const std::string& package, bool exported = true) {
+    auto app = std::make_unique<RecordingApp>();
+    RecordingApp* borrowed = app.get();
+    server_.install(testing::simple_manifest(package, exported),
+                    std::move(app));
+    return borrowed;
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+};
+
+TEST_F(ActivityManagerTest, BootPutsLauncherInForeground) {
+  server_.boot();
+  EXPECT_EQ(server_.activities().foreground_uid(), server_.launcher_uid());
+  EXPECT_EQ(server_.activities().task_count(), 1u);
+}
+
+TEST_F(ActivityManagerTest, UserLaunchBringsAppToForeground) {
+  RecordingApp* app = install("com.a");
+  server_.boot();
+  EXPECT_TRUE(server_.user_launch("com.a"));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.a"));
+  EXPECT_TRUE(app->saw("create:Main"));
+  EXPECT_TRUE(app->saw("resume:Main"));
+  EXPECT_EQ(server_.activities().activity_state("com.a", "Main"),
+            State::kResumed);
+}
+
+TEST_F(ActivityManagerTest, LaunchUnknownPackageFails) {
+  server_.boot();
+  EXPECT_FALSE(server_.user_launch("com.missing"));
+}
+
+TEST_F(ActivityManagerTest, HomeStopsForegroundApp) {
+  RecordingApp* app = install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.user_press_home();
+  EXPECT_EQ(server_.activities().foreground_uid(), server_.launcher_uid());
+  EXPECT_TRUE(app->saw("pause:Main"));
+  EXPECT_TRUE(app->saw("stop:Main"));
+  EXPECT_EQ(server_.activities().activity_state("com.a", "Main"),
+            State::kStopped);
+}
+
+TEST_F(ActivityManagerTest, RelaunchResumesExistingTask) {
+  RecordingApp* app = install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.user_press_home();
+  server_.user_launch("com.a");
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.a"));
+  // Not recreated: one create, two resumes.
+  EXPECT_EQ(app->count("create:Main"), 1);
+  EXPECT_EQ(app->count("resume:Main"), 2);
+}
+
+TEST_F(ActivityManagerTest, CrossAppStartPushesOntoCurrentTask) {
+  install("com.a");
+  RecordingApp* b = install("com.b");
+  server_.boot();
+  server_.user_launch("com.a");
+  const std::size_t tasks_before = server_.activities().task_count();
+  EXPECT_TRUE(server_.context_of(uid("com.a"))
+                  .start_activity(Intent::explicit_for("com.b", "Main")));
+  EXPECT_EQ(server_.activities().task_count(), tasks_before);
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.b"));
+  EXPECT_TRUE(b->saw("resume:Main"));
+  EXPECT_EQ(server_.activities().activity_state("com.a", "Main"),
+            State::kStopped);
+}
+
+TEST_F(ActivityManagerTest, NewTaskFlagCreatesSeparateTask) {
+  install("com.a");
+  install("com.b");
+  server_.boot();
+  server_.user_launch("com.a");
+  const std::size_t tasks_before = server_.activities().task_count();
+  Intent intent = Intent::explicit_for("com.b", "Main");
+  intent.new_task = true;
+  server_.context_of(uid("com.a")).start_activity(intent);
+  EXPECT_EQ(server_.activities().task_count(), tasks_before + 1);
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.b"));
+}
+
+TEST_F(ActivityManagerTest, StartNonExportedForeignActivityFails) {
+  install("com.a");
+  install("com.b", /*exported=*/false);
+  server_.boot();
+  server_.user_launch("com.a");
+  EXPECT_FALSE(server_.context_of(uid("com.a"))
+                   .start_activity(Intent::explicit_for("com.b", "Main")));
+}
+
+TEST_F(ActivityManagerTest, ImplicitIntentUsesChooser) {
+  auto manifest = testing::simple_manifest("com.cam");
+  manifest.activities[0].intent_actions = {"CAPTURE"};
+  server_.install(std::move(manifest), std::make_unique<RecordingApp>());
+  install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  EXPECT_TRUE(server_.context_of(uid("com.a"))
+                  .start_activity(Intent::implicit("CAPTURE")));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.cam"));
+}
+
+TEST_F(ActivityManagerTest, ImplicitIntentWithNoMatchFails) {
+  install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  EXPECT_FALSE(server_.context_of(uid("com.a"))
+                   .start_activity(Intent::implicit("NO_SUCH_ACTION")));
+}
+
+TEST_F(ActivityManagerTest, ResolverChooserCanPickAndCancel) {
+  auto m1 = testing::simple_manifest("com.cam1");
+  m1.activities[0].intent_actions = {"CAPTURE"};
+  auto m2 = testing::simple_manifest("com.cam2");
+  m2.activities[0].intent_actions = {"CAPTURE"};
+  server_.install(std::move(m1), std::make_unique<RecordingApp>());
+  server_.install(std::move(m2), std::make_unique<RecordingApp>());
+  install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+
+  server_.activities().set_resolver_chooser(
+      [](const std::vector<ComponentRef>& matches)
+          -> std::optional<ComponentRef> { return matches.back(); });
+  EXPECT_TRUE(server_.context_of(uid("com.a"))
+                  .start_activity(Intent::implicit("CAPTURE")));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.cam2"));
+
+  server_.activities().set_resolver_chooser(
+      [](const std::vector<ComponentRef>&) -> std::optional<ComponentRef> {
+        return std::nullopt;  // user backed out of the resolver
+      });
+  EXPECT_FALSE(server_.context_of(uid("com.a"))
+                   .start_activity(Intent::implicit("CAPTURE")));
+}
+
+TEST_F(ActivityManagerTest, FinishRevealsActivityBelow) {
+  RecordingApp* a = install("com.a");
+  install("com.b");
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.context_of(uid("com.a"))
+      .start_activity(Intent::explicit_for("com.b", "Main"));
+  EXPECT_TRUE(server_.context_of(uid("com.b")).finish_activity("Main"));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.a"));
+  EXPECT_EQ(a->count("resume:Main"), 2);
+}
+
+TEST_F(ActivityManagerTest, BackFinishesTopActivity) {
+  RecordingApp* a = install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.user_press_back();
+  EXPECT_TRUE(a->saw("destroy:Main"));
+  EXPECT_EQ(server_.activities().foreground_uid(), server_.launcher_uid());
+  EXPECT_EQ(server_.activities().activity_state("com.a", "Main"),
+            State::kDestroyed);
+}
+
+TEST_F(ActivityManagerTest, TransparentActivityOnlyPausesBelow) {
+  auto manifest = testing::simple_manifest("com.overlay");
+  manifest.activities.push_back(
+      ActivityDecl{"Glass", /*exported=*/true, {}, /*transparent=*/true});
+  server_.install(std::move(manifest), std::make_unique<RecordingApp>());
+  RecordingApp* victim = install("com.victim");
+  server_.boot();
+  server_.user_launch("com.victim");
+  server_.context_of(uid("com.overlay"))
+      .start_activity(Intent::explicit_for("com.overlay", "Glass"));
+  EXPECT_EQ(server_.activities().activity_state("com.victim", "Main"),
+            State::kPaused);
+  EXPECT_TRUE(victim->saw("pause:Main"));
+  EXPECT_FALSE(victim->saw("stop:Main"));
+}
+
+TEST_F(ActivityManagerTest, StartHomeAttributedToCaller) {
+  install("com.a");
+  install("com.mal");
+  server_.boot();
+  server_.user_launch("com.a");
+  EventLog log(server_.events());
+  EXPECT_TRUE(server_.context_of(uid("com.mal")).start_home());
+  const FwEvent* interrupt = log.last(FwEventType::kActivityInterrupt);
+  ASSERT_NE(interrupt, nullptr);
+  EXPECT_EQ(interrupt->driving, uid("com.mal"));
+  EXPECT_EQ(interrupt->driven, uid("com.a"));
+  EXPECT_FALSE(interrupt->by_user);
+}
+
+TEST_F(ActivityManagerTest, UserHomeInterruptIsFlaggedByUser) {
+  install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  EventLog log(server_.events());
+  server_.user_press_home();
+  const FwEvent* interrupt = log.last(FwEventType::kActivityInterrupt);
+  ASSERT_NE(interrupt, nullptr);
+  EXPECT_TRUE(interrupt->by_user);
+}
+
+TEST_F(ActivityManagerTest, MoveTaskToFrontNeedsPermission) {
+  install("com.a");
+  auto manifest = testing::simple_manifest("com.priv");
+  manifest.permissions.push_back(Permission::kReorderTasks);
+  server_.install(std::move(manifest), std::make_unique<RecordingApp>());
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.user_press_home();
+
+  EXPECT_FALSE(
+      server_.context_of(uid("com.a")).move_task_to_front("com.a"));
+  EXPECT_TRUE(
+      server_.context_of(uid("com.priv")).move_task_to_front("com.a"));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.a"));
+}
+
+TEST_F(ActivityManagerTest, CrossAppStartPublishesStartAndInterrupt) {
+  install("com.a");
+  install("com.b");
+  server_.boot();
+  server_.user_launch("com.a");
+  EventLog log(server_.events());
+  server_.context_of(uid("com.a"))
+      .start_activity(Intent::explicit_for("com.b", "Main"));
+  const FwEvent* start = log.last(FwEventType::kActivityStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->driving, uid("com.a"));
+  EXPECT_EQ(start->driven, uid("com.b"));
+  // The interruption of A is attributed to the operation's initiator (A
+  // itself here), so no cross-app interrupt event is published.
+  EXPECT_EQ(log.count(FwEventType::kActivityInterrupt), 0);
+}
+
+TEST_F(ActivityManagerTest, ForegroundChangePublishedOnSwitch) {
+  install("com.a");
+  server_.boot();
+  EventLog log(server_.events());
+  server_.user_launch("com.a");
+  const FwEvent* change = log.last(FwEventType::kForegroundChange);
+  ASSERT_NE(change, nullptr);
+  EXPECT_EQ(change->driven, uid("com.a"));
+  EXPECT_EQ(change->driving, server_.launcher_uid());
+  EXPECT_TRUE(change->by_user);
+}
+
+TEST_F(ActivityManagerTest, ProcessDeathDestroysActivities) {
+  install("com.a");
+  server_.boot();
+  server_.user_launch("com.a");
+  EventLog log(server_.events());
+  server_.kill_app(uid("com.a"));
+  EXPECT_EQ(server_.activities().foreground_uid(), server_.launcher_uid());
+  EXPECT_EQ(server_.activities().activity_state("com.a", "Main"),
+            State::kDestroyed);
+  EXPECT_EQ(log.count(FwEventType::kAppDestroyed), 1);
+}
+
+TEST_F(ActivityManagerTest, BackgroundUidsListsStoppedApps) {
+  install("com.a");
+  install("com.b");
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.user_launch("com.b");
+  const auto background = server_.activities().background_uids();
+  bool found_a = false;
+  for (kernelsim::Uid u : background) {
+    if (u == uid("com.a")) found_a = true;
+    EXPECT_NE(u, uid("com.b"));  // b is foreground
+  }
+  EXPECT_TRUE(found_a);
+}
+
+TEST_F(ActivityManagerTest, UserSwitchToRestoresTaskState) {
+  RecordingApp* a = install("com.a");
+  install("com.b");
+  server_.boot();
+  server_.user_launch("com.a");
+  server_.user_launch("com.b");
+  EXPECT_TRUE(server_.user_switch_to("com.a"));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.a"));
+  EXPECT_EQ(a->count("create:Main"), 1);  // restored, not recreated
+  EXPECT_FALSE(server_.user_switch_to("com.never-started"));
+}
+
+}  // namespace
+}  // namespace eandroid::framework

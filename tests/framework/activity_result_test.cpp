@@ -1,0 +1,82 @@
+// startActivityForResult / setResult round trips — the Fig 1 mechanism by
+// which "the video is returned to the Message app".
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+namespace eandroid::framework {
+namespace {
+
+using apps::DemoApp;
+using apps::Testbed;
+
+class ActivityResultTest : public ::testing::Test {
+ protected:
+  ActivityResultTest() {
+    message_ = bed_.install<DemoApp>(apps::message_spec());
+    bed_.install<DemoApp>(apps::camera_spec());
+    bed_.start();
+    bed_.server().user_launch("com.example.message");
+  }
+  Testbed bed_;
+  DemoApp* message_ = nullptr;
+};
+
+TEST_F(ActivityResultTest, CaptureReturnsOkResult) {
+  bed_.context_of("com.example.message")
+      .start_activity_for_result(
+          Intent::implicit("android.media.action.VIDEO_CAPTURE"), 42);
+  bed_.sim().run_for(sim::seconds(31));  // capture auto-finishes at 30 s
+  ASSERT_EQ(message_->results_received().size(), 1u);
+  EXPECT_EQ(message_->results_received()[0].first, 42);
+  EXPECT_TRUE(message_->results_received()[0].second);
+  // And the requester is foreground again.
+  EXPECT_EQ(bed_.server().activities().foreground_uid(),
+            bed_.uid_of("com.example.message"));
+}
+
+TEST_F(ActivityResultTest, UserBackDeliversCancelled) {
+  bed_.context_of("com.example.message")
+      .start_activity_for_result(
+          Intent::implicit("android.media.action.VIDEO_CAPTURE"), 7);
+  bed_.sim().run_for(sim::seconds(2));
+  bed_.server().user_press_back();  // user aborts the capture
+  ASSERT_EQ(message_->results_received().size(), 1u);
+  EXPECT_EQ(message_->results_received()[0].first, 7);
+  EXPECT_FALSE(message_->results_received()[0].second);
+}
+
+TEST_F(ActivityResultTest, PlainStartDeliversNothing) {
+  bed_.context_of("com.example.message")
+      .start_activity(Intent::implicit("android.media.action.VIDEO_CAPTURE"));
+  bed_.sim().run_for(sim::seconds(31));
+  EXPECT_TRUE(message_->results_received().empty());
+}
+
+TEST_F(ActivityResultTest, ResultSurvivesRequesterInBackground) {
+  bed_.context_of("com.example.message")
+      .start_activity_for_result(
+          Intent::implicit("android.media.action.VIDEO_CAPTURE"), 1);
+  // The user wanders off to the launcher mid-capture.
+  bed_.server().user_press_home();
+  bed_.sim().run_for(sim::seconds(31));
+  // The capture's auto-finish only fires while it was resumed; switch the
+  // task forward and let it complete.
+  bed_.server().user_switch_to("com.example.message");
+  bed_.sim().run_for(sim::seconds(31));
+  ASSERT_EQ(message_->results_received().size(), 1u);
+  EXPECT_TRUE(message_->results_received()[0].second);
+}
+
+TEST_F(ActivityResultTest, DeadRequesterIsSkipped) {
+  bed_.context_of("com.example.message")
+      .start_activity_for_result(
+          Intent::implicit("android.media.action.VIDEO_CAPTURE"), 9);
+  bed_.server().kill_app(bed_.uid_of("com.example.message"));
+  bed_.sim().run_for(sim::seconds(31));  // no crash, no delivery
+  EXPECT_TRUE(message_->results_received().empty());
+}
+
+}  // namespace
+}  // namespace eandroid::framework

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/alarm_manager.h"
+#include "framework/broadcast_manager.h"
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::EventLog;
+using testing::RecordingApp;
+using testing::simple_manifest;
+
+/// App that records broadcasts/alarms and can auto-start a service.
+class ReactiveApp : public AppCode {
+ public:
+  void on_broadcast(Context& ctx, const std::string& action) override {
+    broadcasts.push_back(action);
+    if (!start_on_broadcast.empty()) {
+      ctx.start_service(Intent::explicit_for(ctx.package(),
+                                             start_on_broadcast));
+    }
+  }
+  void on_alarm(Context&, const std::string& tag) override {
+    alarms.push_back(tag);
+  }
+  std::vector<std::string> broadcasts;
+  std::vector<std::string> alarms;
+  std::string start_on_broadcast;
+};
+
+class BroadcastAlarmTest : public ::testing::Test {
+ protected:
+  BroadcastAlarmTest() : server_(sim_) {
+    Manifest listener = simple_manifest("com.listener");
+    listener.receivers.push_back(
+        ReceiverDecl{"Unlock", {kActionUserPresent}});
+    listener.services.push_back(ServiceDecl{"Sync", /*exported=*/false, {}});
+    auto code = std::make_unique<ReactiveApp>();
+    listener_ = code.get();
+    server_.install(std::move(listener), std::move(code));
+
+    server_.install(simple_manifest("com.plain"),
+                    std::make_unique<RecordingApp>());
+    server_.boot();
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+  Context& ctx(const std::string& package) {
+    server_.ensure_process(uid(package));
+    return server_.context_of(uid(package));
+  }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+  ReactiveApp* listener_ = nullptr;
+};
+
+TEST_F(BroadcastAlarmTest, ManifestReceiverWokenBySystemBroadcast) {
+  EXPECT_FALSE(server_.pid_of(uid("com.listener")).valid());
+  server_.user_unlock();
+  // The listener's process was spawned just to deliver the broadcast —
+  // the stealth auto-launch channel.
+  EXPECT_TRUE(server_.pid_of(uid("com.listener")).valid());
+  ASSERT_EQ(listener_->broadcasts.size(), 1u);
+  EXPECT_EQ(listener_->broadcasts[0], kActionUserPresent);
+}
+
+TEST_F(BroadcastAlarmTest, BootCompletedDeliveredAtBoot) {
+  // A second server whose listener registers for BOOT_COMPLETED.
+  sim::Simulator sim;
+  SystemServer server(sim);
+  Manifest m = simple_manifest("com.boot");
+  m.receivers.push_back(ReceiverDecl{"Boot", {kActionBootCompleted}});
+  auto code = std::make_unique<ReactiveApp>();
+  ReactiveApp* app = code.get();
+  server.install(std::move(m), std::move(code));
+  server.boot();
+  ASSERT_EQ(app->broadcasts.size(), 1u);
+  EXPECT_EQ(app->broadcasts[0], kActionBootCompleted);
+}
+
+TEST_F(BroadcastAlarmTest, DynamicRegistrationAndUnregistration) {
+  ctx("com.plain");
+  server_.broadcasts().register_receiver(uid("com.listener"), "CUSTOM");
+  EXPECT_EQ(ctx("com.plain").send_broadcast("CUSTOM"), 1);
+  server_.broadcasts().unregister_receiver(uid("com.listener"), "CUSTOM");
+  EXPECT_EQ(ctx("com.plain").send_broadcast("CUSTOM"), 0);
+}
+
+TEST_F(BroadcastAlarmTest, SenderDoesNotReceiveItsOwnBroadcast) {
+  ctx("com.listener").register_receiver("PING");
+  EXPECT_EQ(ctx("com.listener").send_broadcast("PING"), 0);
+}
+
+TEST_F(BroadcastAlarmTest, DeliveryPublishesEventWithUids) {
+  EventLog log(server_.events());
+  ctx("com.plain");
+  server_.broadcasts().register_receiver(uid("com.listener"), "CUSTOM");
+  ctx("com.plain").send_broadcast("CUSTOM");
+  const FwEvent* event = log.last(FwEventType::kBroadcastDelivered);
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->driving, uid("com.plain"));
+  EXPECT_EQ(event->driven, uid("com.listener"));
+  EXPECT_EQ(event->component, "CUSTOM");
+}
+
+TEST_F(BroadcastAlarmTest, ReceiverCanStartItsServiceFromOnReceive) {
+  listener_->start_on_broadcast = "Sync";
+  server_.user_unlock();
+  EXPECT_TRUE(server_.services().running("com.listener", "Sync"));
+}
+
+TEST_F(BroadcastAlarmTest, DedupOneDeliveryPerApp) {
+  // Static + dynamic registration for the same action: one onReceive.
+  server_.ensure_process(uid("com.listener"));
+  server_.broadcasts().register_receiver(uid("com.listener"),
+                                         kActionUserPresent);
+  server_.user_unlock();
+  EXPECT_EQ(listener_->broadcasts.size(), 1u);
+}
+
+TEST_F(BroadcastAlarmTest, AlarmFiresAtScheduledTime) {
+  ctx("com.listener").set_alarm(sim::seconds(10), "sync");
+  sim_.run_for(sim::seconds(9));
+  EXPECT_TRUE(listener_->alarms.empty());
+  sim_.run_for(sim::seconds(2));
+  ASSERT_EQ(listener_->alarms.size(), 1u);
+  EXPECT_EQ(listener_->alarms[0], "sync");
+  EXPECT_EQ(server_.alarms().pending_count(), 0u);
+}
+
+TEST_F(BroadcastAlarmTest, RepeatingAlarmRefires) {
+  const AlarmId id = ctx("com.listener")
+                         .set_alarm(sim::seconds(5), "tick", true,
+                                    sim::seconds(5));
+  sim_.run_for(sim::seconds(16));
+  EXPECT_EQ(listener_->alarms.size(), 3u);
+  EXPECT_TRUE(server_.alarms().cancel(id));
+  sim_.run_for(sim::seconds(20));
+  EXPECT_EQ(listener_->alarms.size(), 3u);
+}
+
+TEST_F(BroadcastAlarmTest, CancelledAlarmNeverFires) {
+  const AlarmId id = ctx("com.listener").set_alarm(sim::seconds(5), "x");
+  EXPECT_TRUE(ctx("com.listener").cancel_alarm(id));
+  EXPECT_FALSE(ctx("com.listener").cancel_alarm(id));
+  sim_.run_for(sim::seconds(10));
+  EXPECT_TRUE(listener_->alarms.empty());
+}
+
+TEST_F(BroadcastAlarmTest, AlarmWakesSuspendedDevice) {
+  ctx("com.listener").set_alarm(sim::minutes(5), "rtc");
+  sim_.run_for(sim::minutes(2));
+  ASSERT_TRUE(server_.power().suspended());  // screen timed out long ago
+  sim_.run_for(sim::minutes(4));
+  EXPECT_EQ(listener_->alarms.size(), 1u);  // fired despite suspend
+}
+
+TEST_F(BroadcastAlarmTest, CancelAllOfUid) {
+  ctx("com.listener").set_alarm(sim::seconds(5), "a");
+  ctx("com.listener").set_alarm(sim::seconds(6), "b");
+  ctx("com.plain").set_alarm(sim::seconds(7), "c");
+  EXPECT_EQ(server_.alarms().cancel_all_of(uid("com.listener")), 2);
+  EXPECT_EQ(server_.alarms().pending_count(), 1u);
+}
+
+TEST_F(BroadcastAlarmTest, IncomingCallInterruptsAndReturns) {
+  server_.user_launch("com.plain");
+  server_.simulate_incoming_call(sim::seconds(10));
+  EXPECT_EQ(server_.activities().foreground_uid(), server_.phone_uid());
+  EXPECT_EQ(server_.activities().activity_state("com.plain", "Main"),
+            ActivityRecord::State::kStopped);
+  sim_.run_for(sim::seconds(11));
+  // Call ended: the interrupted app resumes.
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.plain"));
+}
+
+}  // namespace
+}  // namespace eandroid::framework

@@ -1,0 +1,135 @@
+// Direct coverage of the Context API surface (the app-facing SDK analog).
+#include "framework/context.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+namespace eandroid::framework {
+namespace {
+
+using apps::DemoApp;
+using apps::DemoAppSpec;
+using apps::Testbed;
+
+class ContextTest : public ::testing::Test {
+ protected:
+  ContextTest() {
+    DemoAppSpec spec = apps::message_spec();
+    spec.package = "com.ctx.app";
+    spec.permissions = {Permission::kWakeLock, Permission::kWriteSettings};
+    bed_.install<DemoApp>(spec);
+    DemoAppSpec other = apps::message_spec();
+    other.package = "com.ctx.other";
+    bed_.install<DemoApp>(other);
+    bed_.start();
+  }
+  Context& ctx() { return bed_.context_of("com.ctx.app"); }
+  Testbed bed_;
+};
+
+TEST_F(ContextTest, IdentityAccessors) {
+  EXPECT_EQ(ctx().package(), "com.ctx.app");
+  EXPECT_EQ(ctx().uid(), bed_.uid_of("com.ctx.app"));
+  EXPECT_TRUE(ctx().pid().valid());
+}
+
+TEST_F(ContextTest, IsForegroundTracksStack) {
+  EXPECT_FALSE(ctx().is_foreground());
+  bed_.server().user_launch("com.ctx.app");
+  EXPECT_TRUE(ctx().is_foreground());
+  bed_.server().user_press_home();
+  EXPECT_FALSE(ctx().is_foreground());
+}
+
+TEST_F(ContextTest, CpuLoadKeysAreIndependent) {
+  ctx().set_cpu_load("a", 0.2);
+  ctx().set_cpu_load("b", 0.3);
+  EXPECT_NEAR(bed_.server().cpu().instantaneous_utilization(), 0.5, 1e-9);
+  ctx().clear_cpu_load("a");
+  EXPECT_NEAR(bed_.server().cpu().instantaneous_utilization(), 0.3, 1e-9);
+  ctx().set_cpu_load("b", 0.1);  // re-set adjusts in place
+  EXPECT_NEAR(bed_.server().cpu().instantaneous_utilization(), 0.1, 1e-9);
+  ctx().clear_cpu_load("missing");  // no-op
+}
+
+TEST_F(ContextTest, HardwareSessionsRoundTrip) {
+  const hw::SessionId cam = ctx().camera_begin();
+  const hw::SessionId gps = ctx().gps_begin();
+  const hw::SessionId wifi = ctx().wifi_begin();
+  const hw::SessionId audio = ctx().audio_begin();
+  EXPECT_TRUE(bed_.server().camera().active());
+  EXPECT_TRUE(bed_.server().gps().active());
+  EXPECT_TRUE(bed_.server().wifi().active());
+  EXPECT_TRUE(bed_.server().audio().active());
+  ctx().camera_end(cam);
+  ctx().gps_end(gps);
+  ctx().wifi_end(wifi);
+  ctx().audio_end(audio);
+  EXPECT_FALSE(bed_.server().camera().active());
+  EXPECT_FALSE(bed_.server().audio().active());
+}
+
+TEST_F(ContextTest, ScheduleAndEveryRunOnVirtualClock) {
+  int shots = 0;
+  int ticks = 0;
+  ctx().schedule(sim::seconds(1), [&] { ++shots; });
+  auto stop = ctx().every(sim::seconds(1), [&] { ++ticks; });
+  bed_.sim().run_for(sim::seconds(3));
+  EXPECT_EQ(shots, 1);
+  EXPECT_EQ(ticks, 3);
+  stop();
+  bed_.sim().run_for(sim::seconds(3));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST_F(ContextTest, NowMatchesSimulator) {
+  bed_.sim().run_for(sim::seconds(7));
+  EXPECT_EQ(ctx().now(), bed_.sim().now());
+}
+
+TEST_F(ContextTest, CpuBurstNeedsLiveProcess) {
+  ctx().cpu_burst(sim::millis(100));
+  bed_.server().kill_app(bed_.uid_of("com.ctx.app"));
+  // Dead process: the burst is dropped, not crashed on.
+  bed_.server().context_of(bed_.uid_of("com.ctx.app"))
+      .cpu_burst(sim::millis(100));
+}
+
+TEST_F(ContextTest, DialogHelpers) {
+  const std::uint64_t id = ctx().show_dialog("confirm");
+  EXPECT_NE(bed_.server().windows().top_dialog(), nullptr);
+  ctx().dismiss_dialog(id);
+  EXPECT_EQ(bed_.server().windows().top_dialog(), nullptr);
+}
+
+TEST_F(ContextTest, ShmChannelVisible) {
+  const std::uint64_t before = ctx().surface_flinger_shm_bytes();
+  ctx().show_dialog("popup");
+  EXPECT_NE(ctx().surface_flinger_shm_bytes(), before);
+}
+
+TEST_F(ContextTest, BrightnessHelpersRespectMode) {
+  EXPECT_EQ(ctx().screen_mode(), BrightnessMode::kAuto);
+  EXPECT_TRUE(ctx().set_brightness(200));  // stored only
+  EXPECT_EQ(ctx().brightness(), 102);
+  EXPECT_TRUE(ctx().set_screen_mode(BrightnessMode::kManual));
+  EXPECT_EQ(ctx().brightness(), 200);
+}
+
+TEST_F(ContextTest, ServiceHelpersResolveOwnPackage) {
+  DemoAppSpec spec = apps::victim_spec();
+  spec.package = "com.ctx.svc";
+  spec.wakelock_bug = false;
+  bed_.install<DemoApp>(spec);
+  auto& svc_ctx = bed_.context_of("com.ctx.svc");
+  EXPECT_TRUE(svc_ctx.start_service(
+      Intent::explicit_for("com.ctx.svc", DemoApp::kService)));
+  EXPECT_TRUE(svc_ctx.is_service_running("com.ctx.svc", DemoApp::kService));
+  EXPECT_TRUE(svc_ctx.stop_self(DemoApp::kService));
+  EXPECT_FALSE(svc_ctx.is_service_running("com.ctx.svc", DemoApp::kService));
+}
+
+}  // namespace
+}  // namespace eandroid::framework

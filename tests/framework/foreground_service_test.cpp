@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+namespace eandroid::framework {
+namespace {
+
+using apps::DemoApp;
+using apps::DemoAppSpec;
+using apps::Testbed;
+
+class ForegroundServiceTest : public ::testing::Test {
+ protected:
+  ForegroundServiceTest() {
+    DemoAppSpec spec = apps::victim_spec();
+    spec.package = "com.fgs.app";
+    spec.wakelock_bug = false;
+    spec.exit_dialog = false;
+    bed_.install<DemoApp>(spec);
+    bed_.install<DemoApp>(apps::message_spec());
+    bed_.start();
+  }
+  Intent service_intent() {
+    return Intent::explicit_for("com.fgs.app", DemoApp::kService);
+  }
+  Testbed bed_;
+};
+
+TEST_F(ForegroundServiceTest, PromoteRequiresRunningService) {
+  auto& ctx = bed_.context_of("com.fgs.app");
+  EXPECT_FALSE(ctx.start_foreground(DemoApp::kService));
+  ctx.start_service(service_intent());
+  EXPECT_TRUE(ctx.start_foreground(DemoApp::kService));
+  EXPECT_TRUE(bed_.server().services().is_foreground_service(
+      "com.fgs.app", DemoApp::kService));
+}
+
+TEST_F(ForegroundServiceTest, DemoteAndReuse) {
+  auto& ctx = bed_.context_of("com.fgs.app");
+  ctx.start_service(service_intent());
+  ctx.start_foreground(DemoApp::kService);
+  EXPECT_TRUE(ctx.stop_foreground(DemoApp::kService));
+  EXPECT_FALSE(ctx.stop_foreground(DemoApp::kService));  // already demoted
+  EXPECT_FALSE(bed_.server().services().has_foreground_service(
+      bed_.uid_of("com.fgs.app")));
+}
+
+TEST_F(ForegroundServiceTest, StoppingServiceClearsForegroundFlag) {
+  auto& ctx = bed_.context_of("com.fgs.app");
+  ctx.start_service(service_intent());
+  ctx.start_foreground(DemoApp::kService);
+  ctx.stop_service(service_intent());
+  EXPECT_FALSE(bed_.server().services().is_foreground_service(
+      "com.fgs.app", DemoApp::kService));
+}
+
+TEST_F(ForegroundServiceTest, RaisesLmkPriority) {
+  auto& ctx = bed_.context_of("com.fgs.app");
+  ctx.start_service(service_intent());
+  EXPECT_EQ(bed_.server().lmk().priority_of(bed_.uid_of("com.fgs.app")), 2);
+  ctx.start_foreground(DemoApp::kService);
+  EXPECT_EQ(bed_.server().lmk().priority_of(bed_.uid_of("com.fgs.app")), 1);
+}
+
+TEST_F(ForegroundServiceTest, SurvivesMemoryPressureThatKillsCached) {
+  auto& ctx = bed_.context_of("com.fgs.app");
+  ctx.start_service(service_intent());
+  ctx.start_foreground(DemoApp::kService);
+  // A cached app plus tight budget: the cached one dies, the foreground
+  // service's host survives.
+  bed_.server().user_launch("com.example.message");
+  bed_.server().user_press_home();
+  bed_.server().lmk().set_budget_mb(250);
+  bed_.server().lmk().maybe_reclaim();
+  EXPECT_TRUE(bed_.server().pid_of(bed_.uid_of("com.fgs.app")).valid());
+}
+
+TEST_F(ForegroundServiceTest, HostDeathClearsFlag) {
+  auto& ctx = bed_.context_of("com.fgs.app");
+  ctx.start_service(service_intent());
+  ctx.start_foreground(DemoApp::kService);
+  bed_.server().kill_app(bed_.uid_of("com.fgs.app"));
+  EXPECT_FALSE(bed_.server().services().is_foreground_service(
+      "com.fgs.app", DemoApp::kService));
+}
+
+}  // namespace
+}  // namespace eandroid::framework

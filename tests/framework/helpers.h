@@ -1,0 +1,93 @@
+// Shared helpers for framework-level tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "framework/app_code.h"
+#include "framework/context.h"
+#include "framework/events.h"
+#include "framework/manifest.h"
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+
+namespace eandroid::framework::testing {
+
+/// App code that records every callback as "event:activity" strings.
+class RecordingApp : public AppCode {
+ public:
+  void on_process_start(Context&) override { log.push_back("process_start"); }
+  void on_activity_create(Context&, const std::string& a) override {
+    log.push_back("create:" + a);
+  }
+  void on_activity_resume(Context&, const std::string& a) override {
+    log.push_back("resume:" + a);
+  }
+  void on_activity_pause(Context&, const std::string& a) override {
+    log.push_back("pause:" + a);
+  }
+  void on_activity_stop(Context&, const std::string& a) override {
+    log.push_back("stop:" + a);
+  }
+  void on_activity_destroy(Context&, const std::string& a) override {
+    log.push_back("destroy:" + a);
+  }
+  void on_service_create(Context&, const std::string& s) override {
+    log.push_back("svc_create:" + s);
+  }
+  void on_service_start_command(Context&, const std::string& s) override {
+    log.push_back("svc_start:" + s);
+  }
+  void on_service_destroy(Context&, const std::string& s) override {
+    log.push_back("svc_destroy:" + s);
+  }
+
+  [[nodiscard]] bool saw(const std::string& entry) const {
+    for (const auto& e : log) {
+      if (e == entry) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] int count(const std::string& entry) const {
+    int n = 0;
+    for (const auto& e : log) {
+      if (e == entry) ++n;
+    }
+    return n;
+  }
+
+  std::vector<std::string> log;
+};
+
+/// A plain one-activity manifest.
+inline Manifest simple_manifest(const std::string& package,
+                                bool exported = true) {
+  Manifest m;
+  m.package = package;
+  m.activities.push_back(ActivityDecl{"Main", exported, {}});
+  return m;
+}
+
+/// Records framework events published on the bus.
+class EventLog {
+ public:
+  explicit EventLog(EventBus& bus) {
+    bus.subscribe([this](const FwEvent& event) { events.push_back(event); });
+  }
+  [[nodiscard]] int count(FwEventType type) const {
+    int n = 0;
+    for (const auto& e : events) {
+      if (e.type == type) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] const FwEvent* last(FwEventType type) const {
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->type == type) return &*it;
+    }
+    return nullptr;
+  }
+  std::vector<FwEvent> events;
+};
+
+}  // namespace eandroid::framework::testing

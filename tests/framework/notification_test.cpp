@@ -1,0 +1,97 @@
+#include "framework/notification_service.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+namespace eandroid::framework {
+namespace {
+
+using apps::DemoApp;
+using apps::DemoAppSpec;
+using apps::Testbed;
+
+class NotificationTest : public ::testing::Test {
+ protected:
+  NotificationTest() {
+    DemoAppSpec poster = apps::message_spec();
+    poster.package = "com.poster";
+    bed_.install<DemoApp>(poster);
+    bed_.install<DemoApp>(apps::victim_spec());
+    bed_.start();
+  }
+  Testbed bed_;
+};
+
+TEST_F(NotificationTest, PostAndCancel) {
+  auto& ctx = bed_.context_of("com.poster");
+  const std::uint64_t id = ctx.post_notification("hello", "Main");
+  EXPECT_EQ(bed_.server().notifications().count_of(bed_.uid_of("com.poster")),
+            1u);
+  ctx.cancel_notification(id);
+  EXPECT_EQ(bed_.server().notifications().count_of(bed_.uid_of("com.poster")),
+            0u);
+}
+
+TEST_F(NotificationTest, TapLaunchesPosterAsUserAction) {
+  const std::uint64_t id =
+      bed_.context_of("com.poster").post_notification("hello", "Main");
+  const std::uint64_t windows_before =
+      bed_.eandroid()->tracker().opened_total();
+  EXPECT_TRUE(bed_.server().notifications().user_tap_notification(id));
+  EXPECT_EQ(bed_.server().activities().foreground_uid(),
+            bed_.uid_of("com.poster"));
+  // User-driven: no collateral window.
+  EXPECT_EQ(bed_.eandroid()->tracker().opened_total(), windows_before);
+  // Dismissed after the tap.
+  EXPECT_FALSE(bed_.server().notifications().user_tap_notification(id));
+}
+
+TEST_F(NotificationTest, FullScreenInterruptsForeground) {
+  bed_.server().user_launch("com.example.victim");
+  const std::uint64_t id =
+      bed_.context_of("com.poster")
+          .post_full_screen_notification("ALARM", "Main");
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(bed_.server().activities().foreground_uid(),
+            bed_.uid_of("com.poster"));
+  // The app-driven interruption opens a Fig 5b window against the poster.
+  EXPECT_TRUE(bed_.eandroid()->tracker().has_window(
+      core::WindowKind::kInterrupt, bed_.uid_of("com.poster"),
+      bed_.uid_of("com.example.victim")));
+}
+
+TEST_F(NotificationTest, FullScreenLeavesVictimWakelockLeaked) {
+  // The §III-A story end to end through a notification instead of an
+  // overlay: victim foreground with its buggy wakelock, a full-screen
+  // alarm takes over, the victim is stopped still holding the lock.
+  bed_.server().user_launch("com.example.victim");
+  ASSERT_EQ(bed_.server().power().held_count(), 1u);
+  bed_.context_of("com.poster")
+      .post_full_screen_notification("ALARM", "Main");
+  EXPECT_EQ(bed_.server().activities().activity_state("com.example.victim",
+                                                      DemoApp::kRootActivity),
+            ActivityRecord::State::kStopped);
+  EXPECT_EQ(bed_.server().power().held_count(), 1u);  // leaked
+  EXPECT_TRUE(bed_.eandroid()->tracker().has_window(
+      core::WindowKind::kWakelock, bed_.uid_of("com.example.victim"),
+      kernelsim::Uid{}));
+}
+
+TEST_F(NotificationTest, FullScreenUnknownActivityFails) {
+  EXPECT_EQ(bed_.context_of("com.poster")
+                .post_full_screen_notification("x", "Nope"),
+            0u);
+}
+
+TEST_F(NotificationTest, CancelAllOfPoster) {
+  auto& ctx = bed_.context_of("com.poster");
+  ctx.post_notification("a", "Main");
+  ctx.post_notification("b", "Main");
+  bed_.server().notifications().cancel_all_of(bed_.uid_of("com.poster"));
+  EXPECT_TRUE(bed_.server().notifications().active().empty());
+}
+
+}  // namespace
+}  // namespace eandroid::framework

@@ -1,0 +1,131 @@
+#include "framework/package_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::simple_manifest;
+
+TEST(PackageManagerTest, InstallAssignsFreshAppUids) {
+  PackageManager pm;
+  const kernelsim::Uid a = pm.install(simple_manifest("a"), nullptr);
+  const kernelsim::Uid b = pm.install(simple_manifest("b"), nullptr);
+  EXPECT_GE(a.value, kernelsim::kFirstAppUid);
+  EXPECT_NE(a, b);
+}
+
+TEST(PackageManagerTest, FindByNameAndUid) {
+  PackageManager pm;
+  const kernelsim::Uid uid = pm.install(simple_manifest("com.x"), nullptr);
+  ASSERT_NE(pm.find("com.x"), nullptr);
+  ASSERT_NE(pm.find(uid), nullptr);
+  EXPECT_EQ(pm.find(uid)->manifest.package, "com.x");
+  EXPECT_EQ(pm.find("missing"), nullptr);
+  EXPECT_EQ(pm.find(kernelsim::Uid{999}), nullptr);
+}
+
+TEST(PackageManagerTest, SystemAppFlag) {
+  PackageManager pm;
+  const kernelsim::Uid sys =
+      pm.install(simple_manifest("com.android.launcher"), nullptr, true);
+  const kernelsim::Uid app = pm.install(simple_manifest("com.app"), nullptr);
+  EXPECT_TRUE(pm.is_system_app(sys));
+  EXPECT_FALSE(pm.is_system_app(app));
+  EXPECT_FALSE(pm.is_system_app(kernelsim::Uid{12345}));
+}
+
+TEST(PackageManagerTest, PermissionCheck) {
+  PackageManager pm;
+  Manifest m = simple_manifest("com.x");
+  m.permissions.push_back(Permission::kWakeLock);
+  const kernelsim::Uid uid = pm.install(std::move(m), nullptr);
+  EXPECT_TRUE(pm.has_permission(uid, Permission::kWakeLock));
+  EXPECT_FALSE(pm.has_permission(uid, Permission::kWriteSettings));
+}
+
+TEST(PackageManagerTest, ExplicitResolutionHonoursExported) {
+  PackageManager pm;
+  const kernelsim::Uid owner =
+      pm.install(simple_manifest("com.private", /*exported=*/false), nullptr);
+  const kernelsim::Uid other = pm.install(simple_manifest("com.other"), nullptr);
+
+  const Intent intent = Intent::explicit_for("com.private", "Main");
+  EXPECT_TRUE(pm.resolve_activity(owner, intent).has_value());   // own app
+  EXPECT_FALSE(pm.resolve_activity(other, intent).has_value());  // foreign
+}
+
+TEST(PackageManagerTest, ExplicitResolutionFailsForUnknownTargets) {
+  PackageManager pm;
+  const kernelsim::Uid uid = pm.install(simple_manifest("com.x"), nullptr);
+  EXPECT_FALSE(
+      pm.resolve_activity(uid, Intent::explicit_for("com.nope", "Main")));
+  EXPECT_FALSE(
+      pm.resolve_activity(uid, Intent::explicit_for("com.x", "Nope")));
+  EXPECT_FALSE(pm.resolve_activity(uid, Intent::implicit("action")));
+}
+
+TEST(PackageManagerTest, ImplicitQueryFindsExportedMatchesSorted) {
+  PackageManager pm;
+  Manifest b = simple_manifest("com.b");
+  b.activities[0].intent_actions = {"CAPTURE"};
+  Manifest a = simple_manifest("com.a");
+  a.activities[0].intent_actions = {"CAPTURE"};
+  Manifest hidden = simple_manifest("com.hidden", /*exported=*/false);
+  hidden.activities[0].intent_actions = {"CAPTURE"};
+  pm.install(std::move(b), nullptr);
+  pm.install(std::move(a), nullptr);
+  pm.install(std::move(hidden), nullptr);
+
+  const auto matches = pm.query_implicit_activities("CAPTURE");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].package, "com.a");
+  EXPECT_EQ(matches[1].package, "com.b");
+}
+
+TEST(PackageManagerTest, ServiceResolution) {
+  PackageManager pm;
+  Manifest m = simple_manifest("com.svc");
+  m.services.push_back(ServiceDecl{"Work", /*exported=*/true, {}});
+  m.services.push_back(ServiceDecl{"Hidden", /*exported=*/false, {}});
+  const kernelsim::Uid owner = pm.install(std::move(m), nullptr);
+  const kernelsim::Uid other = pm.install(simple_manifest("com.o"), nullptr);
+
+  EXPECT_TRUE(pm.resolve_service(other, Intent::explicit_for("com.svc", "Work")));
+  EXPECT_FALSE(
+      pm.resolve_service(other, Intent::explicit_for("com.svc", "Hidden")));
+  EXPECT_TRUE(
+      pm.resolve_service(owner, Intent::explicit_for("com.svc", "Hidden")));
+}
+
+TEST(PackageManagerTest, AllPackagesSortedByName) {
+  PackageManager pm;
+  pm.install(simple_manifest("zeta"), nullptr);
+  pm.install(simple_manifest("alpha"), nullptr);
+  const auto all = pm.all_packages();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->manifest.package, "alpha");
+  EXPECT_EQ(all[1]->manifest.package, "zeta");
+}
+
+TEST(ManifestTest, HasExportedComponentChecksServicesToo) {
+  Manifest m;
+  m.package = "x";
+  m.activities.push_back(ActivityDecl{"Main", false, {}});
+  EXPECT_FALSE(m.has_exported_component());
+  m.services.push_back(ServiceDecl{"S", true, {}});
+  EXPECT_TRUE(m.has_exported_component());
+}
+
+TEST(ManifestTest, RootActivityIsFirstDeclared) {
+  Manifest m;
+  EXPECT_EQ(m.root_activity(), nullptr);
+  m.activities.push_back(ActivityDecl{"First", true, {}});
+  m.activities.push_back(ActivityDecl{"Second", true, {}});
+  EXPECT_EQ(m.root_activity()->name, "First");
+}
+
+}  // namespace
+}  // namespace eandroid::framework

@@ -1,0 +1,175 @@
+#include "framework/service_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::EventLog;
+using testing::RecordingApp;
+
+class ServiceManagerTest : public ::testing::Test {
+ protected:
+  ServiceManagerTest() : server_(sim_) {
+    auto victim = std::make_unique<RecordingApp>();
+    victim_ = victim.get();
+    Manifest m = testing::simple_manifest("com.victim");
+    m.services.push_back(ServiceDecl{"Work", /*exported=*/true, {}});
+    m.services.push_back(ServiceDecl{"Hidden", /*exported=*/false, {}});
+    server_.install(std::move(m), std::move(victim));
+
+    auto client = std::make_unique<RecordingApp>();
+    server_.install(testing::simple_manifest("com.client"), std::move(client));
+    server_.boot();
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+
+  Intent work_intent() { return Intent::explicit_for("com.victim", "Work"); }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+  RecordingApp* victim_ = nullptr;
+};
+
+TEST_F(ServiceManagerTest, StartServiceBringsItUp) {
+  EXPECT_TRUE(server_.services().start_service(uid("com.client"),
+                                               work_intent()));
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+  EXPECT_TRUE(victim_->saw("svc_create:Work"));
+  EXPECT_TRUE(victim_->saw("svc_start:Work"));
+}
+
+TEST_F(ServiceManagerTest, StartNonExportedForeignServiceFails) {
+  EXPECT_FALSE(server_.services().start_service(
+      uid("com.client"), Intent::explicit_for("com.victim", "Hidden")));
+}
+
+TEST_F(ServiceManagerTest, OwnerCanStartItsHiddenService) {
+  EXPECT_TRUE(server_.services().start_service(
+      uid("com.victim"), Intent::explicit_for("com.victim", "Hidden")));
+}
+
+TEST_F(ServiceManagerTest, StopServiceTearsDownWhenUnbound) {
+  server_.services().start_service(uid("com.client"), work_intent());
+  EXPECT_TRUE(server_.services().stop_service(uid("com.client"),
+                                              work_intent()));
+  EXPECT_FALSE(server_.services().running("com.victim", "Work"));
+  EXPECT_TRUE(victim_->saw("svc_destroy:Work"));
+}
+
+TEST_F(ServiceManagerTest, StopSelfWorksFromOwner) {
+  server_.services().start_service(uid("com.victim"), work_intent());
+  EXPECT_TRUE(server_.services().stop_self(uid("com.victim"), "Work"));
+  EXPECT_FALSE(server_.services().running("com.victim", "Work"));
+}
+
+TEST_F(ServiceManagerTest, BindingKeepsServiceAliveThroughStop) {
+  // The attack #3 semantics, verbatim from the paper.
+  server_.services().start_service(uid("com.victim"), work_intent());
+  const auto binding =
+      server_.services().bind_service(uid("com.client"), work_intent());
+  ASSERT_TRUE(binding.has_value());
+
+  server_.services().stop_service(uid("com.victim"), work_intent());
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+  EXPECT_FALSE(victim_->saw("svc_destroy:Work"));
+
+  EXPECT_TRUE(server_.services().unbind_service(uid("com.client"), *binding));
+  EXPECT_FALSE(server_.services().running("com.victim", "Work"));
+  EXPECT_TRUE(victim_->saw("svc_destroy:Work"));
+}
+
+TEST_F(ServiceManagerTest, BindAloneBringsServiceUp) {
+  const auto binding =
+      server_.services().bind_service(uid("com.client"), work_intent());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+  EXPECT_EQ(server_.services().binding_count("com.victim", "Work"), 1);
+}
+
+TEST_F(ServiceManagerTest, MultipleBindingsAllMustUnbind) {
+  const auto b1 =
+      server_.services().bind_service(uid("com.client"), work_intent());
+  const auto b2 =
+      server_.services().bind_service(uid("com.victim"), work_intent());
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_EQ(server_.services().binding_count("com.victim", "Work"), 2);
+  server_.services().unbind_service(uid("com.client"), *b1);
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+  server_.services().unbind_service(uid("com.victim"), *b2);
+  EXPECT_FALSE(server_.services().running("com.victim", "Work"));
+}
+
+TEST_F(ServiceManagerTest, UnbindWithWrongOwnerFails) {
+  const auto binding =
+      server_.services().bind_service(uid("com.client"), work_intent());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_FALSE(server_.services().unbind_service(uid("com.victim"), *binding));
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+}
+
+TEST_F(ServiceManagerTest, UnbindTwiceFails) {
+  const auto binding =
+      server_.services().bind_service(uid("com.client"), work_intent());
+  server_.services().unbind_service(uid("com.client"), *binding);
+  EXPECT_FALSE(server_.services().unbind_service(uid("com.client"), *binding));
+}
+
+TEST_F(ServiceManagerTest, ClientDeathDropsBindingAndPublishesUnbind) {
+  server_.ensure_process(uid("com.client"));
+  const auto binding =
+      server_.services().bind_service(uid("com.client"), work_intent());
+  ASSERT_TRUE(binding.has_value());
+  EventLog log(server_.events());
+  server_.kill_app(uid("com.client"));
+  EXPECT_FALSE(server_.services().running("com.victim", "Work"));
+  EXPECT_EQ(log.count(FwEventType::kServiceUnbind), 1);
+}
+
+TEST_F(ServiceManagerTest, StartedServiceSurvivesClientDeath) {
+  server_.services().start_service(uid("com.client"), work_intent());
+  server_.services().bind_service(uid("com.client"), work_intent());
+  server_.kill_app(uid("com.client"));
+  // startService has no lifecycle tie to the caller.
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+}
+
+TEST_F(ServiceManagerTest, EventsCarryDrivingAndDrivenUids) {
+  EventLog log(server_.events());
+  server_.services().start_service(uid("com.client"), work_intent());
+  const FwEvent* start = log.last(FwEventType::kServiceStart);
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->driving, uid("com.client"));
+  EXPECT_EQ(start->driven, uid("com.victim"));
+  EXPECT_EQ(start->component, "Work");
+}
+
+TEST_F(ServiceManagerTest, RunningServicesOfListsAliveOnly) {
+  server_.services().start_service(uid("com.victim"), work_intent());
+  auto running = server_.services().running_services_of(uid("com.victim"));
+  ASSERT_EQ(running.size(), 1u);
+  EXPECT_EQ(running[0], "Work");
+  server_.services().stop_self(uid("com.victim"), "Work");
+  EXPECT_TRUE(server_.services().running_services_of(uid("com.victim")).empty());
+}
+
+TEST_F(ServiceManagerTest, RestartAfterStopWorks) {
+  server_.services().start_service(uid("com.client"), work_intent());
+  server_.services().stop_service(uid("com.client"), work_intent());
+  EXPECT_TRUE(server_.services().start_service(uid("com.client"),
+                                               work_intent()));
+  EXPECT_TRUE(server_.services().running("com.victim", "Work"));
+  EXPECT_EQ(victim_->count("svc_create:Work"), 2);
+}
+
+}  // namespace
+}  // namespace eandroid::framework

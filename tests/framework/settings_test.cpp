@@ -1,0 +1,126 @@
+#include "framework/settings_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::EventLog;
+using testing::RecordingApp;
+
+class SettingsTest : public ::testing::Test {
+ protected:
+  SettingsTest() : server_(sim_) {
+    Manifest writer = testing::simple_manifest("com.writer");
+    writer.permissions.push_back(Permission::kWriteSettings);
+    server_.install(std::move(writer), std::make_unique<RecordingApp>());
+    server_.install(testing::simple_manifest("com.plain"),
+                    std::make_unique<RecordingApp>());
+    server_.boot();
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+};
+
+TEST_F(SettingsTest, DefaultsToAutoMode) {
+  EXPECT_EQ(server_.settings().mode(), BrightnessMode::kAuto);
+  EXPECT_EQ(server_.settings().effective_brightness(), 102);
+  EXPECT_EQ(server_.screen().brightness(), 102);
+}
+
+TEST_F(SettingsTest, WriteRequiresPermission) {
+  EXPECT_FALSE(server_.settings().set_brightness(uid("com.plain"), 200));
+  EXPECT_TRUE(server_.settings().set_brightness(uid("com.writer"), 200));
+  EXPECT_FALSE(
+      server_.settings().set_mode(uid("com.plain"), BrightnessMode::kManual));
+}
+
+TEST_F(SettingsTest, UserWritesAlwaysAllowed) {
+  EXPECT_TRUE(server_.settings().set_brightness(uid("com.plain"), 200,
+                                                /*by_user=*/true));
+}
+
+TEST_F(SettingsTest, AutoModeStoresButDoesNotApply) {
+  server_.settings().set_brightness(uid("com.writer"), 250);
+  EXPECT_EQ(server_.settings().manual_setting(), 250);
+  EXPECT_EQ(server_.screen().brightness(), 102);  // still the auto level
+}
+
+TEST_F(SettingsTest, SwitchToManualAppliesStoredValue) {
+  server_.settings().set_brightness(uid("com.writer"), 250);
+  EventLog log(server_.events());
+  server_.settings().set_mode(uid("com.writer"), BrightnessMode::kManual);
+  EXPECT_EQ(server_.screen().brightness(), 250);
+  const FwEvent* change = log.last(FwEventType::kBrightnessChange);
+  ASSERT_NE(change, nullptr);
+  EXPECT_EQ(change->brightness_before, 102);
+  EXPECT_EQ(change->brightness_after, 250);
+  EXPECT_EQ(change->driving, uid("com.writer"));
+  const FwEvent* mode = log.last(FwEventType::kScreenModeChange);
+  ASSERT_NE(mode, nullptr);
+  EXPECT_TRUE(mode->to_manual_mode);
+}
+
+TEST_F(SettingsTest, ManualModeWritesApplyImmediately) {
+  server_.settings().set_mode(uid("com.writer"), BrightnessMode::kManual);
+  EventLog log(server_.events());
+  server_.settings().set_brightness(uid("com.writer"), 30);
+  EXPECT_EQ(server_.screen().brightness(), 30);
+  EXPECT_EQ(log.count(FwEventType::kBrightnessChange), 1);
+}
+
+TEST_F(SettingsTest, NoEventWhenValueUnchanged) {
+  server_.settings().set_mode(uid("com.writer"), BrightnessMode::kManual);
+  server_.settings().set_brightness(uid("com.writer"), 180);
+  EventLog log(server_.events());
+  server_.settings().set_brightness(uid("com.writer"), 180);
+  EXPECT_EQ(log.count(FwEventType::kBrightnessChange), 0);
+}
+
+TEST_F(SettingsTest, SwitchBackToAutoRestoresAutoLevel) {
+  server_.settings().set_brightness(uid("com.writer"), 250);
+  server_.settings().set_mode(uid("com.writer"), BrightnessMode::kManual);
+  server_.settings().set_mode(uid("com.writer"), BrightnessMode::kAuto);
+  EXPECT_EQ(server_.screen().brightness(), 102);
+}
+
+TEST_F(SettingsTest, ValuesAreClamped) {
+  server_.settings().set_mode(uid("com.writer"), BrightnessMode::kManual);
+  server_.settings().set_brightness(uid("com.writer"), 5000);
+  EXPECT_EQ(server_.screen().brightness(), 255);
+  server_.settings().set_brightness(uid("com.writer"), -4);
+  EXPECT_EQ(server_.screen().brightness(), 0);
+}
+
+TEST_F(SettingsTest, AutoLevelTracksAmbient) {
+  EventLog log(server_.events());
+  server_.settings().set_auto_level(40);
+  EXPECT_EQ(server_.screen().brightness(), 40);
+  const FwEvent* change = log.last(FwEventType::kBrightnessChange);
+  ASSERT_NE(change, nullptr);
+  EXPECT_EQ(change->driving, kernelsim::kSystemUid);
+}
+
+TEST_F(SettingsTest, UserBrightnessThroughSystemUi) {
+  server_.user_set_screen_mode(BrightnessMode::kManual);
+  EventLog log(server_.events());
+  server_.user_set_brightness(77);
+  const FwEvent* change = log.last(FwEventType::kBrightnessChange);
+  ASSERT_NE(change, nullptr);
+  EXPECT_TRUE(change->by_user);
+  EXPECT_EQ(server_.screen().brightness(), 77);
+}
+
+}  // namespace
+}  // namespace eandroid::framework

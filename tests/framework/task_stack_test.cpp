@@ -1,0 +1,137 @@
+// Deep task-stack behaviour: multiple activities per app, cross-app
+// interleavings, transparent chains, and back-stack traversal.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::RecordingApp;
+using State = ActivityRecord::State;
+
+class TaskStackTest : public ::testing::Test {
+ protected:
+  TaskStackTest() : server_(sim_) {
+    Manifest multi = testing::simple_manifest("com.multi");
+    multi.activities.push_back(ActivityDecl{"Second", true, {}});
+    multi.activities.push_back(ActivityDecl{"Third", true, {}});
+    multi.activities.push_back(
+        ActivityDecl{"Glass", true, {}, /*transparent=*/true});
+    app_ = new RecordingApp();
+    server_.install(std::move(multi), std::unique_ptr<AppCode>(app_));
+    other_ = new RecordingApp();
+    server_.install(testing::simple_manifest("com.other"),
+                    std::unique_ptr<AppCode>(other_));
+    server_.boot();
+    server_.user_launch("com.multi");
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+  Context& ctx(const std::string& package) {
+    return server_.context_of(uid(package));
+  }
+  void start_own(const std::string& name) {
+    ctx("com.multi").start_activity(Intent::explicit_for("com.multi", name));
+  }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+  RecordingApp* app_ = nullptr;
+  RecordingApp* other_ = nullptr;
+};
+
+TEST_F(TaskStackTest, DeepStackStatesAreConsistent) {
+  start_own("Second");
+  start_own("Third");
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Main"),
+            State::kStopped);
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Second"),
+            State::kStopped);
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Third"),
+            State::kResumed);
+}
+
+TEST_F(TaskStackTest, BackUnwindsTheStackInOrder) {
+  start_own("Second");
+  start_own("Third");
+  server_.user_press_back();
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Second");
+  server_.user_press_back();
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Main");
+  EXPECT_TRUE(app_->saw("destroy:Third"));
+  EXPECT_TRUE(app_->saw("destroy:Second"));
+  EXPECT_EQ(app_->count("resume:Main"), 2);
+}
+
+TEST_F(TaskStackTest, TransparentOnTopOfTransparentPausesChain) {
+  start_own("Glass");
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Main"),
+            State::kPaused);
+  // A second transparent layer keeps the whole chain visible/paused.
+  start_own("Glass");
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Main"),
+            State::kPaused);
+  // An opaque activity on top stops everything beneath.
+  start_own("Second");
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Main"),
+            State::kStopped);
+}
+
+TEST_F(TaskStackTest, FinishBuriedActivityDoesNotChangeForeground) {
+  start_own("Second");
+  start_own("Third");
+  EXPECT_TRUE(ctx("com.multi").finish_activity("Second"));
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Third");
+  server_.user_press_back();
+  // Second is gone; back lands on Main.
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Main");
+}
+
+TEST_F(TaskStackTest, CrossAppActivityInSameTaskUnwindsAcrossApps) {
+  ctx("com.multi").start_activity(Intent::explicit_for("com.other", "Main"));
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.other"));
+  server_.user_press_back();
+  EXPECT_EQ(server_.activities().foreground_uid(), uid("com.multi"));
+  EXPECT_TRUE(other_->saw("destroy:Main"));
+}
+
+TEST_F(TaskStackTest, HomeAndReturnRestoresWholeStack) {
+  start_own("Second");
+  start_own("Third");
+  server_.user_press_home();
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Third"),
+            State::kStopped);
+  server_.user_switch_to("com.multi");
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Third");
+  EXPECT_EQ(server_.activities().activity_state("com.multi", "Second"),
+            State::kStopped);
+  // Nothing was recreated.
+  EXPECT_EQ(app_->count("create:Third"), 1);
+}
+
+TEST_F(TaskStackTest, RelaunchFromLauncherKeepsStackTop) {
+  start_own("Second");
+  server_.user_press_home();
+  // Tapping the icon again resumes the task as it was (Second on top).
+  server_.user_launch("com.multi");
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Second");
+}
+
+TEST_F(TaskStackTest, SameActivityTwiceMakesTwoRecords) {
+  start_own("Second");
+  start_own("Second");
+  server_.user_press_back();
+  // Still a "Second" beneath.
+  EXPECT_EQ(server_.activities().foreground_activity()->name, "Second");
+  EXPECT_EQ(app_->count("create:Second"), 2);
+}
+
+}  // namespace
+}  // namespace eandroid::framework

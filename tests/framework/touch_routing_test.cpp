@@ -1,0 +1,97 @@
+// Touch dispatch priority: transparent overlay > topmost dialog >
+// foreground activity — the ordering attack #4's click hijack exploits.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+class TouchApp : public AppCode {
+ public:
+  void on_touch(Context&, int x, int y) override {
+    touches.push_back({x, y});
+  }
+  void on_dialog_result(Context&, const std::string&, bool ok) override {
+    dialog_results.push_back(ok);
+  }
+  std::vector<std::pair<int, int>> touches;
+  std::vector<bool> dialog_results;
+};
+
+class TouchRoutingTest : public ::testing::Test {
+ protected:
+  TouchRoutingTest() : server_(sim_) {
+    auto fg = std::make_unique<TouchApp>();
+    fg_ = fg.get();
+    server_.install(testing::simple_manifest("com.fg"), std::move(fg));
+
+    auto overlay = std::make_unique<TouchApp>();
+    overlay_ = overlay.get();
+    Manifest m = testing::simple_manifest("com.overlay");
+    m.activities.push_back(
+        ActivityDecl{"Glass", /*exported=*/true, {}, /*transparent=*/true});
+    server_.install(std::move(m), std::move(overlay));
+    server_.boot();
+    server_.user_launch("com.fg");
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+  TouchApp* fg_ = nullptr;
+  TouchApp* overlay_ = nullptr;
+};
+
+TEST_F(TouchRoutingTest, ForegroundActivityGetsTouches) {
+  server_.user_tap(100, 200);
+  ASSERT_EQ(fg_->touches.size(), 1u);
+  EXPECT_EQ(fg_->touches[0], std::make_pair(100, 200));
+}
+
+TEST_F(TouchRoutingTest, DialogOutranksForeground) {
+  server_.ensure_process(uid("com.fg"));
+  server_.windows().show_dialog(uid("com.fg"), "confirm", 540, 960);
+  server_.user_tap(540, 960);
+  EXPECT_TRUE(fg_->touches.empty());
+  ASSERT_EQ(fg_->dialog_results.size(), 1u);
+  EXPECT_TRUE(fg_->dialog_results[0]);
+}
+
+TEST_F(TouchRoutingTest, TransparentOverlayOutranksDialog) {
+  // The attack #4 geometry: dialog showing, overlay posted on top; the
+  // tap that "hits OK" lands in the overlay owner's hands.
+  server_.ensure_process(uid("com.fg"));
+  server_.windows().show_dialog(uid("com.fg"), "confirm", 540, 960);
+  server_.ensure_process(uid("com.overlay"));
+  server_.context_of(uid("com.overlay"))
+      .start_activity(Intent::explicit_for("com.overlay", "Glass"));
+  server_.user_tap(540, 960);
+  EXPECT_TRUE(fg_->dialog_results.empty());
+  ASSERT_EQ(overlay_->touches.size(), 1u);
+  // The dialog is still up (never answered).
+  EXPECT_NE(server_.windows().top_dialog(), nullptr);
+}
+
+TEST_F(TouchRoutingTest, TapAlwaysCountsAsUserActivity) {
+  sim_.run_for(sim::seconds(25));
+  server_.user_tap(1, 1);
+  sim_.run_for(sim::seconds(25));
+  EXPECT_TRUE(server_.power().screen_on());  // timer was rewound
+}
+
+TEST_F(TouchRoutingTest, TouchesToDeadForegroundAreDropped) {
+  server_.kill_app(uid("com.fg"));
+  server_.user_tap(10, 10);  // launcher has a Noop code object: no crash
+  EXPECT_TRUE(fg_->touches.empty());
+}
+
+}  // namespace
+}  // namespace eandroid::framework

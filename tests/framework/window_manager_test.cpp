@@ -1,0 +1,125 @@
+#include "framework/window_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::RecordingApp;
+
+TEST(WindowManagerTest, DialogStackIsLifo) {
+  sim::Simulator sim;
+  WindowManager wm(sim);
+  const std::uint64_t d1 = wm.show_dialog(kernelsim::Uid{10000}, "first");
+  const std::uint64_t d2 = wm.show_dialog(kernelsim::Uid{10001}, "second");
+  ASSERT_NE(wm.top_dialog(), nullptr);
+  EXPECT_EQ(wm.top_dialog()->id, d2);
+  wm.dismiss_dialog(d2);
+  EXPECT_EQ(wm.top_dialog()->id, d1);
+  wm.dismiss_dialog(d1);
+  EXPECT_EQ(wm.top_dialog(), nullptr);
+}
+
+TEST(WindowManagerTest, DismissDialogsOfUid) {
+  sim::Simulator sim;
+  WindowManager wm(sim);
+  wm.show_dialog(kernelsim::Uid{10000}, "a");
+  wm.show_dialog(kernelsim::Uid{10000}, "b");
+  wm.show_dialog(kernelsim::Uid{10001}, "c");
+  wm.dismiss_dialogs_of(kernelsim::Uid{10000});
+  EXPECT_FALSE(wm.has_dialog(kernelsim::Uid{10000}));
+  EXPECT_TRUE(wm.has_dialog(kernelsim::Uid{10001}));
+}
+
+TEST(WindowManagerTest, ShmChangesByDialogOffsetExactly) {
+  sim::Simulator sim;
+  WindowManager wm(sim);
+  const std::uint64_t before = wm.surface_flinger_shm_bytes();
+  const std::uint64_t id = wm.show_dialog(kernelsim::Uid{10000}, "exit_dlg");
+  const std::uint64_t after = wm.surface_flinger_shm_bytes();
+  EXPECT_EQ(after - before, WindowManager::dialog_shm_offset("exit_dlg"));
+  wm.dismiss_dialog(id);
+  EXPECT_EQ(wm.surface_flinger_shm_bytes(), before);
+}
+
+TEST(WindowManagerTest, DistinctDialogStylesHaveDistinctOffsets) {
+  EXPECT_NE(WindowManager::dialog_shm_offset("exit_com.example.victim"),
+            WindowManager::dialog_shm_offset("exit_com.example.other"));
+  // Offsets are page-aligned and non-zero.
+  EXPECT_EQ(WindowManager::dialog_shm_offset("anything") % 4096, 0u);
+  EXPECT_GT(WindowManager::dialog_shm_offset("anything"), 0u);
+}
+
+TEST(WindowManagerTest, ShmReflectsForegroundActivity) {
+  sim::Simulator sim;
+  WindowManager wm(sim);
+  std::string fg = "pkg/A";
+  wm.set_foreground_name_provider([&fg] { return fg; });
+  const std::uint64_t with_a = wm.surface_flinger_shm_bytes();
+  fg = "pkg/B";
+  const std::uint64_t with_b = wm.surface_flinger_shm_bytes();
+  EXPECT_NE(with_a, with_b);
+  fg = "pkg/A";
+  EXPECT_EQ(wm.surface_flinger_shm_bytes(), with_a);
+}
+
+TEST(WindowManagerTest, TapOnOkHitsDialogOwner) {
+  sim::Simulator sim;
+  SystemServer server(sim);
+  auto app = std::make_unique<RecordingApp>();
+  server.install(testing::simple_manifest("com.a"), std::move(app));
+  server.boot();
+  server.user_launch("com.a");
+  const kernelsim::Uid uid = server.packages().find("com.a")->uid;
+
+  bool ok_clicked = false;
+  class DialogApp : public AppCode {
+   public:
+    explicit DialogApp(bool* flag) : flag_(flag) {}
+    void on_dialog_result(Context&, const std::string&, bool ok) override {
+      if (ok) *flag_ = true;
+    }
+    bool* flag_;
+  };
+  // Re-register a dialog-aware app under another package.
+  server.install(testing::simple_manifest("com.dlg"),
+                 std::make_unique<DialogApp>(&ok_clicked));
+  const kernelsim::Uid dlg_uid = server.packages().find("com.dlg")->uid;
+  server.ensure_process(dlg_uid);
+  server.windows().show_dialog(dlg_uid, "confirm", 540, 960);
+  server.user_tap(540, 960);
+  EXPECT_TRUE(ok_clicked);
+  EXPECT_EQ(server.windows().top_dialog(), nullptr);
+  (void)uid;
+}
+
+TEST(WindowManagerTest, TapOutsideOkIsCancel) {
+  sim::Simulator sim;
+  SystemServer server(sim);
+  bool got_ok = true;
+  class DialogApp : public AppCode {
+   public:
+    explicit DialogApp(bool* flag) : flag_(flag) {}
+    void on_dialog_result(Context&, const std::string&, bool ok) override {
+      *flag_ = ok;
+    }
+    bool* flag_;
+  };
+  server.install(testing::simple_manifest("com.dlg"),
+                 std::make_unique<DialogApp>(&got_ok));
+  server.boot();
+  const kernelsim::Uid dlg_uid = server.packages().find("com.dlg")->uid;
+  server.ensure_process(dlg_uid);
+  server.windows().show_dialog(dlg_uid, "confirm", 540, 960);
+  server.user_tap(10, 10);
+  EXPECT_FALSE(got_ok);
+}
+
+}  // namespace
+}  // namespace eandroid::framework

@@ -1,0 +1,67 @@
+#include "hw/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace eandroid::hw {
+namespace {
+
+TEST(BatteryTest, StartsFull) {
+  Battery battery(1000.0);  // 1000 mWh
+  EXPECT_EQ(battery.percent(), 100);
+  EXPECT_DOUBLE_EQ(battery.capacity_mj(), 3'600'000.0);
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), battery.capacity_mj());
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(BatteryTest, DrainReducesRemaining) {
+  Battery battery(1.0);  // 3600 mJ
+  battery.drain(360.0, sim::TimePoint());
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), 3240.0);
+  EXPECT_EQ(battery.percent(), 90);
+  EXPECT_DOUBLE_EQ(battery.drained_mj(), 360.0);
+}
+
+TEST(BatteryTest, ClampsAtEmpty) {
+  Battery battery(1.0);
+  battery.drain(10'000.0, sim::TimePoint());
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), 0.0);
+  EXPECT_TRUE(battery.empty());
+  EXPECT_EQ(battery.percent(), 0);
+}
+
+TEST(BatteryTest, NegativeOrZeroDrainIgnored) {
+  Battery battery(1.0);
+  battery.drain(0.0, sim::TimePoint());
+  battery.drain(-5.0, sim::TimePoint());
+  EXPECT_EQ(battery.percent(), 100);
+}
+
+TEST(BatteryTest, HistoryRecordsEveryPercentDrop) {
+  Battery battery(1.0);  // 3600 mJ; 1% = 36 mJ
+  battery.drain(72.0, sim::TimePoint(10));
+  ASSERT_EQ(battery.history().size(), 3u);  // initial 100 + 99 + 98
+  EXPECT_EQ(battery.history()[0].percent, 100);
+  EXPECT_EQ(battery.history()[1].percent, 99);
+  EXPECT_EQ(battery.history()[2].percent, 98);
+  EXPECT_EQ(battery.history()[2].when, sim::TimePoint(10));
+}
+
+TEST(BatteryTest, PercentDropCallbackFires) {
+  Battery battery(1.0);  // 3600 mJ; 1% = 36 mJ
+  std::vector<int> drops;
+  battery.set_on_percent_drop([&](int p) { drops.push_back(p); });
+  battery.drain(20.0, sim::TimePoint());  // -> 99.4%
+  battery.drain(60.0, sim::TimePoint());  // -> 97.7%: crosses 98 and 97
+  EXPECT_EQ(drops, (std::vector<int>{99, 98, 97}));
+}
+
+TEST(BatteryTest, ManySmallDrainsMatchOneBigDrain) {
+  Battery a(1.0), b(1.0);
+  for (int i = 0; i < 100; ++i) a.drain(3.6, sim::TimePoint(i));
+  b.drain(360.0, sim::TimePoint());
+  EXPECT_NEAR(a.remaining_mj(), b.remaining_mj(), 1e-6);
+  EXPECT_EQ(a.percent(), b.percent());
+}
+
+}  // namespace
+}  // namespace eandroid::hw

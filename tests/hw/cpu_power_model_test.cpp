@@ -1,0 +1,75 @@
+#include "hw/cpu_power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace eandroid::hw {
+namespace {
+
+TEST(CpuPowerModelTest, LegacyLinearWithoutSteps) {
+  CpuPowerModel model(nexus4_params());
+  EXPECT_DOUBLE_EQ(model.operating_point(0.0).active_mw, 0.0);
+  EXPECT_DOUBLE_EQ(model.operating_point(0.5).active_mw, 500.0);
+  EXPECT_DOUBLE_EQ(model.operating_point(1.0).active_mw, 1000.0);
+  EXPECT_DOUBLE_EQ(model.operating_point(0.5).freq_mhz, 0.0);
+}
+
+TEST(CpuPowerModelTest, UtilizationIsClamped) {
+  CpuPowerModel model(nexus4_params());
+  EXPECT_DOUBLE_EQ(model.operating_point(2.0).active_mw, 1000.0);
+  EXPECT_DOUBLE_EQ(model.operating_point(-1.0).active_mw, 0.0);
+}
+
+TEST(CpuPowerModelTest, GovernorPicksSlowestSufficientStep) {
+  CpuPowerModel model(nexus4_dvfs_params());
+  // 384/1512 = 0.254 capacity; 918/1512 = 0.607.
+  EXPECT_DOUBLE_EQ(model.operating_point(0.10).freq_mhz, 384.0);
+  EXPECT_DOUBLE_EQ(model.operating_point(0.30).freq_mhz, 918.0);
+  EXPECT_DOUBLE_EQ(model.operating_point(0.90).freq_mhz, 1512.0);
+}
+
+TEST(CpuPowerModelTest, LowerFrequencyIsCheaperPerUnitWork) {
+  CpuPowerModel model(nexus4_dvfs_params());
+  // The same 0.2 units of (max-referenced) work cost less at 384 MHz
+  // than they would at the top frequency's per-unit rate.
+  const double at_low = model.operating_point(0.20).active_mw;
+  const double top_rate = 1000.0;  // mW per unit at 1512 MHz
+  EXPECT_LT(at_low, top_rate * 0.20);
+  EXPECT_GT(at_low, 0.0);
+}
+
+TEST(CpuPowerModelTest, FullLoadMatchesTopStep) {
+  CpuPowerModel model(nexus4_dvfs_params());
+  const auto op = model.operating_point(1.0);
+  EXPECT_DOUBLE_EQ(op.freq_mhz, 1512.0);
+  EXPECT_DOUBLE_EQ(op.active_mw, 1000.0);
+}
+
+TEST(CpuPowerModelTest, PowerIsMonotoneInUtilization) {
+  CpuPowerModel model(nexus4_dvfs_params());
+  double previous = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double p = model.operating_point(i / 100.0).active_mw;
+    EXPECT_GE(p, previous - 1e-9) << "at u=" << i / 100.0;
+    previous = p;
+  }
+}
+
+TEST(CpuPowerModelTest, ZeroUtilizationIdlesAtSlowestStep) {
+  CpuPowerModel model(nexus4_dvfs_params());
+  const auto op = model.operating_point(0.0);
+  EXPECT_DOUBLE_EQ(op.freq_mhz, 384.0);
+  EXPECT_DOUBLE_EQ(op.active_mw, 0.0);
+}
+
+TEST(CpuPowerModelTest, StepBoundariesAreContinuousEnough) {
+  CpuPowerModel model(nexus4_dvfs_params());
+  // Just below a step boundary the slower step runs ~flat-out; just above
+  // it the faster step runs partially — power may step, but never by more
+  // than the gap between adjacent steps' full-power values.
+  const double below = model.operating_point(0.2539).active_mw;
+  const double above = model.operating_point(0.2541).active_mw;
+  EXPECT_LT(std::abs(above - below), 450.0 - 140.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace eandroid::hw

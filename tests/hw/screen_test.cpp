@@ -1,0 +1,50 @@
+#include "hw/screen.h"
+
+#include <gtest/gtest.h>
+
+namespace eandroid::hw {
+namespace {
+
+TEST(ScreenTest, DefaultsOnAtMidBrightness) {
+  Screen screen(nexus4_params());
+  EXPECT_TRUE(screen.on());
+  EXPECT_EQ(screen.brightness(), 102);
+}
+
+TEST(ScreenTest, OffMeansZeroPower) {
+  Screen screen(nexus4_params());
+  screen.set_on(false);
+  EXPECT_DOUBLE_EQ(screen.power_mw(), 0.0);
+}
+
+TEST(ScreenTest, PowerIsLinearInBrightness) {
+  const PowerParams& params = nexus4_params();
+  Screen screen(params);
+  screen.set_brightness(0);
+  EXPECT_DOUBLE_EQ(screen.power_mw(), params.screen_base_mw);
+  screen.set_brightness(100);
+  EXPECT_DOUBLE_EQ(screen.power_mw(),
+                   params.screen_base_mw + 100 * params.screen_per_level_mw);
+  screen.set_brightness(200);
+  EXPECT_DOUBLE_EQ(screen.power_mw(),
+                   params.screen_base_mw + 200 * params.screen_per_level_mw);
+}
+
+TEST(ScreenTest, BrightnessClampsToLevelRange) {
+  Screen screen(nexus4_params());
+  screen.set_brightness(9999);
+  EXPECT_EQ(screen.brightness(), 255);
+  screen.set_brightness(-5);
+  EXPECT_EQ(screen.brightness(), 0);
+}
+
+TEST(ScreenTest, FullBrightnessCostsMoreThanDim) {
+  Screen screen(nexus4_params());
+  screen.set_brightness(255);
+  const double full = screen.power_mw();
+  screen.set_brightness(10);
+  EXPECT_GT(full, 1.5 * screen.power_mw());
+}
+
+}  // namespace
+}  // namespace eandroid::hw

@@ -1,0 +1,92 @@
+#include "hw/session_component.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace eandroid::hw {
+namespace {
+
+constexpr kernelsim::Uid kAppA{10000};
+constexpr kernelsim::Uid kAppB{10001};
+
+class SessionComponentTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  SessionComponent camera_{sim_, "camera", 1200.0, 150.0, sim::millis(500)};
+};
+
+TEST_F(SessionComponentTest, InactiveDrawsNothing) {
+  EXPECT_FALSE(camera_.active());
+  EXPECT_DOUBLE_EQ(camera_.breakdown().total_mw, 0.0);
+}
+
+TEST_F(SessionComponentTest, ActiveSessionAttributedToOwner) {
+  camera_.begin_session(kAppA);
+  const PowerBreakdown breakdown = camera_.breakdown();
+  EXPECT_DOUBLE_EQ(breakdown.total_mw, 1200.0);
+  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppA), 1200.0);
+}
+
+TEST_F(SessionComponentTest, ConcurrentSessionsShareEqually) {
+  camera_.begin_session(kAppA);
+  camera_.begin_session(kAppB);
+  const PowerBreakdown breakdown = camera_.breakdown();
+  EXPECT_DOUBLE_EQ(breakdown.total_mw, 1200.0);
+  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppA), 600.0);
+  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppB), 600.0);
+}
+
+TEST_F(SessionComponentTest, SameUidTwoSessionsGetsFullPower) {
+  camera_.begin_session(kAppA);
+  camera_.begin_session(kAppA);
+  EXPECT_DOUBLE_EQ(camera_.breakdown().by_uid.at(kAppA), 1200.0);
+}
+
+TEST_F(SessionComponentTest, TailPowerAfterLastSessionEnds) {
+  const SessionId id = camera_.begin_session(kAppA);
+  camera_.end_session(id);
+  const PowerBreakdown tail = camera_.breakdown();
+  EXPECT_DOUBLE_EQ(tail.total_mw, 150.0);
+  EXPECT_DOUBLE_EQ(tail.by_uid.at(kAppA), 150.0);
+}
+
+TEST_F(SessionComponentTest, TailExpires) {
+  const SessionId id = camera_.begin_session(kAppA);
+  camera_.end_session(id);
+  sim_.run_for(sim::millis(501));
+  EXPECT_DOUBLE_EQ(camera_.breakdown().total_mw, 0.0);
+}
+
+TEST_F(SessionComponentTest, NoTailWhileAnotherSessionRuns) {
+  const SessionId a = camera_.begin_session(kAppA);
+  camera_.begin_session(kAppB);
+  camera_.end_session(a);
+  const PowerBreakdown breakdown = camera_.breakdown();
+  EXPECT_DOUBLE_EQ(breakdown.total_mw, 1200.0);
+  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppB), 1200.0);
+}
+
+TEST_F(SessionComponentTest, EndUnknownSessionIsNoop) {
+  camera_.end_session(SessionId{999});
+  EXPECT_DOUBLE_EQ(camera_.breakdown().total_mw, 0.0);
+}
+
+TEST_F(SessionComponentTest, EndSessionsOfUidCleansUp) {
+  camera_.begin_session(kAppA);
+  camera_.begin_session(kAppA);
+  camera_.begin_session(kAppB);
+  camera_.end_sessions_of(kAppA);
+  EXPECT_EQ(camera_.session_count(), 1u);
+  EXPECT_DOUBLE_EQ(camera_.breakdown().by_uid.at(kAppB), 1200.0);
+}
+
+TEST_F(SessionComponentTest, ZeroTailComponentGoesStraightToIdle) {
+  SessionComponent audio(sim_, "audio", 250.0, 0.0, sim::Duration(0));
+  const SessionId id = audio.begin_session(kAppA);
+  audio.end_session(id);
+  EXPECT_DOUBLE_EQ(audio.breakdown().total_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace eandroid::hw

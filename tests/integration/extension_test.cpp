@@ -1,0 +1,129 @@
+// Extension scenarios beyond the paper's Fig 9 grid: the §III-B multi &
+// hybrid attack, the Fig 7 chain as an attack, benign interruption by an
+// incoming call, stealth auto-launch, and DVFS accounting.
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/scenarios.h"
+
+namespace eandroid::apps {
+namespace {
+
+TEST(ExtensionTest, ChainAttackChargesWholeChainToMalware) {
+  const ScenarioResult r = run_chain_attack();
+  const core::EARow* malware = r.ea_view.row_of(BinderMalware::kPackage);
+  ASSERT_NE(malware, nullptr);
+  double from_b = 0.0, from_c = 0.0, from_screen = 0.0;
+  for (const auto& item : malware->inventory) {
+    if (item.label == "com.example.middleman") from_b = item.energy_mj;
+    if (item.label == "com.example.brightapp") from_c = item.energy_mj;
+    if (item.label == "Screen") from_screen = item.energy_mj;
+  }
+  // Fig 7: "it is reasonable to charge the energy drained by C and screen
+  // to A".
+  EXPECT_GT(from_b, 0.0);
+  EXPECT_GT(from_c, 0.0);
+  EXPECT_GT(from_screen, 0.0);
+  // Stock Android shows the malware as free.
+  EXPECT_LT(r.android_view.percent_of(BinderMalware::kPackage), 1.0);
+}
+
+TEST(ExtensionTest, MultiAttackStealthLaunchAndBothVectors) {
+  const ScenarioResult r = run_multi_attack();
+  const core::EARow* malware = r.ea_view.row_of(HybridMalware::kPackage);
+  ASSERT_NE(malware, nullptr);
+  double from_victim = 0.0, from_screen = 0.0;
+  for (const auto& item : malware->inventory) {
+    if (item.label == "com.example.victim") from_victim = item.energy_mj;
+    if (item.label == "Screen") from_screen = item.energy_mj;
+  }
+  EXPECT_GT(from_victim, 0.0);   // pinned service
+  EXPECT_GT(from_screen, 0.0);   // brightness escalation
+  EXPECT_LT(r.android_view.percent_of(HybridMalware::kPackage), 2.0);
+}
+
+TEST(ExtensionTest, MultiAttackNeverOpenedByUser) {
+  // The malware is triggered purely by the unlock broadcast.
+  Testbed bed;
+  DemoAppSpec victim = victim_spec();
+  victim.wakelock_bug = false;
+  bed.install<DemoApp>(victim);
+  HybridMalware* malware =
+      bed.install<HybridMalware>(victim.package, DemoApp::kService, 255);
+  bed.start();
+  EXPECT_FALSE(malware->triggered());
+  bed.server().user_unlock();
+  EXPECT_TRUE(malware->triggered());
+  // It never holds the foreground.
+  EXPECT_NE(bed.server().activities().foreground_uid(),
+            bed.uid_of(HybridMalware::kPackage));
+}
+
+TEST(ExtensionTest, BenignInterruptionStillProfiledCorrectly) {
+  const ScenarioResult r = run_benign_interruption();
+  // No malware installed; the wakelock-bug app itself gets the forced
+  // screen energy on its collateral account.
+  const core::EARow* victim = r.ea_view.row_of("com.example.victim");
+  ASSERT_NE(victim, nullptr);
+  double from_screen = 0.0;
+  for (const auto& item : victim->inventory) {
+    if (item.label == "Screen") from_screen = item.energy_mj;
+  }
+  EXPECT_GT(from_screen, 10'000.0);
+  // The phone app (system) is never charged as a driver.
+  EXPECT_EQ(r.ea_view.row_of(framework::kPhonePackage), nullptr);
+  // Stock Android hides it all in the Screen row.
+  EXPECT_GT(r.android_view.percent_of("Screen"), 40.0);
+}
+
+TEST(ExtensionTest, DvfsReducesEnergyAtPartialLoad) {
+  auto run = [](const hw::PowerParams& params) {
+    TestbedOptions options;
+    options.params = params;
+    Testbed bed(options);
+    DemoAppSpec app = message_spec();
+    app.package = "com.dvfs.app";
+    app.foreground_cpu = 0.20;  // partial load: DVFS territory
+    bed.install<DemoApp>(app);
+    bed.start();
+    bed.server().user_launch("com.dvfs.app");
+    for (int i = 0; i < 3; ++i) {
+      bed.sim().run_for(sim::seconds(20));
+      bed.server().user_tap(1, 1);
+    }
+    bed.run_for(sim::Duration(0));
+    return bed.battery_stats().app_energy_mj(bed.uid_of("com.dvfs.app"));
+  };
+  const double fixed = run(hw::nexus4_params());
+  const double dvfs = run(hw::nexus4_dvfs_params());
+  EXPECT_LT(dvfs, fixed);       // cheaper cycles at 384 MHz
+  EXPECT_GT(dvfs, 0.3 * fixed); // but not free
+}
+
+TEST(ExtensionTest, DvfsConservesEnergyInvariant) {
+  TestbedOptions options;
+  options.params = hw::nexus4_dvfs_params();
+  Testbed bed(options);
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(framework::Intent::implicit(
+          "android.media.action.VIDEO_CAPTURE"));
+  bed.run_for(sim::seconds(30));
+  const double drained = bed.server().battery().drained_mj();
+  EXPECT_NEAR(bed.battery_stats().total_mj(), drained, 1e-3);
+  EXPECT_NEAR(bed.eandroid()->engine().true_total_mj(), drained, 1e-3);
+}
+
+TEST(ExtensionTest, ChainAttackDeterministic) {
+  const ScenarioResult a = run_chain_attack(3);
+  const ScenarioResult b = run_chain_attack(3);
+  EXPECT_DOUBLE_EQ(a.battery_drained_mj, b.battery_drained_mj);
+  EXPECT_EQ(a.windows_opened, b.windows_opened);
+}
+
+}  // namespace
+}  // namespace eandroid::apps

@@ -1,0 +1,153 @@
+// Failure injection: processes dying mid-window must leave every subsystem
+// consistent (link-to-death paths: wakelocks, bindings, activity stacks,
+// tracker windows, accounting).
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/malware.h"
+#include "apps/testbed.h"
+
+namespace eandroid::apps {
+namespace {
+
+using framework::Intent;
+using framework::WakelockType;
+
+TEST(FailureInjectionTest, VictimDeathMidActivityWindow) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(Intent::explicit_for("com.example.camera", "Main"));
+  bed.sim().run_for(sim::seconds(5));
+  ASSERT_EQ(bed.eandroid()->tracker().open_count(), 1u);
+
+  bed.server().kill_app(bed.uid_of("com.example.camera"));
+  EXPECT_EQ(bed.eandroid()->tracker().open_count(), 0u);
+  EXPECT_FALSE(bed.server().camera().active());  // session cleaned up
+  // Collateral charged so far persists.
+  bed.run_for(sim::seconds(1));
+  EXPECT_GT(bed.eandroid()->engine().collateral_mj(
+                bed.uid_of("com.example.message")),
+            0.0);
+}
+
+TEST(FailureInjectionTest, DriverDeathKeepsWindowOnItsAccount) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(Intent::explicit_for("com.example.camera", "Main"));
+  bed.sim().run_for(sim::seconds(2));
+  bed.server().kill_app(bed.uid_of("com.example.message"));
+  // The driven app still runs; the dead driver keeps accruing collateral
+  // on its account (the user should still see who started it).
+  bed.run_for(sim::seconds(5));
+  EXPECT_GT(bed.eandroid()->engine().collateral_mj(
+                bed.uid_of("com.example.message")),
+            0.0);
+}
+
+TEST(FailureInjectionTest, WakelockHolderDeathReleasesScreen) {
+  Testbed bed;
+  WakelockMalware* malware = bed.install<WakelockMalware>();
+  bed.start();
+  bed.context_of(WakelockMalware::kPackage);
+  malware->attack();
+  bed.sim().run_for(sim::minutes(2));
+  ASSERT_TRUE(bed.server().power().screen_forced_by_wakelock());
+
+  bed.server().kill_app(bed.uid_of(WakelockMalware::kPackage));
+  EXPECT_EQ(bed.server().power().held_count(), 0u);
+  EXPECT_FALSE(bed.server().power().screen_on());
+  EXPECT_EQ(bed.eandroid()->tracker().open_count(), 0u);
+  // After the death the device suspends: near-zero drain.
+  const double before = bed.server().battery().drained_mj();
+  bed.run_for(sim::minutes(1));
+  const double after = bed.server().battery().drained_mj();
+  EXPECT_LT(after - before, 1000.0);
+}
+
+TEST(FailureInjectionTest, BindingClientDeathFreesService) {
+  Testbed bed;
+  DemoAppSpec victim = victim_spec();
+  victim.wakelock_bug = false;
+  bed.install<DemoApp>(victim);
+  BinderMalware* malware =
+      bed.install<BinderMalware>(victim.package, DemoApp::kService);
+  bed.start();
+  bed.context_of(BinderMalware::kPackage);
+  bed.context_of(victim.package)
+      .start_service(Intent::explicit_for(victim.package, DemoApp::kService));
+  bed.sim().run_for(sim::seconds(1));
+  ASSERT_TRUE(malware->bound());
+  bed.context_of(victim.package)
+      .stop_service(Intent::explicit_for(victim.package, DemoApp::kService));
+  ASSERT_TRUE(
+      bed.server().services().running(victim.package, DemoApp::kService));
+
+  // Kill the malware: the pinned service must finally die.
+  bed.server().kill_app(bed.uid_of(BinderMalware::kPackage));
+  EXPECT_FALSE(
+      bed.server().services().running(victim.package, DemoApp::kService));
+  EXPECT_EQ(bed.eandroid()->tracker().open_count(), 0u);
+  EXPECT_NEAR(bed.server().cpu().instantaneous_utilization(), 0.0, 1e-9);
+}
+
+TEST(FailureInjectionTest, ServiceHostDeathClosesWindows) {
+  Testbed bed;
+  DemoAppSpec victim = victim_spec();
+  victim.wakelock_bug = false;
+  bed.install<DemoApp>(victim);
+  bed.install<BinderMalware>(victim.package, DemoApp::kService);
+  bed.start();
+  bed.context_of(BinderMalware::kPackage);
+  bed.context_of(victim.package)
+      .start_service(Intent::explicit_for(victim.package, DemoApp::kService));
+  bed.sim().run_for(sim::seconds(1));
+  ASSERT_EQ(bed.eandroid()->tracker().open_count(), 1u);
+  bed.server().kill_app(bed.uid_of(victim.package));
+  EXPECT_EQ(bed.eandroid()->tracker().open_count(), 0u);
+}
+
+TEST(FailureInjectionTest, EnergyConservationSurvivesKills) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.install<DemoApp>(victim_spec());
+  bed.start();
+  bed.server().user_launch("com.example.victim");
+  bed.sim().run_for(sim::seconds(3));
+  bed.server().user_launch("com.example.message");
+  bed.context_of("com.example.message")
+      .start_activity(Intent::explicit_for("com.example.camera", "Main"));
+  bed.sim().run_for(sim::seconds(3));
+  bed.server().kill_app(bed.uid_of("com.example.camera"));
+  bed.sim().run_for(sim::seconds(3));
+  bed.server().kill_app(bed.uid_of("com.example.victim"));
+  bed.run_for(sim::seconds(3));
+
+  const double drained = bed.server().battery().drained_mj();
+  EXPECT_NEAR(bed.battery_stats().total_mj(), drained, 1e-3);
+  EXPECT_NEAR(bed.eandroid()->engine().true_total_mj(), drained, 1e-3);
+}
+
+TEST(FailureInjectionTest, RestartAfterKillWorks) {
+  Testbed bed;
+  bed.install<DemoApp>(victim_spec());
+  bed.start();
+  bed.server().user_launch("com.example.victim");
+  bed.server().kill_app(bed.uid_of("com.example.victim"));
+  // Relaunch spawns a fresh process and the app behaves normally.
+  bed.server().user_launch("com.example.victim");
+  EXPECT_EQ(bed.server().activities().foreground_uid(),
+            bed.uid_of("com.example.victim"));
+  EXPECT_EQ(bed.server().power().held_count(), 1u);  // fresh wakelock
+}
+
+}  // namespace
+}  // namespace eandroid::apps

@@ -1,0 +1,100 @@
+#include "kernel/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace eandroid::kernelsim {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  ProcessTable processes_;
+  BinderDriver binder_{sim_, processes_};
+};
+
+TEST_F(BinderTest, MintedTokensAreUnique) {
+  const Pid pid = processes_.spawn(Uid{10000}, "a");
+  const BinderToken t1 = binder_.mint_token(pid);
+  const BinderToken t2 = binder_.mint_token(pid);
+  EXPECT_NE(t1, t2);
+  EXPECT_TRUE(t1.valid());
+}
+
+TEST_F(BinderTest, DeathRecipientFiresOnProcessDeath) {
+  const Pid pid = processes_.spawn(Uid{10000}, "a");
+  const BinderToken token = binder_.mint_token(pid);
+  bool fired = false;
+  EXPECT_TRUE(binder_.link_to_death(token, [&](BinderToken) { fired = true; }));
+  EXPECT_FALSE(fired);
+  processes_.kill(pid);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(BinderTest, LinkToDeadObjectDeliversObituaryImmediately) {
+  const Pid pid = processes_.spawn(Uid{10000}, "a");
+  const BinderToken token = binder_.mint_token(pid);
+  processes_.kill(pid);
+  bool fired = false;
+  EXPECT_FALSE(
+      binder_.link_to_death(token, [&](BinderToken) { fired = true; }));
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(BinderTest, UnlinkPreventsNotification) {
+  const Pid pid = processes_.spawn(Uid{10000}, "a");
+  const BinderToken token = binder_.mint_token(pid);
+  bool fired = false;
+  binder_.link_to_death(token, [&](BinderToken) { fired = true; });
+  binder_.unlink_to_death(token);
+  processes_.kill(pid);
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(BinderTest, LinkToUnknownTokenFails) {
+  EXPECT_FALSE(binder_.link_to_death(BinderToken{999}, [](BinderToken) {}));
+}
+
+TEST_F(BinderTest, OnlyDyingProcessTokensFire) {
+  const Pid a = processes_.spawn(Uid{10000}, "a");
+  const Pid b = processes_.spawn(Uid{10001}, "b");
+  int fired = 0;
+  binder_.link_to_death(binder_.mint_token(a), [&](BinderToken) { ++fired; });
+  binder_.link_to_death(binder_.mint_token(b), [&](BinderToken) { ++fired; });
+  processes_.kill(a);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(BinderTest, MultipleRecipientsAllFire) {
+  const Pid pid = processes_.spawn(Uid{10000}, "a");
+  const BinderToken token = binder_.mint_token(pid);
+  int fired = 0;
+  binder_.link_to_death(token, [&](BinderToken) { ++fired; });
+  binder_.link_to_death(token, [&](BinderToken) { ++fired; });
+  processes_.kill(pid);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(BinderTest, TransactionsAreCountedOnBothEnds) {
+  const Pid a = processes_.spawn(Uid{10000}, "a");
+  const Pid b = processes_.spawn(Uid{10001}, "b");
+  binder_.transact(a, b, 1024);
+  binder_.transact(a, b, 2048);
+  EXPECT_EQ(binder_.stats_for(a).count, 2u);
+  EXPECT_EQ(binder_.stats_for(b).count, 2u);
+  EXPECT_EQ(binder_.stats_for(a).bytes, 3072u);
+  EXPECT_EQ(binder_.total_transactions(), 2u);
+}
+
+TEST_F(BinderTest, TransactionCostGrowsWithPayload) {
+  const Pid a = processes_.spawn(Uid{10000}, "a");
+  const Pid b = processes_.spawn(Uid{10001}, "b");
+  const sim::Duration small = binder_.transact(a, b, 128);
+  const sim::Duration large = binder_.transact(a, b, 64 * 1024);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, sim::Duration(0));
+}
+
+}  // namespace
+}  // namespace eandroid::kernelsim

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+#include "kernel/cpu_sched.h"
+#include "sim/simulator.h"
+
+namespace eandroid::kernelsim {
+namespace {
+
+class MulticoreTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  ProcessTable processes_;
+  CpuScheduler quad_{sim_, processes_, 4};
+};
+
+TEST_F(MulticoreTest, CoreCountClampsToOne) {
+  CpuScheduler bad(sim_, processes_, 0);
+  EXPECT_EQ(bad.cores(), 1);
+  EXPECT_EQ(quad_.cores(), 4);
+}
+
+TEST_F(MulticoreTest, UtilizationNormalizedOverCores) {
+  const Pid pid = processes_.spawn(Uid{10000}, "a");
+  quad_.add_load(pid, 1.0);  // one full core of demand
+  EXPECT_NEAR(quad_.instantaneous_utilization(), 0.25, 1e-9);
+  sim_.run_for(sim::seconds(1));
+  EXPECT_NEAR(quad_.sample_window().total_utilization, 0.25, 1e-9);
+}
+
+TEST_F(MulticoreTest, ParallelAppsDoNotContendBelowCapacity) {
+  const Pid a = processes_.spawn(Uid{10000}, "a");
+  const Pid b = processes_.spawn(Uid{10001}, "b");
+  quad_.add_load(a, 1.0);
+  quad_.add_load(b, 1.0);
+  sim_.run_for(sim::seconds(1));
+  const CpuWindow window = quad_.sample_window();
+  EXPECT_NEAR(window.total_utilization, 0.5, 1e-9);
+  // Each app gets its full core — no proportional squeeze.
+  EXPECT_NEAR(window.share_by_uid.at(Uid{10000}), 0.25, 1e-9);
+  EXPECT_NEAR(window.share_by_uid.at(Uid{10001}), 0.25, 1e-9);
+}
+
+TEST_F(MulticoreTest, SaturatesAtAllCores) {
+  std::vector<Pid> pids;
+  for (int i = 0; i < 6; ++i) {
+    const Pid pid = processes_.spawn(Uid{10000 + i}, "p");
+    quad_.add_load(pid, 1.0);
+    pids.push_back(pid);
+  }
+  sim_.run_for(sim::seconds(1));
+  const CpuWindow window = quad_.sample_window();
+  EXPECT_NEAR(window.total_utilization, 1.0, 1e-9);  // 6 cores wanted, 4 given
+  double sum = 0.0;
+  for (const auto& [uid, share] : window.share_by_uid) sum += share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(MulticoreTest, EndToEndQuadCoreDevice) {
+  apps::TestbedOptions options;
+  options.params.cpu_cores = 4;
+  apps::Testbed bed(options);
+  apps::DemoAppSpec spec = apps::message_spec();
+  spec.foreground_cpu = 1.0;  // one core flat-out
+  bed.install<apps::DemoApp>(spec);
+  bed.start();
+  bed.server().user_launch("com.example.message");
+  bed.run_for(sim::seconds(10));
+  // A quarter of package power for 10 s: 0.25 * 1000 mW * 10 s.
+  EXPECT_NEAR(bed.battery_stats().app_energy_mj(
+                  bed.uid_of("com.example.message")),
+              2500.0, 50.0);
+}
+
+TEST_F(MulticoreTest, SingleCoreDefaultUnchanged) {
+  CpuScheduler single(sim_, processes_);
+  EXPECT_EQ(single.cores(), 1);
+  const Pid pid = processes_.spawn(Uid{10099}, "x");
+  single.add_load(pid, 0.6);
+  EXPECT_NEAR(single.instantaneous_utilization(), 0.6, 1e-9);
+}
+
+}  // namespace
+}  // namespace eandroid::kernelsim

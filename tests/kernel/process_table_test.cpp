@@ -1,0 +1,89 @@
+#include "kernel/process_table.h"
+
+#include <gtest/gtest.h>
+
+namespace eandroid::kernelsim {
+namespace {
+
+TEST(ProcessTableTest, SpawnAssignsUniquePids) {
+  ProcessTable table;
+  const Pid a = table.spawn(Uid{10000}, "app.a");
+  const Pid b = table.spawn(Uid{10001}, "app.b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(table.alive(a));
+  EXPECT_TRUE(table.alive(b));
+  EXPECT_EQ(table.live_count(), 2u);
+}
+
+TEST(ProcessTableTest, FindReturnsInfo) {
+  ProcessTable table;
+  const Pid pid = table.spawn(Uid{10000}, "com.example");
+  const ProcessInfo* info = table.find(pid);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->uid, Uid{10000});
+  EXPECT_EQ(info->name, "com.example");
+}
+
+TEST(ProcessTableTest, KillMarksDead) {
+  ProcessTable table;
+  const Pid pid = table.spawn(Uid{10000}, "a");
+  EXPECT_TRUE(table.kill(pid));
+  EXPECT_FALSE(table.alive(pid));
+  EXPECT_EQ(table.live_count(), 0u);
+}
+
+TEST(ProcessTableTest, DoubleKillFails) {
+  ProcessTable table;
+  const Pid pid = table.spawn(Uid{10000}, "a");
+  EXPECT_TRUE(table.kill(pid));
+  EXPECT_FALSE(table.kill(pid));
+}
+
+TEST(ProcessTableTest, KillUnknownPidFails) {
+  ProcessTable table;
+  EXPECT_FALSE(table.kill(Pid{12345}));
+}
+
+TEST(ProcessTableTest, DeathObserverRunsOnKill) {
+  ProcessTable table;
+  Pid observed{};
+  table.add_death_observer(
+      [&](const ProcessInfo& info) { observed = info.pid; });
+  const Pid pid = table.spawn(Uid{10000}, "a");
+  table.kill(pid);
+  EXPECT_EQ(observed, pid);
+}
+
+TEST(ProcessTableTest, ObserversRunInRegistrationOrder) {
+  ProcessTable table;
+  std::vector<int> order;
+  table.add_death_observer([&](const ProcessInfo&) { order.push_back(1); });
+  table.add_death_observer([&](const ProcessInfo&) { order.push_back(2); });
+  table.kill(table.spawn(Uid{10000}, "a"));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ProcessTableTest, PidsOfFiltersByUid) {
+  ProcessTable table;
+  const Pid a1 = table.spawn(Uid{10000}, "a");
+  table.spawn(Uid{10001}, "b");
+  const Pid a2 = table.spawn(Uid{10000}, "a:remote");
+  auto pids = table.pids_of(Uid{10000});
+  EXPECT_EQ(pids.size(), 2u);
+  table.kill(a1);
+  pids = table.pids_of(Uid{10000});
+  ASSERT_EQ(pids.size(), 1u);
+  EXPECT_EQ(pids[0], a2);
+}
+
+TEST(ProcessTableTest, KillUidKillsAllProcesses) {
+  ProcessTable table;
+  table.spawn(Uid{10000}, "a");
+  table.spawn(Uid{10000}, "a:remote");
+  table.spawn(Uid{10001}, "b");
+  EXPECT_EQ(table.kill_uid(Uid{10000}), 2);
+  EXPECT_EQ(table.live_count(), 1u);
+}
+
+}  // namespace
+}  // namespace eandroid::kernelsim

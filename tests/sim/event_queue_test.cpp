@@ -1,0 +1,112 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eandroid::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint(300), [&] { order.push_back(3); });
+  q.push(TimePoint(100), [&] { order.push_back(1); });
+  q.push(TimePoint(200), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameInstantIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(TimePoint(42), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(TimePoint(500), [] {});
+  q.push(TimePoint(50), [] {});
+  EXPECT_EQ(q.next_time(), TimePoint(50));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventHandle h = q.push(TimePoint(10), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const EventHandle h = q.push(TimePoint(10), [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, CancelInvalidHandleFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+  EXPECT_FALSE(q.cancel(EventHandle{999}));
+}
+
+TEST(EventQueueTest, CancelledHeadIsSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventHandle first = q.push(TimePoint(1), [&] { order.push_back(1); });
+  q.push(TimePoint(2), [&] { order.push_back(2); });
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), TimePoint(2));
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, CancelAfterFireIsHarmless) {
+  // Regression: cancelling a handle whose event already ran must not
+  // disturb the bookkeeping of the events still scheduled.
+  EventQueue q;
+  const EventHandle fired = q.push(TimePoint(1), [] {});
+  q.push(TimePoint(2), [] {});
+  q.pop()();  // fires `fired`
+  EXPECT_FALSE(q.cancel(fired));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop()();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, SelfCancelDuringCallbackIsHarmless) {
+  EventQueue q;
+  EventHandle self{};
+  bool later_ran = false;
+  self = q.push(TimePoint(1), [&] { q.cancel(self); });
+  q.push(TimePoint(2), [&] { later_ran = true; });
+  while (!q.empty()) q.pop()();
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventHandle a = q.push(TimePoint(1), [] {});
+  q.push(TimePoint(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace eandroid::sim

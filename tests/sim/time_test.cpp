@@ -1,0 +1,65 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace eandroid::sim {
+namespace {
+
+TEST(TimeTest, DurationConstructorsAgree) {
+  EXPECT_EQ(millis(1).micros(), 1000);
+  EXPECT_EQ(seconds(1).micros(), 1'000'000);
+  EXPECT_EQ(minutes(1), seconds(60));
+  EXPECT_EQ(hours(1), minutes(60));
+  EXPECT_EQ(micros(5).micros(), 5);
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  EXPECT_EQ(seconds(1) + millis(500), millis(1500));
+  EXPECT_EQ(seconds(2) - millis(500), millis(1500));
+  EXPECT_EQ(millis(10) * 3, millis(30));
+  EXPECT_EQ(seconds(1) / 4, millis(250));
+  Duration d = seconds(1);
+  d += seconds(2);
+  EXPECT_EQ(d, seconds(3));
+  d -= millis(500);
+  EXPECT_EQ(d, millis(2500));
+}
+
+TEST(TimeTest, DurationComparisons) {
+  EXPECT_LT(millis(999), seconds(1));
+  EXPECT_GT(seconds(1), millis(999));
+  EXPECT_LE(seconds(1), millis(1000));
+  EXPECT_EQ(Duration(), Duration(0));
+}
+
+TEST(TimeTest, DurationConversions) {
+  EXPECT_DOUBLE_EQ(seconds(90).seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(hours(2).hours(), 2.0);
+  EXPECT_EQ(millis(1234).millis(), 1234);
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  const TimePoint t0;
+  const TimePoint t1 = t0 + seconds(5);
+  EXPECT_EQ(t1 - t0, seconds(5));
+  EXPECT_EQ(t1 - seconds(5), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimeTest, NegativeDurations) {
+  const TimePoint a(1000);
+  const TimePoint b(3000);
+  EXPECT_EQ((a - b).micros(), -2000);
+  EXPECT_LT(a - b, Duration(0));
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(format_time(TimePoint()), "0:00:00.000");
+  EXPECT_EQ(format_time(TimePoint() + millis(1)), "0:00:00.001");
+  EXPECT_EQ(format_time(TimePoint() + hours(3) + minutes(25) + seconds(7) +
+                        millis(89)),
+            "3:25:07.089");
+}
+
+}  // namespace
+}  // namespace eandroid::sim
