@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain.dir/ablation_chain.cpp.o"
+  "CMakeFiles/ablation_chain.dir/ablation_chain.cpp.o.d"
+  "ablation_chain"
+  "ablation_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/day_in_life.dir/day_in_life.cpp.o"
+  "CMakeFiles/day_in_life.dir/day_in_life.cpp.o.d"
+  "day_in_life"
+  "day_in_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/day_in_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

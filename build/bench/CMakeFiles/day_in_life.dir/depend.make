@@ -1,0 +1,2 @@
+# Empty dependencies file for day_in_life.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_message_camera.dir/fig01_message_camera.cpp.o"
+  "CMakeFiles/fig01_message_camera.dir/fig01_message_camera.cpp.o.d"
+  "fig01_message_camera"
+  "fig01_message_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_message_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_corpus.dir/fig02_corpus.cpp.o"
+  "CMakeFiles/fig02_corpus.dir/fig02_corpus.cpp.o.d"
+  "fig02_corpus"
+  "fig02_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_drain_curves.dir/fig03_drain_curves.cpp.o"
+  "CMakeFiles/fig03_drain_curves.dir/fig03_drain_curves.cpp.o.d"
+  "fig03_drain_curves"
+  "fig03_drain_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_drain_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

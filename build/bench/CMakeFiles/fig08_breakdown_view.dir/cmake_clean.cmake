@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_breakdown_view.dir/fig08_breakdown_view.cpp.o"
+  "CMakeFiles/fig08_breakdown_view.dir/fig08_breakdown_view.cpp.o.d"
+  "fig08_breakdown_view"
+  "fig08_breakdown_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_breakdown_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scenarios.dir/fig09_scenarios.cpp.o"
+  "CMakeFiles/fig09_scenarios.dir/fig09_scenarios.cpp.o.d"
+  "fig09_scenarios"
+  "fig09_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

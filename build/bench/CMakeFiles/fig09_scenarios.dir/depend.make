@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_scenarios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_micro_ops.dir/fig10_micro_ops.cpp.o"
+  "CMakeFiles/fig10_micro_ops.dir/fig10_micro_ops.cpp.o.d"
+  "fig10_micro_ops"
+  "fig10_micro_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_micro_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

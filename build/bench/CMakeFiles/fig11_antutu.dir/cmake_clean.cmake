@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_antutu.dir/fig11_antutu.cpp.o"
+  "CMakeFiles/fig11_antutu.dir/fig11_antutu.cpp.o.d"
+  "fig11_antutu"
+  "fig11_antutu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_antutu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

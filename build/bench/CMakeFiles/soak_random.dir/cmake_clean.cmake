@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soak_random.dir/soak_random.cpp.o"
+  "CMakeFiles/soak_random.dir/soak_random.cpp.o.d"
+  "soak_random"
+  "soak_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unfair_competition.dir/unfair_competition.cpp.o"
+  "CMakeFiles/unfair_competition.dir/unfair_competition.cpp.o.d"
+  "unfair_competition"
+  "unfair_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unfair_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

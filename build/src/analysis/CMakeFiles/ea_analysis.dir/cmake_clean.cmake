@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_analysis.dir/attack_surface.cpp.o"
+  "CMakeFiles/ea_analysis.dir/attack_surface.cpp.o.d"
+  "CMakeFiles/ea_analysis.dir/corpus.cpp.o"
+  "CMakeFiles/ea_analysis.dir/corpus.cpp.o.d"
+  "libea_analysis.a"
+  "libea_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

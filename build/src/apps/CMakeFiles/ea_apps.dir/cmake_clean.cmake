@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_apps.dir/demo_app.cpp.o"
+  "CMakeFiles/ea_apps.dir/demo_app.cpp.o.d"
+  "CMakeFiles/ea_apps.dir/malware.cpp.o"
+  "CMakeFiles/ea_apps.dir/malware.cpp.o.d"
+  "CMakeFiles/ea_apps.dir/report.cpp.o"
+  "CMakeFiles/ea_apps.dir/report.cpp.o.d"
+  "CMakeFiles/ea_apps.dir/scenarios.cpp.o"
+  "CMakeFiles/ea_apps.dir/scenarios.cpp.o.d"
+  "CMakeFiles/ea_apps.dir/workload.cpp.o"
+  "CMakeFiles/ea_apps.dir/workload.cpp.o.d"
+  "libea_apps.a"
+  "libea_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

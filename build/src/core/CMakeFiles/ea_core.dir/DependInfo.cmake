@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/ea_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/ea_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/battery_interface.cpp" "src/core/CMakeFiles/ea_core.dir/battery_interface.cpp.o" "gcc" "src/core/CMakeFiles/ea_core.dir/battery_interface.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/ea_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/ea_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/e_android.cpp" "src/core/CMakeFiles/ea_core.dir/e_android.cpp.o" "gcc" "src/core/CMakeFiles/ea_core.dir/e_android.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/ea_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/ea_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/window_tracker.cpp" "src/core/CMakeFiles/ea_core.dir/window_tracker.cpp.o" "gcc" "src/core/CMakeFiles/ea_core.dir/window_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/framework/CMakeFiles/ea_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ea_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ea_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ea_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_core.dir/advisor.cpp.o"
+  "CMakeFiles/ea_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/ea_core.dir/battery_interface.cpp.o"
+  "CMakeFiles/ea_core.dir/battery_interface.cpp.o.d"
+  "CMakeFiles/ea_core.dir/detector.cpp.o"
+  "CMakeFiles/ea_core.dir/detector.cpp.o.d"
+  "CMakeFiles/ea_core.dir/e_android.cpp.o"
+  "CMakeFiles/ea_core.dir/e_android.cpp.o.d"
+  "CMakeFiles/ea_core.dir/engine.cpp.o"
+  "CMakeFiles/ea_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ea_core.dir/window_tracker.cpp.o"
+  "CMakeFiles/ea_core.dir/window_tracker.cpp.o.d"
+  "libea_core.a"
+  "libea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

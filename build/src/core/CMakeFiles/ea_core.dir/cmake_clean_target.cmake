@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libea_core.a"
+)

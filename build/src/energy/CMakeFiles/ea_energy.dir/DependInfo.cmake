@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery_stats.cpp" "src/energy/CMakeFiles/ea_energy.dir/battery_stats.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/battery_stats.cpp.o.d"
+  "/root/repo/src/energy/battery_view.cpp" "src/energy/CMakeFiles/ea_energy.dir/battery_view.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/battery_view.cpp.o.d"
+  "/root/repo/src/energy/eprof.cpp" "src/energy/CMakeFiles/ea_energy.dir/eprof.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/eprof.cpp.o.d"
+  "/root/repo/src/energy/power_signature.cpp" "src/energy/CMakeFiles/ea_energy.dir/power_signature.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/power_signature.cpp.o.d"
+  "/root/repo/src/energy/power_tutor.cpp" "src/energy/CMakeFiles/ea_energy.dir/power_tutor.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/power_tutor.cpp.o.d"
+  "/root/repo/src/energy/sampler.cpp" "src/energy/CMakeFiles/ea_energy.dir/sampler.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/sampler.cpp.o.d"
+  "/root/repo/src/energy/timeline.cpp" "src/energy/CMakeFiles/ea_energy.dir/timeline.cpp.o" "gcc" "src/energy/CMakeFiles/ea_energy.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/framework/CMakeFiles/ea_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ea_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ea_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

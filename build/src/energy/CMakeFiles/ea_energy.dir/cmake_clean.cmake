@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_energy.dir/battery_stats.cpp.o"
+  "CMakeFiles/ea_energy.dir/battery_stats.cpp.o.d"
+  "CMakeFiles/ea_energy.dir/battery_view.cpp.o"
+  "CMakeFiles/ea_energy.dir/battery_view.cpp.o.d"
+  "CMakeFiles/ea_energy.dir/eprof.cpp.o"
+  "CMakeFiles/ea_energy.dir/eprof.cpp.o.d"
+  "CMakeFiles/ea_energy.dir/power_signature.cpp.o"
+  "CMakeFiles/ea_energy.dir/power_signature.cpp.o.d"
+  "CMakeFiles/ea_energy.dir/power_tutor.cpp.o"
+  "CMakeFiles/ea_energy.dir/power_tutor.cpp.o.d"
+  "CMakeFiles/ea_energy.dir/sampler.cpp.o"
+  "CMakeFiles/ea_energy.dir/sampler.cpp.o.d"
+  "CMakeFiles/ea_energy.dir/timeline.cpp.o"
+  "CMakeFiles/ea_energy.dir/timeline.cpp.o.d"
+  "libea_energy.a"
+  "libea_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framework/activity_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/activity_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/activity_manager.cpp.o.d"
+  "/root/repo/src/framework/alarm_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/alarm_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/alarm_manager.cpp.o.d"
+  "/root/repo/src/framework/broadcast_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/broadcast_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/broadcast_manager.cpp.o.d"
+  "/root/repo/src/framework/context.cpp" "src/framework/CMakeFiles/ea_framework.dir/context.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/context.cpp.o.d"
+  "/root/repo/src/framework/events.cpp" "src/framework/CMakeFiles/ea_framework.dir/events.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/events.cpp.o.d"
+  "/root/repo/src/framework/lmk.cpp" "src/framework/CMakeFiles/ea_framework.dir/lmk.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/lmk.cpp.o.d"
+  "/root/repo/src/framework/notification_service.cpp" "src/framework/CMakeFiles/ea_framework.dir/notification_service.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/notification_service.cpp.o.d"
+  "/root/repo/src/framework/package_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/package_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/package_manager.cpp.o.d"
+  "/root/repo/src/framework/power_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/power_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/power_manager.cpp.o.d"
+  "/root/repo/src/framework/push_service.cpp" "src/framework/CMakeFiles/ea_framework.dir/push_service.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/push_service.cpp.o.d"
+  "/root/repo/src/framework/service_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/service_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/service_manager.cpp.o.d"
+  "/root/repo/src/framework/settings_provider.cpp" "src/framework/CMakeFiles/ea_framework.dir/settings_provider.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/settings_provider.cpp.o.d"
+  "/root/repo/src/framework/system_server.cpp" "src/framework/CMakeFiles/ea_framework.dir/system_server.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/system_server.cpp.o.d"
+  "/root/repo/src/framework/window_manager.cpp" "src/framework/CMakeFiles/ea_framework.dir/window_manager.cpp.o" "gcc" "src/framework/CMakeFiles/ea_framework.dir/window_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ea_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ea_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_framework.dir/activity_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/activity_manager.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/alarm_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/alarm_manager.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/broadcast_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/broadcast_manager.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/context.cpp.o"
+  "CMakeFiles/ea_framework.dir/context.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/events.cpp.o"
+  "CMakeFiles/ea_framework.dir/events.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/lmk.cpp.o"
+  "CMakeFiles/ea_framework.dir/lmk.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/notification_service.cpp.o"
+  "CMakeFiles/ea_framework.dir/notification_service.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/package_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/package_manager.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/power_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/power_manager.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/push_service.cpp.o"
+  "CMakeFiles/ea_framework.dir/push_service.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/service_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/service_manager.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/settings_provider.cpp.o"
+  "CMakeFiles/ea_framework.dir/settings_provider.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/system_server.cpp.o"
+  "CMakeFiles/ea_framework.dir/system_server.cpp.o.d"
+  "CMakeFiles/ea_framework.dir/window_manager.cpp.o"
+  "CMakeFiles/ea_framework.dir/window_manager.cpp.o.d"
+  "libea_framework.a"
+  "libea_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

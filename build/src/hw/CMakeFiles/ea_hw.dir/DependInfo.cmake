@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/battery.cpp" "src/hw/CMakeFiles/ea_hw.dir/battery.cpp.o" "gcc" "src/hw/CMakeFiles/ea_hw.dir/battery.cpp.o.d"
+  "/root/repo/src/hw/cpu_power_model.cpp" "src/hw/CMakeFiles/ea_hw.dir/cpu_power_model.cpp.o" "gcc" "src/hw/CMakeFiles/ea_hw.dir/cpu_power_model.cpp.o.d"
+  "/root/repo/src/hw/session_component.cpp" "src/hw/CMakeFiles/ea_hw.dir/session_component.cpp.o" "gcc" "src/hw/CMakeFiles/ea_hw.dir/session_component.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ea_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

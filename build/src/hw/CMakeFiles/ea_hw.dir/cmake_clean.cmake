@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_hw.dir/battery.cpp.o"
+  "CMakeFiles/ea_hw.dir/battery.cpp.o.d"
+  "CMakeFiles/ea_hw.dir/cpu_power_model.cpp.o"
+  "CMakeFiles/ea_hw.dir/cpu_power_model.cpp.o.d"
+  "CMakeFiles/ea_hw.dir/session_component.cpp.o"
+  "CMakeFiles/ea_hw.dir/session_component.cpp.o.d"
+  "libea_hw.a"
+  "libea_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

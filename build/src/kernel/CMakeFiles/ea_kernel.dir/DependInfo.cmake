@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/binder.cpp" "src/kernel/CMakeFiles/ea_kernel.dir/binder.cpp.o" "gcc" "src/kernel/CMakeFiles/ea_kernel.dir/binder.cpp.o.d"
+  "/root/repo/src/kernel/cpu_sched.cpp" "src/kernel/CMakeFiles/ea_kernel.dir/cpu_sched.cpp.o" "gcc" "src/kernel/CMakeFiles/ea_kernel.dir/cpu_sched.cpp.o.d"
+  "/root/repo/src/kernel/process_table.cpp" "src/kernel/CMakeFiles/ea_kernel.dir/process_table.cpp.o" "gcc" "src/kernel/CMakeFiles/ea_kernel.dir/process_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

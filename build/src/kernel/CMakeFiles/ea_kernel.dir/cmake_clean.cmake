@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_kernel.dir/binder.cpp.o"
+  "CMakeFiles/ea_kernel.dir/binder.cpp.o.d"
+  "CMakeFiles/ea_kernel.dir/cpu_sched.cpp.o"
+  "CMakeFiles/ea_kernel.dir/cpu_sched.cpp.o.d"
+  "CMakeFiles/ea_kernel.dir/process_table.cpp.o"
+  "CMakeFiles/ea_kernel.dir/process_table.cpp.o.d"
+  "libea_kernel.a"
+  "libea_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ea_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ea_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ea_sim.dir/log.cpp.o"
+  "CMakeFiles/ea_sim.dir/log.cpp.o.d"
+  "CMakeFiles/ea_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ea_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ea_sim.dir/time.cpp.o"
+  "CMakeFiles/ea_sim.dir/time.cpp.o.d"
+  "libea_sim.a"
+  "libea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/demo_app_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/demo_app_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/malware_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/malware_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/report_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/report_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/stock_apps_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/stock_apps_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/testbed_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/testbed_test.cpp.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+  "apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/advisor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/advisor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/detector_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/detector_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/engine_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/engine_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/enum_strings_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/enum_strings_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/interface_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/interface_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tracker_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tracker_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

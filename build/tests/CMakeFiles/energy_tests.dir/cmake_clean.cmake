@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tests.dir/energy/eprof_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/eprof_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/power_signature_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/power_signature_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/profilers_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/profilers_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/sampler_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/sampler_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/timeline_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/timeline_test.cpp.o.d"
+  "energy_tests"
+  "energy_tests.pdb"
+  "energy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/framework/activity_manager_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/activity_manager_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/activity_manager_test.cpp.o.d"
+  "/root/repo/tests/framework/activity_result_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/activity_result_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/activity_result_test.cpp.o.d"
+  "/root/repo/tests/framework/broadcast_alarm_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/broadcast_alarm_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/broadcast_alarm_test.cpp.o.d"
+  "/root/repo/tests/framework/context_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/context_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/context_test.cpp.o.d"
+  "/root/repo/tests/framework/foreground_service_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/foreground_service_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/foreground_service_test.cpp.o.d"
+  "/root/repo/tests/framework/lmk_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/lmk_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/lmk_test.cpp.o.d"
+  "/root/repo/tests/framework/notification_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/notification_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/notification_test.cpp.o.d"
+  "/root/repo/tests/framework/package_manager_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/package_manager_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/package_manager_test.cpp.o.d"
+  "/root/repo/tests/framework/power_manager_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/power_manager_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/power_manager_test.cpp.o.d"
+  "/root/repo/tests/framework/push_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/push_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/push_test.cpp.o.d"
+  "/root/repo/tests/framework/service_manager_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/service_manager_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/service_manager_test.cpp.o.d"
+  "/root/repo/tests/framework/settings_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/settings_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/settings_test.cpp.o.d"
+  "/root/repo/tests/framework/task_stack_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/task_stack_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/task_stack_test.cpp.o.d"
+  "/root/repo/tests/framework/touch_routing_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/touch_routing_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/touch_routing_test.cpp.o.d"
+  "/root/repo/tests/framework/window_manager_test.cpp" "tests/CMakeFiles/framework_tests.dir/framework/window_manager_test.cpp.o" "gcc" "tests/CMakeFiles/framework_tests.dir/framework/window_manager_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ea_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ea_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ea_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/ea_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ea_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ea_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

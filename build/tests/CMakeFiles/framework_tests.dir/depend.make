@@ -1,0 +1,2 @@
+# Empty dependencies file for framework_tests.
+# This may be replaced when dependencies are built.

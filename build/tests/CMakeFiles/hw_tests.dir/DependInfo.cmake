@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/battery_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/battery_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/battery_test.cpp.o.d"
+  "/root/repo/tests/hw/charging_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/charging_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/charging_test.cpp.o.d"
+  "/root/repo/tests/hw/cpu_power_model_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/cpu_power_model_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/cpu_power_model_test.cpp.o.d"
+  "/root/repo/tests/hw/screen_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/screen_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/screen_test.cpp.o.d"
+  "/root/repo/tests/hw/session_component_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/session_component_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/session_component_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ea_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ea_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ea_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/ea_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ea_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ea_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/battery_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/battery_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/charging_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/charging_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/cpu_power_model_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/cpu_power_model_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/screen_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/screen_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/session_component_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/session_component_test.cpp.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/extension_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/extension_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/sweep_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/sweep_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_tests.dir/kernel/binder_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/binder_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/cpu_sched_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/cpu_sched_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/multicore_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/multicore_test.cpp.o.d"
+  "CMakeFiles/kernel_tests.dir/kernel/process_table_test.cpp.o"
+  "CMakeFiles/kernel_tests.dir/kernel/process_table_test.cpp.o.d"
+  "kernel_tests"
+  "kernel_tests.pdb"
+  "kernel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
