@@ -5,16 +5,29 @@
 // For every run we print the paired "A" vs "E" rows of the corresponding
 // subfigure, plus the §VI-B energy-efficiency check (all profilers observe
 // the same battery drain, i.e. E-Android itself costs no energy).
+//
+// Each scenario builds its own Testbed from a seed, so the nine runs are
+// independent jobs: they fan out across the exp::ParallelRunner and the
+// report prints from the ordered result vector, byte-identical to the old
+// serial loop's output.
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "apps/demo_app.h"
 #include "apps/malware.h"
 #include "apps/scenarios.h"
+#include "exp/parallel_runner.h"
 
 namespace {
 
 using namespace eandroid;
+
+struct Run {
+  apps::ScenarioResult (*fn)();
+  std::vector<std::string> focus_labels;
+  const char* expectation;
+};
 
 void print_run(const apps::ScenarioResult& r,
                const std::vector<std::string>& focus_labels,
@@ -43,6 +56,7 @@ void print_run(const apps::ScenarioResult& r,
 }  // namespace
 
 int main() {
+  using namespace eandroid;
   using apps::BinderMalware;
   using apps::BrightnessMalware;
   using apps::HijackMalware;
@@ -50,52 +64,54 @@ int main() {
   using apps::SpawnerMalware;
   using apps::WakelockMalware;
 
+  const std::vector<Run> runs = {
+      {[] { return apps::run_scene1(); },
+       {"com.example.message", "com.example.camera", "Screen"},
+       "9a: Android charges the Camera; E-Android also charges the "
+       "Message that drove it"},
+      {[] { return apps::run_scene2(); },
+       {"com.example.contacts", "com.example.message", "com.example.camera"},
+       "9b: the whole chain is charged to Contacts under E-Android"},
+      {[] { return apps::run_attack1(); },
+       {HijackMalware::kPackage, "com.example.camera"},
+       "like 9a with malware as the driver: Android shows the malware "
+       "as nearly free"},
+      {[] { return apps::run_attack2(); },
+       {SpawnerMalware::kPackage, "com.example.newsfeed", "com.example.game"},
+       "background victims' drain lands on the spawner only under "
+       "E-Android"},
+      {[] { return apps::run_attack3(); },
+       {BinderMalware::kPackage, "com.example.victim"},
+       "9c: the pinned service's energy is charged to the binder "
+       "malware, and only for the attack period"},
+      {[] { return apps::run_attack4(); },
+       {InterrupterMalware::kPackage, "com.example.victim", "Screen"},
+       "9d: interrupt + leaked wakelock; E-Android charges victim CPU "
+       "and forced-screen energy to the malware"},
+      {[] { return apps::run_attack5(); },
+       {BrightnessMalware::kPackage, "com.example.music", "Screen"},
+       "9e: the brightness delta is charged to the malware; Android "
+       "hides it inside the Screen row"},
+      {[] { return apps::run_attack6(1, /*release_lock=*/false); },
+       {WakelockMalware::kPackage, "Screen"},
+       "9f (attack): forced-screen energy charged to the malware"},
+      {[] { return apps::run_attack6(1, /*release_lock=*/true); },
+       {WakelockMalware::kPackage, "Screen"},
+       "9f (normal): wakelock released after 5 s; screen sleeps, far "
+       "less energy"},
+  };
+
   std::printf("=== Figure 9: scenarios and attacks, Android vs E-Android "
               "===\n\n");
 
-  print_run(apps::run_scene1(),
-            {"com.example.message", "com.example.camera", "Screen"},
-            "9a: Android charges the Camera; E-Android also charges the "
-            "Message that drove it");
+  std::vector<exp::ParallelRunner<apps::ScenarioResult>::Job> jobs;
+  jobs.reserve(runs.size());
+  for (const Run& run : runs) jobs.emplace_back(run.fn);
+  const std::vector<apps::ScenarioResult> results =
+      exp::ParallelRunner<apps::ScenarioResult>().run(std::move(jobs));
 
-  print_run(apps::run_scene2(),
-            {"com.example.contacts", "com.example.message",
-             "com.example.camera"},
-            "9b: the whole chain is charged to Contacts under E-Android");
-
-  print_run(apps::run_attack1(),
-            {HijackMalware::kPackage, "com.example.camera"},
-            "like 9a with malware as the driver: Android shows the malware "
-            "as nearly free");
-
-  print_run(apps::run_attack2(),
-            {SpawnerMalware::kPackage, "com.example.newsfeed",
-             "com.example.game"},
-            "background victims' drain lands on the spawner only under "
-            "E-Android");
-
-  print_run(apps::run_attack3(),
-            {BinderMalware::kPackage, "com.example.victim"},
-            "9c: the pinned service's energy is charged to the binder "
-            "malware, and only for the attack period");
-
-  print_run(apps::run_attack4(),
-            {InterrupterMalware::kPackage, "com.example.victim", "Screen"},
-            "9d: interrupt + leaked wakelock; E-Android charges victim CPU "
-            "and forced-screen energy to the malware");
-
-  const apps::ScenarioResult a5 = apps::run_attack5();
-  print_run(a5, {BrightnessMalware::kPackage, "com.example.music", "Screen"},
-            "9e: the brightness delta is charged to the malware; Android "
-            "hides it inside the Screen row");
-
-  print_run(apps::run_attack6(1, /*release_lock=*/false),
-            {WakelockMalware::kPackage, "Screen"},
-            "9f (attack): forced-screen energy charged to the malware");
-  print_run(apps::run_attack6(1, /*release_lock=*/true),
-            {WakelockMalware::kPackage, "Screen"},
-            "9f (normal): wakelock released after 5 s; screen sleeps, far "
-            "less energy");
-
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    print_run(results[i], runs[i].focus_labels, runs[i].expectation);
+  }
   return 0;
 }

@@ -5,7 +5,7 @@
 namespace eandroid::analysis {
 
 AttackSurface measure_attack_surface(
-    const std::vector<framework::Manifest>& corpus) {
+    std::span<const framework::Manifest> corpus) {
   AttackSurface surface;
   for (const auto& manifest : corpus) {
     ++surface.total_apps;
@@ -28,6 +28,19 @@ AttackSurface measure_attack_surface(
     }
   }
   return surface;
+}
+
+AttackSurface merge_surfaces(const std::vector<AttackSurface>& parts) {
+  AttackSurface total;
+  for (const AttackSurface& part : parts) {
+    total.total_apps += part.total_apps;
+    total.hijackable_activity += part.hijackable_activity;
+    total.bindable_service += part.bindable_service;
+    total.wakelock_users += part.wakelock_users;
+    total.can_write_settings += part.can_write_settings;
+    total.can_hold_wakelock += part.can_hold_wakelock;
+  }
+  return total;
 }
 
 AttackSurface::PairEstimate AttackSurface::expected_pairs(

@@ -10,6 +10,7 @@
 // offers.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,8 +46,14 @@ struct AttackSurface {
   [[nodiscard]] PairEstimate expected_pairs(int installed) const;
 };
 
+/// Span-shaped for the same reason as analyze_corpus: disjoint slices can
+/// be measured in parallel and folded with merge_surfaces().
 AttackSurface measure_attack_surface(
-    const std::vector<framework::Manifest>& corpus);
+    std::span<const framework::Manifest> corpus);
+
+/// Sums per-slice surfaces; identical to a single pass over the
+/// concatenation (all fields are counters).
+AttackSurface merge_surfaces(const std::vector<AttackSurface>& parts);
 
 std::string render_attack_surface(const AttackSurface& surface,
                                   int installed = 30);

@@ -105,7 +105,7 @@ std::vector<framework::Manifest> generate_corpus(const CorpusSpec& spec) {
   return corpus;
 }
 
-CorpusStats analyze_corpus(const std::vector<framework::Manifest>& corpus) {
+CorpusStats analyze_corpus(std::span<const framework::Manifest> corpus) {
   CorpusStats stats;
   for (const auto& manifest : corpus) {
     ++stats.total_apps;
@@ -125,6 +125,24 @@ CorpusStats analyze_corpus(const std::vector<framework::Manifest>& corpus) {
     }
   }
   return stats;
+}
+
+CorpusStats merge_stats(const std::vector<CorpusStats>& parts) {
+  CorpusStats total;
+  for (const CorpusStats& part : parts) {
+    total.total_apps += part.total_apps;
+    total.with_exported += part.with_exported;
+    total.with_wake_lock += part.with_wake_lock;
+    total.with_write_settings += part.with_write_settings;
+    for (const auto& [name, cat] : part.by_category) {
+      CategoryStats& into = total.by_category[name];
+      into.apps += cat.apps;
+      into.with_exported += cat.with_exported;
+      into.with_wake_lock += cat.with_wake_lock;
+      into.with_write_settings += cat.with_write_settings;
+    }
+  }
+  return total;
 }
 
 std::string render_stats(const CorpusStats& stats, bool per_category) {

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,8 +70,14 @@ struct CorpusStats {
 };
 
 /// The APKTool-equivalent pass: inspect every manifest for the three
-/// attack-enabling facts.
-CorpusStats analyze_corpus(const std::vector<framework::Manifest>& corpus);
+/// attack-enabling facts. Takes a span so callers can analyze disjoint
+/// slices of one corpus in parallel and merge_stats() the partials.
+CorpusStats analyze_corpus(std::span<const framework::Manifest> corpus);
+
+/// Folds per-slice partial stats into one; the result is identical to
+/// analyzing the concatenated slices in one pass (pure integer sums, so
+/// merge order cannot change it).
+CorpusStats merge_stats(const std::vector<CorpusStats>& parts);
 
 /// Renders the Fig 2 bar data as a text table.
 std::string render_stats(const CorpusStats& stats, bool per_category = false);

@@ -21,18 +21,28 @@ std::string BatteryView::render(const std::string& title) const {
   return out;
 }
 
-double BatteryView::energy_of(const std::string& label) const {
-  for (const auto& row : rows) {
-    if (row.label == label) return row.energy_mj;
+const BatteryRow* BatteryView::find(const std::string& label) const {
+  if (indexed_rows_ != rows.size()) {
+    index_.clear();
+    index_.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      // First occurrence wins, matching the old head-to-tail scan.
+      index_.try_emplace(rows[i].label, i);
+    }
+    indexed_rows_ = rows.size();
   }
-  return 0.0;
+  const auto it = index_.find(label);
+  return it == index_.end() ? nullptr : &rows[it->second];
+}
+
+double BatteryView::energy_of(const std::string& label) const {
+  const BatteryRow* row = find(label);
+  return row == nullptr ? 0.0 : row->energy_mj;
 }
 
 double BatteryView::percent_of(const std::string& label) const {
-  for (const auto& row : rows) {
-    if (row.label == label) return row.percent;
-  }
-  return 0.0;
+  const BatteryRow* row = find(label);
+  return row == nullptr ? 0.0 : row->percent;
 }
 
 }  // namespace eandroid::energy

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kernel/types.h"
@@ -19,7 +20,12 @@ struct BatteryRow {
   double percent = 0.0;    // of the view's total
 };
 
-struct BatteryView {
+// A view is a finished snapshot: profilers fill `rows` once, sort, and
+// hand it out; label queries afterwards go through a lazily built
+// label→row index instead of rescanning the row strings (bench report
+// loops query dozens of labels per view).
+class BatteryView {
+ public:
   std::vector<BatteryRow> rows;  // sorted by energy, descending
   double total_mj = 0.0;
 
@@ -27,10 +33,20 @@ struct BatteryView {
   /// Settings > Battery screen).
   [[nodiscard]] std::string render(const std::string& title) const;
 
+  /// Row by label; nullptr if absent. Do not mutate `rows` after the
+  /// first lookup — the index is built once per view.
+  [[nodiscard]] const BatteryRow* find(const std::string& label) const;
+
   /// Energy of a row by label; 0 if absent.
   [[nodiscard]] double energy_of(const std::string& label) const;
   /// Percent of a row by label; 0 if absent.
   [[nodiscard]] double percent_of(const std::string& label) const;
+
+ private:
+  mutable std::unordered_map<std::string, std::size_t> index_;
+  /// Row count the index was built over; SIZE_MAX marks "never built" so
+  /// a view populated after an early lookup still reindexes.
+  mutable std::size_t indexed_rows_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace eandroid::energy

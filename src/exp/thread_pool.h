@@ -1,0 +1,65 @@
+// Fixed-size thread pool for fanning out independent experiment jobs.
+//
+// Deliberately minimal: one shared FIFO queue, no work stealing, no
+// priorities. Experiment jobs (whole simulations) run for seconds, so
+// queue contention is irrelevant and a plain mutex-guarded deque keeps
+// the pool easy to reason about under TSan. Tasks are submitted through
+// submit(), which returns a std::future carrying the task's result or
+// exception; ordered collection is the ParallelRunner's job.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eandroid::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (never less than one worker).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains nothing: pending tasks still in the queue are discarded, but
+  /// tasks already running finish before the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a callable; the returned future yields its result, or
+  /// rethrows whatever it threw, on get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function requires copyable
+    // targets; the shared_ptr wrapper bridges the two.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    post([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void post(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace eandroid::exp

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,7 +8,8 @@ namespace eandroid::sim {
 
 EventHandle EventQueue::push(TimePoint when, Callback cb) {
   const std::uint64_t id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
   return EventHandle{id};
 }
@@ -17,16 +19,27 @@ bool EventQueue::cancel(EventHandle h) {
   // Only events that are actually still scheduled can be cancelled;
   // handles of fired or already-cancelled events are a safe no-op.
   if (pending_.erase(h.id) == 0) return false;
-  // The entry cannot be removed from the middle of a binary heap; mark it
-  // dead and discard it lazily when it reaches the head.
-  cancelled_.insert(h.id);
+  // The entry cannot be removed from the middle of a binary heap; it is
+  // discarded lazily when it reaches the head, or eagerly by compact()
+  // once dead entries outnumber live ones (the 64 floor keeps tiny
+  // queues from compacting on every other cancel).
+  ++dead_;
+  if (dead_ > 64 && dead_ > pending_.size()) compact();
   return true;
 }
 
+void EventQueue::compact() {
+  std::erase_if(heap_,
+                [this](const Entry& e) { return !pending_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  dead_ = 0;
+}
+
 void EventQueue::skip_cancelled() {
-  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    --dead_;
   }
 }
 
@@ -37,18 +50,17 @@ std::size_t EventQueue::size() const { return pending_.size(); }
 TimePoint EventQueue::next_time() const {
   auto* self = const_cast<EventQueue*>(this);
   self->skip_cancelled();
-  assert(!heap_.empty());
-  return heap_.top().when;
+  assert(!self->heap_.empty());
+  return heap_.front().when;
 }
 
 EventQueue::Callback EventQueue::pop() {
   skip_cancelled();
   assert(!heap_.empty());
-  // priority_queue::top() returns a const ref; the Entry is about to be
-  // popped, so moving the callback out is safe.
-  Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
-  pending_.erase(heap_.top().id);
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Callback cb = std::move(heap_.back().cb);
+  pending_.erase(heap_.back().id);
+  heap_.pop_back();
   return cb;
 }
 

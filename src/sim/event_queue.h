@@ -3,11 +3,17 @@
 // Events scheduled at the same virtual instant fire in insertion order
 // (FIFO), which keeps framework call/callback sequences deterministic.
 // Events can be cancelled via the handle returned by push().
+//
+// Memory stays proportional to the LIVE event count: a single `pending_`
+// set tracks scheduled-and-not-cancelled ids (an entry whose id has left
+// the set is dead), and when dead entries buried in the heap — e.g.
+// cancelled far-future timeouts that would otherwise sit there until
+// their instant arrived — outnumber the live ones, the heap is compacted
+// in place. Long soaks with heavy cancel traffic no longer accrete state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -56,15 +62,23 @@ class EventQueue {
     }
   };
 
-  /// Drops cancelled entries sitting at the head of the heap.
+  /// Drops dead (cancelled) entries sitting at the head of the heap.
   void skip_cancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Rebuilds the heap keeping only live entries; O(size) but amortised
+  /// free because it runs only when dead entries dominate.
+  void compact();
+
+  /// Binary heap under Later (std::push_heap/pop_heap); a plain vector so
+  /// compact() can filter it in place and pop() can move callbacks out
+  /// without const_cast.
+  std::vector<Entry> heap_;
   /// Ids of events that are scheduled and not cancelled. Keeping the
   /// exact set (rather than a counter) makes cancel() of an
   /// already-fired handle a safe no-op.
   std::unordered_set<std::uint64_t> pending_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Cancelled entries still buried in heap_.
+  std::size_t dead_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
 };

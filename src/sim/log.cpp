@@ -19,13 +19,17 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 Logger& Logger::instance() {
-  static Logger logger;
+  thread_local Logger logger;
   return logger;
 }
 
 void Logger::write(LogLevel level, TimePoint when, const std::string& tag,
                    const std::string& message) {
   if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, when, tag, message);
+    return;
+  }
   std::fprintf(stderr, "[%s %s] %-12s %s\n", level_name(level),
                format_time(when).c_str(), tag.c_str(), message.c_str());
 }

@@ -3,10 +3,19 @@
 // The simulator is quiet by default; tests and benches flip the level up to
 // trace framework/event activity. Output goes to stderr so bench stdout
 // stays machine-parsable.
+//
+// The instance is THREAD-LOCAL, not process-global: each thread — and so
+// each concurrently running simulation fanned out by exp::ParallelRunner —
+// owns its level and sink. Concurrent Testbeds can never race on the
+// level or interleave half-lines, and a worker that turns tracing on
+// affects nobody else. A thread's logger starts at kOff with the default
+// stderr sink; parallel jobs that want output installed a sink first.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "sim/time.h"
 
@@ -16,11 +25,22 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
  public:
+  /// Receives every emitted record; installed per thread.
+  using Sink = std::function<void(LogLevel level, TimePoint when,
+                                  const std::string& tag,
+                                  const std::string& message)>;
+
+  /// The calling thread's logger.
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirects this thread's output; a null sink restores the default
+  /// (a formatted line on stderr).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool has_sink() const { return static_cast<bool>(sink_); }
 
   void write(LogLevel level, TimePoint when, const std::string& tag,
              const std::string& message);
@@ -28,6 +48,7 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
 };
 
 namespace detail {

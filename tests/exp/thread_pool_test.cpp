@@ -1,0 +1,108 @@
+#include "exp/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/parallel_runner.h"
+
+namespace eandroid::exp {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> done;
+  done.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    done.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& future : done) future.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrencyNeverZeroWorkers) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, FutureCarriesResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return std::string("payload"); });
+  EXPECT_EQ(future.get(), "payload");
+}
+
+TEST(ThreadPoolTest, FutureCarriesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("job blew up"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructionJoinsWithoutDeadlock) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 12; ++i) {
+      done.push_back(pool.submit([&ran] { ++ran; }));
+    }
+    for (auto& future : done) future.get();
+  }  // ~ThreadPool joins here
+  EXPECT_EQ(ran.load(), 12);
+}
+
+TEST(ParallelRunnerTest, CollectsResultsInSubmissionOrder) {
+  // Jobs finish in scrambled order (later jobs are cheaper), but the
+  // result vector must follow submission order.
+  const std::vector<int> results = run_indexed<int>(
+      32,
+      [](std::size_t i) {
+        // Busy-work inversely proportional to the index.
+        volatile std::uint64_t sink = 0;
+        for (std::size_t k = 0; k < (32 - i) * 10000; ++k) {
+          sink = sink + k;
+        }
+        return static_cast<int>(i * i);
+      },
+      {.threads = 4});
+  ASSERT_EQ(results.size(), 32u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i * i)) << "slot " << i;
+  }
+}
+
+TEST(ParallelRunnerTest, RethrowsJobExceptionAfterAllJobsFinish) {
+  std::atomic<int> finished{0};
+  ParallelRunner<int> runner({.threads = 2});
+  std::vector<ParallelRunner<int>::Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([i, &finished]() -> int {
+      if (i == 3) throw std::runtime_error("seed 3 diverged");
+      ++finished;
+      return i;
+    });
+  }
+  EXPECT_THROW(runner.run(std::move(jobs)), std::runtime_error);
+  // No job was abandoned because of the failing one.
+  EXPECT_EQ(finished.load(), 7);
+}
+
+TEST(ParallelRunnerTest, SerialPathMatchesParallelPath) {
+  const auto square = [](std::size_t i) { return static_cast<int>(i * 3); };
+  std::vector<ParallelRunner<int>::Job> jobs;
+  for (std::size_t i = 0; i < 16; ++i) jobs.push_back([=] { return square(i); });
+  const auto serial = ParallelRunner<int>::run_serial(std::move(jobs));
+  const auto parallel =
+      run_indexed<int>(16, square, {.threads = 4});
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace eandroid::exp

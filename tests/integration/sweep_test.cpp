@@ -2,12 +2,16 @@
 // ranges, not just the defaults.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
+#include <map>
 #include <string>
 
 #include "apps/demo_app.h"
 #include "apps/malware.h"
 #include "apps/scenarios.h"
 #include "apps/testbed.h"
+#include "exp/parallel_runner.h"
 #include "hw/cpu_power_model.h"
 
 namespace eandroid::apps {
@@ -29,10 +33,42 @@ struct NamedScenario {
   ScenarioFn fn;
 };
 
+constexpr std::array<NamedScenario, 12> kAllScenarios = {{
+    {"scene1", run_scene1},
+    {"scene2", run_scene2},
+    {"attack1", run_attack1},
+    {"attack2", run_attack2},
+    {"attack3", run_attack3},
+    {"attack4", run_attack4},
+    {"attack5", attack5_default},
+    {"attack6", attack6_default},
+    {"chain", run_chain_attack},
+    {"multi", run_multi_attack},
+    {"push", run_push_flood},
+    {"benign", run_benign_interruption},
+}};
+
+/// All twelve scenarios simulated once, fanned out across the
+/// exp::ParallelRunner on first use; each TEST_P below asserts on its
+/// slice of the shared batch instead of re-running serially.
+const ScenarioResult& scenario_result(const char* name) {
+  static const std::map<std::string, ScenarioResult> cache = [] {
+    const auto results = exp::run_indexed<ScenarioResult>(
+        kAllScenarios.size(),
+        [](std::size_t i) { return kAllScenarios[i].fn(1); });
+    std::map<std::string, ScenarioResult> by_name;
+    for (std::size_t i = 0; i < kAllScenarios.size(); ++i) {
+      by_name.emplace(kAllScenarios[i].name, results[i]);
+    }
+    return by_name;
+  }();
+  return cache.at(name);
+}
+
 class ScenarioSweep : public ::testing::TestWithParam<NamedScenario> {};
 
 TEST_P(ScenarioSweep, UpholdsGlobalInvariants) {
-  const ScenarioResult r = GetParam().fn(1);
+  const ScenarioResult& r = scenario_result(GetParam().name);
   // Conservation across all three profilers.
   EXPECT_NEAR(r.android_view.total_mj, r.battery_drained_mj, 1e-3);
   EXPECT_NEAR(r.powertutor_view.total_mj, r.battery_drained_mj, 1e-3);
@@ -48,19 +84,7 @@ TEST_P(ScenarioSweep, UpholdsGlobalInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllScenarios, ScenarioSweep,
-    ::testing::Values(NamedScenario{"scene1", run_scene1},
-                      NamedScenario{"scene2", run_scene2},
-                      NamedScenario{"attack1", run_attack1},
-                      NamedScenario{"attack2", run_attack2},
-                      NamedScenario{"attack3", run_attack3},
-                      NamedScenario{"attack4", run_attack4},
-                      NamedScenario{"attack5", attack5_default},
-                      NamedScenario{"attack6", attack6_default},
-                      NamedScenario{"chain", run_chain_attack},
-                      NamedScenario{"multi", run_multi_attack},
-                      NamedScenario{"push", run_push_flood},
-                      NamedScenario{"benign", run_benign_interruption}),
+    AllScenarios, ScenarioSweep, ::testing::ValuesIn(kAllScenarios),
     [](const ::testing::TestParamInfo<NamedScenario>& info) {
       return std::string(info.param.name);
     });
