@@ -33,7 +33,7 @@ void RandomWorkload::step() {
   ++steps_;
   const std::string& app = apps_[rng_.below(apps_.size())];
   const std::string& other = apps_[rng_.below(apps_.size())];
-  switch (rng_.below(17)) {
+  switch (rng_.below(19)) {
     case 0: bed_.server().user_launch(app); break;
     case 1: bed_.server().user_press_home(); break;
     case 2: bed_.server().user_press_back(); break;
@@ -126,6 +126,18 @@ void RandomWorkload::step() {
       } else {
         bed_.context_of("com.fuzz.a").stop_foreground(DemoApp::kService);
       }
+      break;
+    case 17:
+      // Broadcast traffic. Re-registering every time keeps a receiver
+      // alive across process deaths, so drop-broadcast faults always
+      // have deliveries to eat.
+      bed_.context_of(app).register_receiver("com.fuzz.PING");
+      bed_.context_of(other).send_broadcast("com.fuzz.PING");
+      break;
+    case 18:
+      bed_.context_of(app).set_alarm(
+          sim::seconds(1 + static_cast<std::int64_t>(rng_.below(30))),
+          "fuzz");
       break;
   }
   const std::int64_t gap_us =

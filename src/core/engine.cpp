@@ -141,6 +141,7 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
     }
   }
   screen_row_mj_ += slice.screen_mj - claimed_screen;
+  attributed_screen_mj_ += claimed_screen;
 
   // 3. App->app edges from open windows.
   std::unordered_map<kernelsim::Uid, std::unordered_set<kernelsim::Uid>> edges;
@@ -196,6 +197,7 @@ void EAndroidEngine::reset() {
   direct_.clear();
   maps_.clear();
   screen_row_mj_ = 0.0;
+  attributed_screen_mj_ = 0.0;
   system_row_mj_ = 0.0;
   true_total_mj_ = 0.0;
 }

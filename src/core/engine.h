@@ -63,6 +63,15 @@ class EAndroidEngine : public energy::AccountingSink {
   /// Screen energy not claimed by any collateral window (the neutral
   /// "Screen" row, as in stock Android).
   [[nodiscard]] double screen_row_mj() const { return screen_row_mj_; }
+  /// Screen energy moved out of the neutral Screen row into drivers'
+  /// collateral maps (first-hand attribution only, before chain
+  /// superimposition duplicates it). screen_row + attributed_screen is
+  /// always the device's total screen energy, so
+  ///   screen_row + attributed_screen + system_row + sum(direct)
+  /// re-sums exactly to true_total.
+  [[nodiscard]] double attributed_screen_mj() const {
+    return attributed_screen_mj_;
+  }
   [[nodiscard]] double system_row_mj() const { return system_row_mj_; }
   /// Ground-truth battery drain while accounting (percent denominator).
   [[nodiscard]] double true_total_mj() const { return true_total_mj_; }
@@ -89,6 +98,7 @@ class EAndroidEngine : public energy::AccountingSink {
   std::unordered_map<kernelsim::Uid, std::unordered_map<Entity, double>>
       maps_;
   double screen_row_mj_ = 0.0;
+  double attributed_screen_mj_ = 0.0;
   double system_row_mj_ = 0.0;
   double true_total_mj_ = 0.0;
 };

@@ -1,0 +1,177 @@
+#include "core/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/window.h"
+
+namespace eandroid::core {
+
+namespace {
+void violation(std::vector<std::string>& out, const std::string& what) {
+  out.push_back(what);
+}
+
+std::string mj(double value) {
+  std::ostringstream s;
+  s.precision(6);
+  s << std::fixed << value << " mJ";
+  return s.str();
+}
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  if (ok()) return "all invariants hold";
+  std::ostringstream out;
+  out << violations.size() << " invariant violation(s):";
+  for (const std::string& v : violations) out << "\n  - " << v;
+  return out.str();
+}
+
+InvariantReport InvariantChecker::check() const {
+  InvariantReport report;
+  check_energy_conservation(report.violations);
+  check_dead_uid_state(report.violations);
+  check_binder_consistency(report.violations);
+  check_collateral_sanity(report.violations);
+  check_battery_sanity(report.violations);
+  return report;
+}
+
+void InvariantChecker::check_energy_conservation(
+    std::vector<std::string>& out) const {
+  const double truth = server_.battery().consumed_total_mj();
+  const double tol = config_.energy_tolerance_mj;
+
+  if (battery_stats_ != nullptr &&
+      std::abs(battery_stats_->total_mj() - truth) > tol) {
+    violation(out, "BatteryStats total " + mj(battery_stats_->total_mj()) +
+                       " != battery consumed " + mj(truth));
+  }
+  if (power_tutor_ != nullptr &&
+      std::abs(power_tutor_->total_mj() - truth) > tol) {
+    violation(out, "PowerTutor total " + mj(power_tutor_->total_mj()) +
+                       " != battery consumed " + mj(truth));
+  }
+  if (eandroid_ != nullptr) {
+    const EAndroidEngine& engine = eandroid_->engine();
+    if (std::abs(engine.true_total_mj() - truth) > tol) {
+      violation(out, "E-Android true total " + mj(engine.true_total_mj()) +
+                         " != battery consumed " + mj(truth));
+    }
+    // The engine's displayed rows must re-sum to its total. Collateral is
+    // superimposed (duplicated), so only direct rows participate — plus
+    // the screen energy the engine moved out of the neutral Screen row
+    // into collateral maps (counted once, first-hand).
+    double rows = engine.screen_row_mj() + engine.attributed_screen_mj() +
+                  engine.system_row_mj();
+    for (kernelsim::Uid uid : engine.known_uids()) {
+      rows += engine.direct_mj(uid);
+    }
+    if (std::abs(rows - engine.true_total_mj()) > tol) {
+      violation(out, "E-Android rows sum " + mj(rows) + " != true total " +
+                         mj(engine.true_total_mj()));
+    }
+  }
+}
+
+void InvariantChecker::check_dead_uid_state(
+    std::vector<std::string>& out) const {
+  // Wakelocks: link-to-death must have released a dead app's locks.
+  for (const framework::PackageRecord* pkg : server_.packages().all_packages()) {
+    if (server_.pid_of(pkg->uid).valid()) continue;
+    const auto held = server_.power().held_by(pkg->uid);
+    if (!held.empty()) {
+      violation(out, "dead uid " + std::to_string(pkg->uid.value) + " (" +
+                         pkg->manifest.package + ") still holds " +
+                         std::to_string(held.size()) + " wakelock(s)");
+    }
+  }
+
+  // Services: an alive record needs a live host; bindings need live
+  // clients; a restart can only be pending for a down service.
+  for (const framework::ServiceSnapshot& svc : server_.services().snapshot()) {
+    const std::string name = svc.package + "/" + svc.component;
+    if (svc.alive && !server_.pid_of(svc.uid).valid()) {
+      violation(out, "service " + name + " alive with dead host process");
+    }
+    if (svc.restart_pending && svc.alive) {
+      violation(out, "service " + name + " alive but restart pending");
+    }
+    for (kernelsim::Uid client : svc.binding_clients) {
+      if (!server_.pid_of(client).valid()) {
+        violation(out, "service " + name + " keeps binding from dead uid " +
+                           std::to_string(client.value));
+      }
+    }
+  }
+
+  // Tracker windows: the driven side of an app-target window must be
+  // alive (driven-death closes them); dead *drivers* keep their windows
+  // by design — their collateral account survives them.
+  if (eandroid_ != nullptr) {
+    for (const auto& [id, window] : eandroid_->tracker().open_windows()) {
+      const bool targets_app = window.kind == WindowKind::kActivity ||
+                               window.kind == WindowKind::kInterrupt ||
+                               window.kind == WindowKind::kService ||
+                               window.kind == WindowKind::kPush;
+      if (targets_app && window.driven.valid() &&
+          !server_.pid_of(window.driven).valid()) {
+        violation(out, std::string("open ") + to_string(window.kind) +
+                           " window " + std::to_string(id) +
+                           " targets dead uid " +
+                           std::to_string(window.driven.value));
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_binder_consistency(
+    std::vector<std::string>& out) const {
+  if (!server_.binder().tokens_consistent()) {
+    violation(out,
+              "binder holds tokens owned by dead processes (" +
+                  std::to_string(server_.binder().token_count()) +
+                  " live tokens)");
+  }
+}
+
+void InvariantChecker::check_collateral_sanity(
+    std::vector<std::string>& out) const {
+  if (eandroid_ == nullptr) return;
+  const EAndroidEngine& engine = eandroid_->engine();
+  const double truth = server_.battery().consumed_total_mj();
+  const double tol = config_.energy_tolerance_mj;
+  for (kernelsim::Uid uid : engine.known_uids()) {
+    const double collateral = engine.collateral_mj(uid);
+    if (!(collateral >= 0.0) || !std::isfinite(collateral)) {
+      violation(out, "uid " + std::to_string(uid.value) +
+                         " has non-finite/negative collateral " +
+                         mj(collateral));
+      continue;
+    }
+    // Superimposition duplicates energy across drivers but can never
+    // charge one driver more than the device consumed in total.
+    if (collateral > truth + tol) {
+      violation(out, "uid " + std::to_string(uid.value) + " collateral " +
+                         mj(collateral) + " exceeds device consumption " +
+                         mj(truth));
+    }
+  }
+}
+
+void InvariantChecker::check_battery_sanity(
+    std::vector<std::string>& out) const {
+  const hw::Battery& battery = server_.battery();
+  if (battery.remaining_mj() < -config_.energy_tolerance_mj ||
+      battery.remaining_mj() > battery.capacity_mj() + 1e-9) {
+    violation(out, "battery remaining " + mj(battery.remaining_mj()) +
+                       " outside [0, capacity]");
+  }
+  if (battery.consumed_total_mj() < 0.0) {
+    violation(out, "battery consumed total negative: " +
+                       mj(battery.consumed_total_mj()));
+  }
+}
+
+}  // namespace eandroid::core

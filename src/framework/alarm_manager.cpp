@@ -1,6 +1,8 @@
 #include "framework/alarm_manager.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "sim/log.h"
 
@@ -10,7 +12,7 @@ AlarmId AlarmManager::set(kernelsim::Uid uid, sim::Duration delay,
                           std::string tag, bool repeating,
                           sim::Duration period) {
   const std::uint64_t id = next_id_++;
-  Alarm alarm{uid, std::move(tag), repeating, period, {}};
+  Alarm alarm{uid, std::move(tag), repeating, period, {}, sim_.now() + delay};
   alarm.event = sim_.schedule(delay, [this, id] { fire(id); });
   alarms_.emplace(id, std::move(alarm));
   return AlarmId{id};
@@ -38,6 +40,30 @@ int AlarmManager::cancel_all_of(kernelsim::Uid uid) {
   return n;
 }
 
+int AlarmManager::delay_pending(sim::Duration by) {
+  if (by <= sim::Duration(0)) return 0;
+  // Id order, not map order: rescheduling inserts queue entries, and the
+  // queue breaks same-instant ties by insertion order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(alarms_.size());
+  for (const auto& [id, alarm] : alarms_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  int moved = 0;
+  for (std::uint64_t id : ids) {
+    auto it = alarms_.find(id);
+    if (it == alarms_.end()) continue;
+    Alarm& alarm = it->second;
+    if (!sim_.cancel(alarm.event)) continue;  // firing right now; leave it
+    alarm.when = alarm.when + by;
+    alarm.event = sim_.schedule_at(alarm.when, [this, id] { fire(id); });
+    ++moved;
+    ++delayed_;
+  }
+  EA_LOG(kDebug, sim_.now(), "alarm")
+      << "deferred " << moved << " alarms by " << by.micros() << "us";
+  return moved;
+}
+
 void AlarmManager::fire(std::uint64_t id) {
   auto it = alarms_.find(id);
   if (it == alarms_.end()) return;
@@ -48,6 +74,7 @@ void AlarmManager::fire(std::uint64_t id) {
   const sim::Duration period = it->second.period;
   if (repeating && period > sim::Duration(0)) {
     it->second.event = sim_.schedule(period, [this, id] { fire(id); });
+    it->second.when = sim_.now() + period;
   } else {
     alarms_.erase(it);
   }
@@ -64,11 +91,16 @@ void AlarmManager::fire(std::uint64_t id) {
       << tag << " fired for uid " << owner.value;
 
   // RTC_WAKEUP: the handler runs even out of suspend; it is the app's
-  // job to grab a wakelock if it needs the CPU to stay up.
+  // job to grab a wakelock if it needs the CPU to stay up. The handler
+  // itself runs on the app's main thread, so a hung app parks it (and
+  // eventually ANRs) instead of running it.
   host_.ensure_process(owner);
-  if (AppCode* code = host_.code_of(owner)) {
-    code->on_alarm(host_.context_of(owner), tag);
-  }
+  host_.post_to_main(owner, [this, owner, tag] {
+    if (!host_.pid_of(owner).valid()) return;
+    if (AppCode* code = host_.code_of(owner)) {
+      code->on_alarm(host_.context_of(owner), tag);
+    }
+  });
 }
 
 }  // namespace eandroid::framework

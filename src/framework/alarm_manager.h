@@ -46,6 +46,13 @@ class AlarmManager {
   [[nodiscard]] std::size_t pending_count() const { return alarms_.size(); }
   [[nodiscard]] std::uint64_t fired_total() const { return fired_; }
 
+  /// Fault injection: pushes every pending alarm `by` further into the
+  /// future (doze/app-standby style deferral, coalesced to one shift).
+  /// Repeating alarms keep their period afterwards. Returns the number of
+  /// alarms moved. Deterministic: alarms are rescheduled in id order.
+  int delay_pending(sim::Duration by);
+  [[nodiscard]] std::uint64_t delayed_total() const { return delayed_; }
+
  private:
   struct Alarm {
     kernelsim::Uid owner;
@@ -53,6 +60,7 @@ class AlarmManager {
     bool repeating;
     sim::Duration period;
     sim::EventHandle event;
+    sim::TimePoint when;  // next fire time (for deferral faults)
   };
 
   void fire(std::uint64_t id);
@@ -63,6 +71,7 @@ class AlarmManager {
   std::unordered_map<std::uint64_t, Alarm> alarms_;
   std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 }  // namespace eandroid::framework

@@ -7,6 +7,8 @@
 // root.
 #pragma once
 
+#include <functional>
+
 #include "framework/app_code.h"
 #include "kernel/types.h"
 
@@ -17,6 +19,17 @@ class Context;
 class AppHost {
  public:
   virtual ~AppHost() = default;
+
+  /// Queues `deliver` onto the app's main thread. A responsive app runs
+  /// it immediately; a hung app (fault injection) accumulates deliveries
+  /// until it recovers or the host's ANR watchdog kills it (queued
+  /// deliveries are then dropped, as Android drops a killed app's
+  /// pending work). The default host has no hang model: run now.
+  virtual void post_to_main(kernelsim::Uid uid,
+                            std::function<void()> deliver) {
+    (void)uid;
+    deliver();
+  }
 
   /// Spawns the app's process if not running; returns its pid.
   virtual kernelsim::Pid ensure_process(kernelsim::Uid uid) = 0;

@@ -67,11 +67,20 @@ int BroadcastManager::send_broadcast(kernelsim::Uid sender,
                                         : host_.pid_of(sender);
   for (kernelsim::Uid uid : targets) {
     if (uid == sender) continue;  // apps do not wake themselves
+    if (drop_budget_ > 0) {
+      // Injected fault: the delivery silently vanishes — no wake, no
+      // onReceive, no bus event.
+      --drop_budget_;
+      ++dropped_;
+      EA_LOG(kDebug, sim_.now(), "broadcast")
+          << action << " -> uid " << uid.value << " DROPPED (injected)";
+      continue;
+    }
     const kernelsim::Pid to = host_.ensure_process(uid);
-    binder_.transact(from, to, 512);
-    // onReceive() runs on the receiver's main thread; charge a small
-    // burst (Android budgets ~10 s but typical handlers are ms-scale).
-    cpu_.charge_burst(to, sim::millis(2));
+    if (!binder_.try_transact(from, to, 512)) {
+      ++dropped_;
+      continue;
+    }
 
     FwEvent event;
     event.type = FwEventType::kBroadcastDelivered;
@@ -82,9 +91,18 @@ int BroadcastManager::send_broadcast(kernelsim::Uid sender,
     event.component = action;
     events_.publish(event);
 
-    if (AppCode* code = host_.code_of(uid)) {
-      code->on_broadcast(host_.context_of(uid), action);
-    }
+    // onReceive() runs on the receiver's main thread; charge a small
+    // burst (Android budgets ~10 s but typical handlers are ms-scale).
+    // A hung receiver parks the delivery until it recovers or ANRs.
+    const std::string action_copy = action;
+    host_.post_to_main(uid, [this, uid, action_copy] {
+      const kernelsim::Pid pid = host_.pid_of(uid);
+      if (!pid.valid()) return;
+      cpu_.charge_burst(pid, sim::millis(2));
+      if (AppCode* code = host_.code_of(uid)) {
+        code->on_broadcast(host_.context_of(uid), action_copy);
+      }
+    });
     ++delivered;
     ++delivered_;
   }

@@ -63,6 +63,13 @@ class BroadcastManager {
   [[nodiscard]] std::uint64_t broadcasts_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t deliveries() const { return delivered_; }
 
+  /// Fault injection: the next `n` individual deliveries are dropped on
+  /// the floor — the receiver is not woken, gets no onReceive, and no
+  /// kBroadcastDelivered is published (the event bus mirrors what apps
+  /// actually observe).
+  void drop_next(std::uint64_t n) { drop_budget_ += n; }
+  [[nodiscard]] std::uint64_t dropped_total() const { return dropped_; }
+
  private:
   sim::Simulator& sim_;
   PackageManager& packages_;
@@ -73,6 +80,8 @@ class BroadcastManager {
   std::unordered_map<std::string, std::vector<kernelsim::Uid>> dynamic_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t drop_budget_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace eandroid::framework

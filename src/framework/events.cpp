@@ -24,6 +24,7 @@ const char* to_string(FwEventType type) {
     case FwEventType::kBroadcastDelivered: return "broadcast_delivered";
     case FwEventType::kAlarmFired: return "alarm_fired";
     case FwEventType::kPushDelivered: return "push_delivered";
+    case FwEventType::kAnr: return "anr";
   }
   return "unknown";
 }

@@ -44,6 +44,10 @@ enum class FwEventType {
   kAlarmFired,
   // Push messages (extension; component = "push").
   kPushDelivered,
+  // App Not Responding: the watchdog killed driven for not draining its
+  // main-thread queue (component = "anr"). The kill itself still produces
+  // a kAppDestroyed afterwards.
+  kAnr,
 };
 
 const char* to_string(FwEventType type);

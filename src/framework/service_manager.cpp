@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/check.h"
 #include "sim/log.h"
 
 namespace eandroid::framework {
@@ -10,6 +11,16 @@ namespace eandroid::framework {
 namespace {
 std::string key_of(const ComponentRef& ref) {
   return ref.package + "/" + ref.component;
+}
+
+sim::Duration backoff_delay(int crashes) {
+  std::int64_t us = ServiceManager::kRestartBase.micros();
+  const std::int64_t cap = ServiceManager::kRestartMax.micros();
+  for (int i = 0; i < crashes; ++i) {
+    us *= 2;
+    if (us >= cap) return sim::micros(cap);
+  }
+  return sim::micros(us);
 }
 }  // namespace
 
@@ -24,19 +35,17 @@ ServiceManager::ServiceManager(sim::Simulator& sim, PackageManager& packages,
       host_(host),
       events_(events) {
   // A dying host process takes its services with it (no onDestroy runs —
-  // the process is gone). Bindings from live clients are dropped.
+  // the process is gone). Bindings from live clients are dropped, and
+  // started services get a backed-off restart. Records are visited in
+  // key order: restart events scheduled at the same instant must enqueue
+  // deterministically, and unordered_map iteration order is not.
   processes_.add_death_observer([this](const kernelsim::ProcessInfo& info) {
-    for (auto& [key, record] : records_) {
-      if (record.uid != info.uid || !record.alive) continue;
-      record.alive = false;
-      record.started = false;
-      record.foreground = false;
-      for (const Binding& binding : record.bindings) {
-        binder_.unlink_to_death(binding.client_token);
-        record_by_binding_.erase(binding.id);
-      }
-      record.bindings.clear();
+    std::vector<std::string> keys;
+    for (const auto& [key, record] : records_) {
+      if (record.uid == info.uid) keys.push_back(key);
     }
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) on_host_death(records_.at(key));
   });
 }
 
@@ -78,6 +87,7 @@ void ServiceManager::bring_up(ServiceRecord& record) {
 
 void ServiceManager::maybe_tear_down(ServiceRecord& record) {
   if (!record.alive || record.started || !record.bindings.empty()) return;
+  cancel_pending(record);
   record.alive = false;
   record.foreground = false;
   if (AppCode* code = host_.code_of(record.uid)) {
@@ -88,27 +98,136 @@ void ServiceManager::maybe_tear_down(ServiceRecord& record) {
       << key_of(record.ref) << " destroyed";
 }
 
+void ServiceManager::cancel_pending(ServiceRecord& record) {
+  if (record.pending_delivery.valid()) {
+    sim_.cancel(record.pending_delivery);
+    record.pending_delivery = {};
+  }
+}
+
+void ServiceManager::schedule_start_command(ServiceRecord& record) {
+  cancel_pending(record);
+  const std::string key = key_of(record.ref);
+  record.pending_delivery = sim_.schedule(kStartCommandDispatch, [this, key] {
+    auto it = records_.find(key);
+    if (it == records_.end()) return;
+    ServiceRecord& rec = it->second;
+    rec.pending_delivery = {};
+    if (!rec.alive || !rec.started) return;
+    deliver_start_command(rec);
+  });
+}
+
+void ServiceManager::deliver_start_command(ServiceRecord& record) {
+  // Routed through the host's main-thread queue so a hung app defers the
+  // callback (and eventually ANRs) instead of running it.
+  const std::string key = key_of(record.ref);
+  host_.post_to_main(record.uid, [this, key] {
+    auto it = records_.find(key);
+    if (it == records_.end()) return;
+    ServiceRecord& rec = it->second;
+    if (!rec.alive || !rec.started) return;
+    if (AppCode* code = host_.code_of(rec.uid)) {
+      code->on_service_start_command(host_.context_of(rec.uid),
+                                     rec.ref.component);
+    }
+  });
+}
+
+void ServiceManager::on_host_death(ServiceRecord& record) {
+  // An undelivered onStartCommand must die with the process: were the
+  // event left live, a quick re-start of the service would race it and
+  // the re-spawned process would see the command delivered twice.
+  cancel_pending(record);
+  if (!record.alive) return;
+  const bool was_started = record.started;
+  record.alive = false;
+  record.started = false;
+  record.foreground = false;
+  for (const Binding& binding : record.bindings) {
+    binder_.unlink_to_death(binding.client_token);
+    record_by_binding_.erase(binding.id);
+  }
+  record.bindings.clear();
+  if (was_started) schedule_restart(record);
+}
+
+void ServiceManager::schedule_restart(ServiceRecord& record) {
+  const sim::TimePoint now = sim_.now();
+  // ActiveServices: a service that ran cleanly through the reset window
+  // since its previous crash starts over at the base delay.
+  if (record.crashes > 0 && now - record.last_crash >= kRestartResetWindow) {
+    record.crashes = 0;
+  }
+  const sim::Duration delay = backoff_delay(record.crashes);
+  record.last_crash = now;
+  ++record.crashes;
+  record.restart_pending = true;
+  const std::string key = key_of(record.ref);
+  record.restart_event =
+      sim_.schedule(delay, [this, key] { restart_now(key); });
+  EA_LOG(kDebug, now, "services")
+      << key << " crashed (started); restart in " << delay.micros()
+      << "us (crash #" << record.crashes << ")";
+}
+
+void ServiceManager::restart_now(const std::string& key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return;
+  ServiceRecord& record = it->second;
+  if (!record.restart_pending) return;
+  record.restart_pending = false;
+  record.restart_event = {};
+  ++restarts_;
+  bring_up(record);
+  record.started = true;
+  // Attribution survives the crash: the restart is published with the
+  // original starter as the driving uid, so a crash-looping chain cannot
+  // launder its collateral onto the system account.
+  publish(FwEventType::kServiceStart, record.last_starter, record.uid,
+          record.ref.component);
+  schedule_start_command(record);
+  EA_LOG(kDebug, sim_.now(), "services") << key << " restarted";
+}
+
 bool ServiceManager::start_service(kernelsim::Uid caller,
                                    const Intent& intent) {
   const auto ref = packages_.resolve_service(caller, intent);
   if (!ref) return false;
   const PackageRecord* pkg = packages_.find(ref->package);
+  EANDROID_CHECK(pkg != nullptr,
+                 "resolved service in unknown package " << ref->package);
   ServiceRecord& record = record_for(*ref, pkg->uid);
 
-  // Charge the Binder round trip.
+  // An explicit start supersedes a pending crash-restart.
+  if (record.restart_pending) {
+    sim_.cancel(record.restart_event);
+    record.restart_pending = false;
+    record.restart_event = {};
+  }
+
+  // Warm host: onStartCommand is delivered synchronously, as the seed
+  // framework always did. Cold host: the process must spawn first, so
+  // delivery is a pending event — cancelled if the host dies before it.
+  const bool warm = host_.pid_of(record.uid).valid();
   const kernelsim::Pid from = host_.pid_of(caller);
   const kernelsim::Pid to = host_.ensure_process(record.uid);
-  binder_.transact(from, to, intent.extras_bytes);
+  if (!binder_.try_transact(from, to, intent.extras_bytes)) {
+    EA_LOG(kDebug, sim_.now(), "services")
+        << "startService " << key_of(*ref) << " lost: binder failure";
+    return false;
+  }
 
-  const bool was_alive = record.alive;
   bring_up(record);
   record.started = true;
-  if (AppCode* code = host_.code_of(record.uid)) {
-    code->on_service_start_command(host_.context_of(record.uid),
-                                   ref->component);
+  record.last_starter = caller;
+  if (warm) {
+    deliver_start_command(record);
+    publish(FwEventType::kServiceStart, caller, record.uid, ref->component);
+  } else {
+    publish(FwEventType::kServiceStart, caller, record.uid, ref->component);
+    schedule_start_command(record);
   }
-  publish(FwEventType::kServiceStart, caller, record.uid, ref->component);
-  (void)was_alive;
   return true;
 }
 
@@ -117,9 +236,20 @@ bool ServiceManager::stop_service(kernelsim::Uid caller,
   const auto ref = packages_.resolve_service(caller, intent);
   if (!ref) return false;
   auto it = records_.find(key_of(*ref));
-  if (it == records_.end() || !it->second.alive) return false;
+  if (it == records_.end()) return false;
   ServiceRecord& record = it->second;
+  // stopService on a crashed-but-restarting service cancels the restart.
+  if (record.restart_pending) {
+    sim_.cancel(record.restart_event);
+    record.restart_pending = false;
+    record.restart_event = {};
+    record.started = false;
+    publish(FwEventType::kServiceStop, caller, record.uid, ref->component);
+    return true;
+  }
+  if (!record.alive) return false;
   record.started = false;
+  cancel_pending(record);
   publish(FwEventType::kServiceStop, caller, record.uid, ref->component);
   // The paper's attack #3 hinge: a binding keeps the service alive here.
   maybe_tear_down(record);
@@ -134,6 +264,7 @@ bool ServiceManager::stop_self(kernelsim::Uid caller,
   if (it == records_.end() || !it->second.alive) return false;
   ServiceRecord& record = it->second;
   record.started = false;
+  cancel_pending(record);
   publish(FwEventType::kServiceStopSelf, caller, record.uid, service);
   maybe_tear_down(record);
   return true;
@@ -144,11 +275,17 @@ std::optional<BindingId> ServiceManager::bind_service(kernelsim::Uid caller,
   const auto ref = packages_.resolve_service(caller, intent);
   if (!ref) return std::nullopt;
   const PackageRecord* pkg = packages_.find(ref->package);
+  EANDROID_CHECK(pkg != nullptr,
+                 "resolved service in unknown package " << ref->package);
   ServiceRecord& record = record_for(*ref, pkg->uid);
 
   const kernelsim::Pid from = host_.pid_of(caller);
   const kernelsim::Pid to = host_.ensure_process(record.uid);
-  binder_.transact(from, to, intent.extras_bytes);
+  if (!binder_.try_transact(from, to, intent.extras_bytes)) {
+    EA_LOG(kDebug, sim_.now(), "services")
+        << "bindService " << key_of(*ref) << " lost: binder failure";
+    return std::nullopt;
+  }
   bring_up(record);
 
   const std::uint64_t id = next_binding_++;
@@ -253,6 +390,54 @@ std::vector<std::string> ServiceManager::running_services_of(
     if (record.alive && record.uid == uid) out.push_back(record.ref.component);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ServiceManager::restart_pending(const std::string& package,
+                                     const std::string& service) const {
+  auto it = records_.find(package + "/" + service);
+  return it != records_.end() && it->second.restart_pending;
+}
+
+int ServiceManager::crash_count(const std::string& package,
+                                const std::string& service) const {
+  auto it = records_.find(package + "/" + service);
+  return it == records_.end() ? 0 : it->second.crashes;
+}
+
+sim::Duration ServiceManager::next_restart_delay(
+    const std::string& package, const std::string& service) const {
+  auto it = records_.find(package + "/" + service);
+  return backoff_delay(it == records_.end() ? 0 : it->second.crashes);
+}
+
+std::vector<ServiceSnapshot> ServiceManager::snapshot() const {
+  std::vector<std::string> keys;
+  keys.reserve(records_.size());
+  for (const auto& [key, record] : records_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::vector<ServiceSnapshot> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    const ServiceRecord& record = records_.at(key);
+    ServiceSnapshot snap;
+    snap.package = record.ref.package;
+    snap.component = record.ref.component;
+    snap.uid = record.uid;
+    snap.alive = record.alive;
+    snap.started = record.started;
+    snap.foreground = record.foreground;
+    snap.restart_pending = record.restart_pending;
+    snap.delivery_pending = record.pending_delivery.valid();
+    for (const Binding& binding : record.bindings) {
+      snap.binding_clients.push_back(binding.client_uid);
+    }
+    std::sort(snap.binding_clients.begin(), snap.binding_clients.end(),
+              [](kernelsim::Uid a, kernelsim::Uid b) {
+                return a.value < b.value;
+              });
+    out.push_back(std::move(snap));
+  }
   return out;
 }
 

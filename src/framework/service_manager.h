@@ -1,11 +1,20 @@
-// ServiceManager: started and bound services with Android's liveness rule.
+// ServiceManager: started and bound services with Android's liveness rule,
+// plus crash recovery.
 //
-// The rule attack #3 abuses, quoted from the paper: "Multiple components
-// can bind to a single service simultaneously, making the service alive
-// until all connections are unbound, even under the condition that
-// stopService() has been triggered." We implement exactly that: a service
-// dies only when it is not started AND has zero bindings. Client process
-// death drops its bindings via Binder link-to-death.
+// The liveness rule attack #3 abuses, quoted from the paper: "Multiple
+// components can bind to a single service simultaneously, making the
+// service alive until all connections are unbound, even under the
+// condition that stopService() has been triggered." We implement exactly
+// that: a service dies only when it is not started AND has zero bindings.
+// Client process death drops its bindings via Binder link-to-death.
+//
+// Recovery mirrors ActiveServices: when the host process of a *started*
+// service crashes, the framework restarts it after an exponentially
+// backed-off delay (SERVICE_RESTART_DURATION-style doubling, reset once
+// the service has stayed up through the reset window) and redelivers
+// onStartCommand. The restart keeps the original starter as the driving
+// uid, so a crashing-and-restarting attack chain cannot launder its
+// collateral account across the crash boundary.
 #pragma once
 
 #include <cstdint>
@@ -29,20 +38,48 @@ struct BindingId {
   [[nodiscard]] constexpr bool valid() const { return id != 0; }
 };
 
+/// One service's externally visible state (invariant checking, tests).
+struct ServiceSnapshot {
+  std::string package;
+  std::string component;
+  kernelsim::Uid uid;
+  bool alive = false;
+  bool started = false;
+  bool foreground = false;
+  bool restart_pending = false;
+  bool delivery_pending = false;
+  std::vector<kernelsim::Uid> binding_clients;
+};
+
 class ServiceManager {
  public:
+  /// First restart delay after a crash; doubles per crash inside the
+  /// reset window (ActiveServices' SERVICE_RESTART_DURATION).
+  static constexpr sim::Duration kRestartBase = sim::seconds(1);
+  /// Ceiling on the backed-off delay.
+  static constexpr sim::Duration kRestartMax = sim::seconds(64);
+  /// A crash this long after the previous one resets the backoff
+  /// (ActiveServices' SERVICE_RESET_RUN_DURATION).
+  static constexpr sim::Duration kRestartResetWindow = sim::seconds(60);
+  /// Main-thread dispatch latency between a cold-start (or restart)
+  /// bring-up and the onStartCommand delivery. The delivery is a pending
+  /// simulator event cancelled if the host dies first.
+  static constexpr sim::Duration kStartCommandDispatch = sim::millis(5);
+
   ServiceManager(sim::Simulator& sim, PackageManager& packages,
                  kernelsim::ProcessTable& processes,
                  kernelsim::BinderDriver& binder, AppHost& host,
                  EventBus& events);
 
   /// startService(): spawns the hosting process if needed, marks the
-  /// service started, delivers onStartCommand. Returns false if the
-  /// intent does not resolve (unknown/not-exported).
+  /// service started, delivers onStartCommand (immediately when the host
+  /// was already warm; after kStartCommandDispatch on a cold start).
+  /// Returns false if the intent does not resolve (unknown/not-exported)
+  /// or the Binder transaction fails.
   bool start_service(kernelsim::Uid caller, const Intent& intent);
 
   /// stopService(): clears the started flag; the service survives if any
-  /// binding remains.
+  /// binding remains. Also cancels a pending crash-restart.
   bool stop_service(kernelsim::Uid caller, const Intent& intent);
 
   /// stopSelf() from inside the service.
@@ -73,6 +110,22 @@ class ServiceManager {
   [[nodiscard]] std::vector<std::string> running_services_of(
       kernelsim::Uid uid) const;
 
+  // --- Crash recovery introspection ---
+  /// True while a crashed started service awaits its backed-off restart.
+  [[nodiscard]] bool restart_pending(const std::string& package,
+                                     const std::string& service) const;
+  /// Consecutive crashes inside the reset window (drives the backoff).
+  [[nodiscard]] int crash_count(const std::string& package,
+                                const std::string& service) const;
+  /// Delay the next restart of this service would use.
+  [[nodiscard]] sim::Duration next_restart_delay(
+      const std::string& package, const std::string& service) const;
+  [[nodiscard]] std::uint64_t restarts_total() const { return restarts_; }
+
+  /// Deterministic (key-sorted) dump of every record, for the
+  /// InvariantChecker and tests.
+  [[nodiscard]] std::vector<ServiceSnapshot> snapshot() const;
+
  private:
   struct Binding {
     std::uint64_t id;
@@ -86,11 +139,28 @@ class ServiceManager {
     bool started = false;
     bool foreground = false;
     std::vector<Binding> bindings;
+    /// Most recent startService caller; restarts keep attributing to it.
+    kernelsim::Uid last_starter;
+    /// Scheduled onStartCommand dispatch (cold start / restart).
+    sim::EventHandle pending_delivery;
+    /// Scheduled crash-restart.
+    sim::EventHandle restart_event;
+    bool restart_pending = false;
+    int crashes = 0;
+    sim::TimePoint last_crash;
   };
 
   ServiceRecord& record_for(const ComponentRef& ref, kernelsim::Uid uid);
   void bring_up(ServiceRecord& record);
   void maybe_tear_down(ServiceRecord& record);
+  /// Queues the onStartCommand dispatch event; remembers the handle so a
+  /// host death in the dispatch window cancels it.
+  void schedule_start_command(ServiceRecord& record);
+  void deliver_start_command(ServiceRecord& record);
+  void on_host_death(ServiceRecord& record);
+  void schedule_restart(ServiceRecord& record);
+  void restart_now(const std::string& key);
+  void cancel_pending(ServiceRecord& record);
   void publish(FwEventType type, kernelsim::Uid driving, kernelsim::Uid driven,
                const std::string& component, std::uint64_t handle = 0);
 
@@ -104,6 +174,7 @@ class ServiceManager {
   std::unordered_map<std::string, ServiceRecord> records_;  // "pkg/name"
   std::unordered_map<std::uint64_t, std::string> record_by_binding_;
   std::uint64_t next_binding_ = 1;
+  std::uint64_t restarts_ = 0;
 };
 
 }  // namespace eandroid::framework

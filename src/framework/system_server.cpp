@@ -1,8 +1,8 @@
 #include "framework/system_server.h"
 
-#include <cassert>
 #include <utility>
 
+#include "sim/check.h"
 #include "sim/log.h"
 
 namespace eandroid::framework {
@@ -55,6 +55,14 @@ SystemServer::SystemServer(sim::Simulator& sim, const hw::PowerParams& params)
     auto it = contexts_.find(info.uid);
     if (it != contexts_.end()) it->second->on_process_died();
     process_of_.erase(info.uid);
+    // A killed app's queued main-thread work is dropped, and marking all
+    // of it drained disarms any in-flight ANR checks so they cannot kill
+    // a re-spawned process for its predecessor's hang.
+    hung_.erase(info.uid);
+    if (auto qit = main_queues_.find(info.uid); qit != main_queues_.end()) {
+      qit->second.pending.clear();
+      qit->second.drained = qit->second.enqueued;
+    }
     if (AppCode* code = packages_.code_for(info.uid)) {
       code->on_process_death();
     }
@@ -178,13 +186,75 @@ void SystemServer::user_set_screen_mode(BrightnessMode mode) {
   settings_.set_mode(systemui_uid_, mode, /*by_user=*/true);
 }
 
+void SystemServer::post_to_main(kernelsim::Uid uid,
+                                std::function<void()> deliver) {
+  if (!hung_.contains(uid)) {
+    deliver();
+    return;
+  }
+  MainQueue& queue = main_queues_[uid];
+  queue.pending.push_back(std::move(deliver));
+  const std::uint64_t seq = ++queue.enqueued;
+  // One-shot watchdog for this specific delivery: if it is still parked
+  // when the timer fires, the app has not responded for the full window.
+  sim_.schedule(kAnrTimeout, [this, uid, seq] {
+    auto it = main_queues_.find(uid);
+    if (it == main_queues_.end() || it->second.drained >= seq) return;
+    if (!pid_of(uid).valid()) return;
+    ++anr_kills_;
+    EA_LOG(kInfo, sim_.now(), "system")
+        << "ANR: uid " << uid.value << " (queue depth "
+        << it->second.pending.size() << "), killing";
+    FwEvent event;
+    event.type = FwEventType::kAnr;
+    event.when = sim_.now();
+    event.driving = uid;
+    event.driven = uid;
+    event.component = "anr";
+    events_.publish(event);
+    kill_app(uid);  // death observer drops the queue and hang mark
+  });
+}
+
+void SystemServer::set_app_hung(kernelsim::Uid uid, bool hung) {
+  EANDROID_CHECK(packages_.find(uid) != nullptr,
+                 "set_app_hung for unknown uid " << uid.value);
+  if (hung) {
+    if (pid_of(uid).valid()) hung_.insert(uid);
+    return;
+  }
+  hung_.erase(uid);
+  drain_main_queue(uid);
+}
+
+void SystemServer::drain_main_queue(kernelsim::Uid uid) {
+  auto it = main_queues_.find(uid);
+  if (it == main_queues_.end()) return;
+  // Deliveries may enqueue further work (or re-hang the app); loop until
+  // the queue is empty or the app is hung again.
+  while (!it->second.pending.empty() && !hung_.contains(uid)) {
+    std::function<void()> deliver = std::move(it->second.pending.front());
+    it->second.pending.erase(it->second.pending.begin());
+    ++it->second.drained;
+    deliver();
+    it = main_queues_.find(uid);
+    if (it == main_queues_.end()) return;
+  }
+}
+
+std::size_t SystemServer::main_queue_depth(kernelsim::Uid uid) const {
+  auto it = main_queues_.find(uid);
+  return it == main_queues_.end() ? 0 : it->second.pending.size();
+}
+
 kernelsim::Pid SystemServer::ensure_process(kernelsim::Uid uid) {
   auto it = process_of_.find(uid);
   if (it != process_of_.end() && processes_.alive(it->second)) {
     return it->second;
   }
   const PackageRecord* pkg = packages_.find(uid);
-  assert(pkg != nullptr && "ensure_process for unknown uid");
+  EANDROID_CHECK(pkg != nullptr,
+                 "ensure_process for unknown uid " << uid.value);
   const kernelsim::Pid pid = processes_.spawn(uid, pkg->manifest.package);
   process_of_[uid] = pid;
   if (!contexts_.contains(uid)) {
@@ -218,7 +288,8 @@ Context& SystemServer::context_of(kernelsim::Uid uid) {
   auto it = contexts_.find(uid);
   if (it == contexts_.end()) {
     const PackageRecord* pkg = packages_.find(uid);
-    assert(pkg != nullptr && "context_of for unknown uid");
+    EANDROID_CHECK(pkg != nullptr,
+                   "context_of for unknown uid " << uid.value);
     it = contexts_
              .emplace(uid, std::make_unique<Context>(*this, uid,
                                                      pkg->manifest.package))
@@ -228,6 +299,11 @@ Context& SystemServer::context_of(kernelsim::Uid uid) {
 }
 
 void SystemServer::kill_app(kernelsim::Uid uid) {
+  EANDROID_CHECK(packages_.find(uid) != nullptr,
+                 "kill_app for unknown uid " << uid.value);
+  // Killing an app with no live process is a no-op, not an error: death
+  // races (LMK, ANR, fault injection) make double-kills routine.
+  if (!pid_of(uid).valid()) return;
   processes_.kill_uid(uid);
 }
 

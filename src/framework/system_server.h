@@ -7,9 +7,11 @@
 // energy profiler (energy/ or core/) samples power.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "framework/activity_manager.h"
 #include "framework/alarm_manager.h"
@@ -44,6 +46,12 @@ inline constexpr const char* kPhonePackage = "com.android.phone";
 
 class SystemServer : public AppHost {
  public:
+  /// How long a main-thread delivery may sit undrained in a hung app
+  /// before the watchdog declares ANR and kills the process. Android uses
+  /// 10 s for broadcasts and 20 s for services; one device-wide constant
+  /// keeps the model simple.
+  static constexpr sim::Duration kAnrTimeout = sim::seconds(10);
+
   explicit SystemServer(sim::Simulator& sim,
                         const hw::PowerParams& params = hw::nexus4_params());
   ~SystemServer() override = default;
@@ -112,7 +120,23 @@ class SystemServer : public AppHost {
   [[nodiscard]] kernelsim::Uid systemui_uid() const { return systemui_uid_; }
   [[nodiscard]] kernelsim::Uid phone_uid() const { return phone_uid_; }
 
+  // --- Fault injection / ANR watchdog ---
+  /// Marks an app's main thread as hung (fault injection): deliveries
+  /// routed through post_to_main queue up instead of running. If any
+  /// delivery sits queued for kAnrTimeout the watchdog kills the app
+  /// (publishing kAnr first) and drops the queue. Unhanging drains the
+  /// queue in order. Unknown uid is a checked error; hanging an app with
+  /// no process is a no-op.
+  void set_app_hung(kernelsim::Uid uid, bool hung);
+  [[nodiscard]] bool app_hung(kernelsim::Uid uid) const {
+    return hung_.contains(uid);
+  }
+  /// Deliveries currently parked on the app's main-thread queue.
+  [[nodiscard]] std::size_t main_queue_depth(kernelsim::Uid uid) const;
+  [[nodiscard]] std::uint64_t anr_kills() const { return anr_kills_; }
+
   // --- AppHost ---
+  void post_to_main(kernelsim::Uid uid, std::function<void()> deliver) override;
   kernelsim::Pid ensure_process(kernelsim::Uid uid) override;
   [[nodiscard]] kernelsim::Pid pid_of(kernelsim::Uid uid) const override;
   AppCode* code_of(kernelsim::Uid uid) override;
@@ -120,6 +144,16 @@ class SystemServer : public AppHost {
   void kill_app(kernelsim::Uid uid) override;
 
  private:
+  /// Main-thread delivery bookkeeping for the ANR model. `enqueued` and
+  /// `drained` are monotonic; a one-shot watchdog check knows the
+  /// delivery it guards was drained when `drained` has passed its
+  /// sequence number.
+  struct MainQueue {
+    std::vector<std::function<void()>> pending;
+    std::uint64_t enqueued = 0;
+    std::uint64_t drained = 0;
+  };
+  void drain_main_queue(kernelsim::Uid uid);
   sim::Simulator& sim_;
   hw::PowerParams params_;
 
@@ -149,6 +183,9 @@ class SystemServer : public AppHost {
 
   std::unordered_map<kernelsim::Uid, kernelsim::Pid> process_of_;
   std::unordered_map<kernelsim::Uid, std::unique_ptr<Context>> contexts_;
+  std::unordered_set<kernelsim::Uid> hung_;
+  std::unordered_map<kernelsim::Uid, MainQueue> main_queues_;
+  std::uint64_t anr_kills_ = 0;
   kernelsim::Uid launcher_uid_;
   kernelsim::Uid systemui_uid_;
   kernelsim::Uid phone_uid_;

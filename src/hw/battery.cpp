@@ -24,6 +24,18 @@ void Battery::drain(double energy_mj, sim::TimePoint now) {
   }
 }
 
+void Battery::deplete_to(double remaining_mj, sim::TimePoint now) {
+  remaining_mj = std::max(0.0, remaining_mj);
+  if (remaining_mj >= remaining_mj_) return;
+  const int before = percent();
+  remaining_mj_ = remaining_mj;
+  const int after = percent();
+  for (int level = before - 1; level >= after; --level) {
+    history_.push_back(HistoryPoint{now, level});
+    if (on_percent_drop_) on_percent_drop_(level);
+  }
+}
+
 void Battery::charge(double energy_mj, sim::TimePoint now) {
   if (energy_mj <= 0.0 || full()) return;
   const int before = percent();

@@ -27,6 +27,13 @@ class Battery {
   /// are recorded in the history like drops are.
   void charge(double energy_mj, sim::TimePoint now);
 
+  /// Fault injection: collapses the remaining charge down to
+  /// `remaining_mj` (sudden cell exhaustion / capacity fade) WITHOUT
+  /// touching the consumption ledger — the vanished energy was never
+  /// consumed by the device, so profiler totals must not be expected to
+  /// cover it. Percent drops are recorded in the history as usual.
+  void deplete_to(double remaining_mj, sim::TimePoint now);
+
   /// Charger state; the metering loop turns the charge rate minus the
   /// device's consumption into charge()/drain() calls.
   void set_charging(bool charging, double rate_mw = 5000.0);

@@ -58,6 +58,29 @@ sim::Duration BinderDriver::transact(Pid from, Pid to, std::uint64_t bytes) {
   return cost;
 }
 
+bool BinderDriver::try_transact(Pid from, Pid to, std::uint64_t bytes,
+                                sim::Duration* cost) {
+  if (fail_budget_ > 0) {
+    --fail_budget_;
+    ++failed_;
+    if (cost != nullptr) *cost = sim::Duration(0);
+    EA_LOG(kDebug, sim_.now(), "binder")
+        << "txn " << from.value << " -> " << to.value
+        << " FAILED (injected)";
+    return false;
+  }
+  const sim::Duration d = transact(from, to, bytes);
+  if (cost != nullptr) *cost = d;
+  return true;
+}
+
+bool BinderDriver::tokens_consistent() const {
+  for (const auto& [id, owner] : token_owner_) {
+    if (!processes_.alive(owner)) return false;
+  }
+  return true;
+}
+
 const TransactionStats& BinderDriver::stats_for(Pid pid) const {
   static const TransactionStats kEmpty;
   auto it = per_pid_stats_.find(pid);

@@ -64,6 +64,25 @@ class BinderDriver {
   /// caller via the returned duration (the scheduler applies it).
   sim::Duration transact(Pid from, Pid to, std::uint64_t bytes);
 
+  /// Like transact(), but honours injected failures: when a failure
+  /// budget is armed (fail_next), the transaction is consumed by the
+  /// budget, costs nothing, and returns false — the caller sees the
+  /// equivalent of DeadObjectException and must handle it. Framework
+  /// paths that can survive a failed IPC (service start/bind, broadcast
+  /// delivery) route through this entry point.
+  bool try_transact(Pid from, Pid to, std::uint64_t bytes,
+                    sim::Duration* cost = nullptr);
+
+  /// Fault injection: the next `n` try_transact() calls fail.
+  void fail_next(std::uint64_t n) { fail_budget_ += n; }
+  [[nodiscard]] std::uint64_t failed_total() const { return failed_; }
+  [[nodiscard]] std::uint64_t pending_failures() const { return fail_budget_; }
+
+  /// Invariant hook: true when every live token's owner process is alive
+  /// (death must reap tokens synchronously).
+  [[nodiscard]] bool tokens_consistent() const;
+  [[nodiscard]] std::size_t token_count() const { return token_owner_.size(); }
+
   [[nodiscard]] const TransactionStats& stats_for(Pid pid) const;
   [[nodiscard]] std::uint64_t total_transactions() const { return total_.count; }
 
@@ -78,6 +97,8 @@ class BinderDriver {
   std::unordered_map<Pid, TransactionStats> per_pid_stats_;
   TransactionStats total_;
   std::uint64_t next_token_ = 1;
+  std::uint64_t fail_budget_ = 0;
+  std::uint64_t failed_ = 0;
 };
 
 }  // namespace eandroid::kernelsim

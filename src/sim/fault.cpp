@@ -1,0 +1,124 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace eandroid::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillApp: return "kill_app";
+    case FaultKind::kKillLockHolder: return "kill_lock_holder";
+    case FaultKind::kHangApp: return "hang_app";
+    case FaultKind::kBinderFailure: return "binder_failure";
+    case FaultKind::kDropBroadcast: return "drop_broadcast";
+    case FaultKind::kDelayAlarms: return "delay_alarms";
+    case FaultKind::kBatteryExhaust: return "battery_exhaust";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed, Duration horizon,
+                              int count) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+  plan.faults.reserve(static_cast<std::size_t>(count));
+  const std::int64_t span_us = std::max<std::int64_t>(1, horizon.micros());
+  for (int i = 0; i < count; ++i) {
+    FaultSpec spec;
+    // Battery exhaustion ends the interesting part of a run, so weight it
+    // down; the common faults (kills, hangs, IPC failures) dominate.
+    const std::uint64_t roll = rng.below(20);
+    if (roll < 6) {
+      spec.kind = FaultKind::kKillApp;
+    } else if (roll < 9) {
+      spec.kind = FaultKind::kKillLockHolder;
+    } else if (roll < 12) {
+      spec.kind = FaultKind::kHangApp;
+    } else if (roll < 15) {
+      spec.kind = FaultKind::kBinderFailure;
+    } else if (roll < 17) {
+      spec.kind = FaultKind::kDropBroadcast;
+    } else if (roll < 19) {
+      spec.kind = FaultKind::kDelayAlarms;
+    } else {
+      spec.kind = FaultKind::kBatteryExhaust;
+    }
+    spec.at = TimePoint{} + micros(1 + static_cast<std::int64_t>(rng.below(
+                                           static_cast<std::uint64_t>(span_us))));
+    spec.target = rng.below(1 << 16);
+    switch (spec.kind) {
+      case FaultKind::kBinderFailure:
+      case FaultKind::kDropBroadcast:
+        spec.magnitude = 1 + rng.below(8);
+        break;
+      case FaultKind::kDelayAlarms:
+        spec.magnitude = 100 + rng.below(5000);  // ms
+        break;
+      default:
+        spec.magnitude = 1;
+        break;
+    }
+    plan.faults.push_back(spec);
+  }
+  std::stable_sort(plan.faults.begin(), plan.faults.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "plan(seed=" << seed << ")";
+  for (const FaultSpec& f : faults) {
+    out << " [" << to_string(f.kind) << "@" << f.at.micros() << "us t="
+        << f.target << " m=" << f.magnitude << "]";
+  }
+  return out.str();
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.faults) {
+    sim_.schedule_at(spec.at, [this, spec] { fire(spec); });
+  }
+}
+
+void FaultInjector::fire(const FaultSpec& spec) {
+  const auto run = [&](auto& action, auto&&... args) {
+    if (!action) {
+      ++skipped_;
+      return;
+    }
+    action(std::forward<decltype(args)>(args)...);
+    ++injected_;
+    ++by_kind_[static_cast<int>(spec.kind)];
+    EA_LOG(kDebug, sim_.now(), "fault")
+        << to_string(spec.kind) << " target=" << spec.target
+        << " magnitude=" << spec.magnitude;
+  };
+  switch (spec.kind) {
+    case FaultKind::kKillApp: run(actions_.kill_app, spec.target); break;
+    case FaultKind::kKillLockHolder:
+      run(actions_.kill_lock_holder, spec.target);
+      break;
+    case FaultKind::kHangApp: run(actions_.hang_app, spec.target); break;
+    case FaultKind::kBinderFailure:
+      run(actions_.binder_failure, spec.magnitude);
+      break;
+    case FaultKind::kDropBroadcast:
+      run(actions_.drop_broadcast, spec.magnitude);
+      break;
+    case FaultKind::kDelayAlarms:
+      run(actions_.delay_alarms,
+          millis(static_cast<std::int64_t>(spec.magnitude)));
+      break;
+    case FaultKind::kBatteryExhaust: run(actions_.battery_exhaust); break;
+  }
+}
+
+}  // namespace eandroid::sim

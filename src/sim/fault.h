@@ -1,0 +1,105 @@
+// Deterministic fault injection for the simulator.
+//
+// A FaultPlan is pure data: a seeded, time-sorted schedule of FaultSpecs
+// drawn from sim::Rng, so the same (seed, horizon, count) always yields
+// the same schedule and a failing run replays bitwise-identically from
+// its printed seed. The FaultInjector turns a plan into ordinary
+// simulator events; it knows nothing about the framework — the caller
+// binds each FaultKind to an action (kill this uid, fail that many
+// binder transactions, …) through FaultActions, which keeps sim/ free of
+// upward dependencies while the apps/ layer wires plans into a Testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace eandroid::sim {
+
+enum class FaultKind : std::uint8_t {
+  kKillApp,        // crash one app's process (target picks which)
+  kKillLockHolder, // crash an app currently holding a wakelock (leak path)
+  kHangApp,        // block an app's main thread (ANR watchdog bait)
+  kBinderFailure,  // next `magnitude` binder transactions fail
+  kDropBroadcast,  // next `magnitude` broadcast deliveries are dropped
+  kDelayAlarms,    // shift every pending alarm `magnitude` ms later
+  kBatteryExhaust, // drain the battery to 0% immediately
+};
+
+const char* to_string(FaultKind kind);
+
+/// Number of distinct FaultKind values (for histograms and draws).
+inline constexpr int kFaultKindCount = 7;
+
+struct FaultSpec {
+  FaultKind kind{};
+  /// Absolute virtual instant the fault fires.
+  TimePoint at;
+  /// Abstract victim selector; the bound action maps it onto a concrete
+  /// app (typically `target % app_count`). Meaningless for device-wide
+  /// faults (battery, alarms).
+  std::uint64_t target = 0;
+  /// Kind-specific intensity: transaction/delivery count for binder and
+  /// broadcast faults, delay in milliseconds for kDelayAlarms.
+  std::uint64_t magnitude = 1;
+};
+
+/// A reproducible schedule of faults over one simulated run.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  /// Draws `count` faults uniformly over (0, horizon], sorted by time
+  /// (ties keep draw order). Pure function of its arguments.
+  static FaultPlan generate(std::uint64_t seed, Duration horizon, int count);
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The callbacks a FaultKind dispatches into. Unset actions make the
+/// corresponding faults no-ops (counted as skipped).
+struct FaultActions {
+  std::function<void(std::uint64_t target)> kill_app;
+  std::function<void(std::uint64_t target)> kill_lock_holder;
+  std::function<void(std::uint64_t target)> hang_app;
+  std::function<void(std::uint64_t n)> binder_failure;
+  std::function<void(std::uint64_t n)> drop_broadcast;
+  std::function<void(Duration delay)> delay_alarms;
+  std::function<void()> battery_exhaust;
+};
+
+/// Schedules a plan's faults as simulator events. Owns nothing; the
+/// simulator and the bound actions must outlive the run.
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, FaultActions actions)
+      : sim_(sim), actions_(std::move(actions)) {}
+
+  /// Schedules every fault of `plan` at its absolute instant (faults in
+  /// the past fire at the current instant, preserving order).
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t injected_total() const { return injected_; }
+  [[nodiscard]] std::uint64_t skipped_total() const { return skipped_; }
+  /// Injected faults per kind, indexed by static_cast<int>(FaultKind).
+  [[nodiscard]] const std::vector<std::uint64_t>& injected_by_kind() const {
+    return by_kind_;
+  }
+
+ private:
+  void fire(const FaultSpec& spec);
+
+  Simulator& sim_;
+  FaultActions actions_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::vector<std::uint64_t> by_kind_ =
+      std::vector<std::uint64_t>(kFaultKindCount, 0);
+};
+
+}  // namespace eandroid::sim

@@ -1,0 +1,41 @@
+// run_chaos: a randomized fault schedule over the scenario workload must
+// end in a consistent device, and the whole run must be a pure function
+// of its seed.
+#include <gtest/gtest.h>
+
+#include "apps/chaos.h"
+
+namespace eandroid::apps {
+namespace {
+
+ChaosOptions small_options(std::uint64_t seed) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.workload_steps = 60;
+  options.fault_count = 8;
+  options.horizon = sim::seconds(40);
+  return options;
+}
+
+TEST(ChaosTest, RunIsDeterministic) {
+  const ChaosResult a = run_chaos(small_options(7));
+  const ChaosResult b = run_chaos(small_options(7));
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.plan, b.plan);
+}
+
+TEST(ChaosTest, RunHoldsInvariants) {
+  const ChaosResult result = run_chaos(small_options(3));
+  EXPECT_TRUE(result.ok()) << result.digest();
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_EQ(result.workload_steps, 60u);
+  EXPECT_GE(result.windows_opened, result.windows_closed);
+}
+
+TEST(ChaosTest, DifferentSeedsDiverge) {
+  EXPECT_NE(run_chaos(small_options(1)).digest(),
+            run_chaos(small_options(2)).digest());
+}
+
+}  // namespace
+}  // namespace eandroid::apps

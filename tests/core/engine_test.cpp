@@ -158,12 +158,16 @@ TEST_F(EngineTest, WakelockForcedScreenChargedToHolder) {
   engine_->on_slice(slice_with({}, 200.0));
   EXPECT_DOUBLE_EQ(
       engine_->collateral_from(uid("com.power"), Entity::screen()), 200.0);
+  // The claimed energy leaves the neutral row but stays on the books:
+  // screen_row + attributed_screen is still all screen energy.
   EXPECT_DOUBLE_EQ(engine_->screen_row_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(engine_->attributed_screen_mj(), 200.0);
 }
 
 TEST_F(EngineTest, NormalScreenStaysOnNeutralRow) {
   engine_->on_slice(slice_with({}, 200.0));
   EXPECT_DOUBLE_EQ(engine_->screen_row_mj(), 200.0);
+  EXPECT_DOUBLE_EQ(engine_->attributed_screen_mj(), 0.0);
 }
 
 TEST_F(EngineTest, BrightnessDeltaChargedToAttacker) {
@@ -179,6 +183,7 @@ TEST_F(EngineTest, BrightnessDeltaChargedToAttacker) {
   EXPECT_NEAR(engine_->collateral_from(uid("com.power"), Entity::screen()),
               expected, 1e-9);
   EXPECT_NEAR(engine_->screen_row_mj(), 300.0 - expected, 1e-9);
+  EXPECT_NEAR(engine_->attributed_screen_mj(), expected, 1e-9);
 }
 
 TEST_F(EngineTest, ScreenCollateralFlowsUpChains) {

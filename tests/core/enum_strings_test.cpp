@@ -8,6 +8,7 @@
 #include "core/window.h"
 #include "framework/activity_manager.h"
 #include "framework/events.h"
+#include "sim/fault.h"
 
 namespace eandroid {
 namespace {
@@ -25,6 +26,7 @@ TEST(EnumStringsTest, FwEventTypesAllNamed) {
            FwEventType::kScreenOff, FwEventType::kWakelockAcquire,
            FwEventType::kWakelockRelease, FwEventType::kBroadcastDelivered,
            FwEventType::kAlarmFired, FwEventType::kPushDelivered,
+           FwEventType::kAnr,
        }) {
     EXPECT_STRNE(framework::to_string(type), "unknown");
     EXPECT_STRNE(framework::to_string(type), "?");
@@ -52,6 +54,20 @@ TEST(EnumStringsTest, ActivityStatesAllNamed) {
     EXPECT_STRNE(framework::to_string(state), "?");
   }
   EXPECT_STREQ(framework::to_string(State::kResumed), "resumed");
+}
+
+TEST(EnumStringsTest, FaultKindsAllNamed) {
+  using sim::FaultKind;
+  int named = 0;
+  for (FaultKind kind :
+       {FaultKind::kKillApp, FaultKind::kKillLockHolder, FaultKind::kHangApp,
+        FaultKind::kBinderFailure, FaultKind::kDropBroadcast,
+        FaultKind::kDelayAlarms, FaultKind::kBatteryExhaust}) {
+    EXPECT_STRNE(sim::to_string(kind), "?");
+    ++named;
+  }
+  EXPECT_EQ(named, sim::kFaultKindCount);
+  EXPECT_STREQ(sim::to_string(FaultKind::kBatteryExhaust), "battery_exhaust");
 }
 
 TEST(EnumStringsTest, AlertKindsAllNamed) {

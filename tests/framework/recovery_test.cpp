@@ -1,0 +1,316 @@
+// Crash recovery: service restart backoff (ActiveServices-style doubling
+// with reset window), the ANR watchdog, and the checked no-op semantics of
+// kill_app — including energy conservation across the crash/restart and
+// ANR-kill boundaries.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+#include "framework/service_manager.h"
+#include "framework/system_server.h"
+#include "kernel/types.h"
+#include "sim/check.h"
+#include "sim/simulator.h"
+#include "tests/framework/helpers.h"
+
+namespace eandroid::framework {
+namespace {
+
+using testing::EventLog;
+using testing::RecordingApp;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : server_(sim_) {
+    auto victim = std::make_unique<RecordingApp>();
+    victim_ = victim.get();
+    Manifest m = testing::simple_manifest("com.victim");
+    m.services.push_back(ServiceDecl{"Work", /*exported=*/true, {}});
+    server_.install(std::move(m), std::move(victim));
+    server_.install(testing::simple_manifest("com.client"),
+                    std::make_unique<RecordingApp>());
+    server_.boot();
+  }
+
+  kernelsim::Uid uid(const std::string& package) {
+    return server_.packages().find(package)->uid;
+  }
+
+  Intent work_intent() { return Intent::explicit_for("com.victim", "Work"); }
+
+  /// Starts the service from com.client and runs past the cold-start
+  /// dispatch so onStartCommand has been delivered once.
+  void start_and_deliver() {
+    ASSERT_TRUE(server_.services().start_service(uid("com.client"),
+                                                 work_intent()));
+    sim_.run_for(ServiceManager::kStartCommandDispatch);
+    ASSERT_EQ(victim_->count("svc_start:Work"), 1);
+  }
+
+  bool running() { return server_.services().running("com.victim", "Work"); }
+  bool restart_pending() {
+    return server_.services().restart_pending("com.victim", "Work");
+  }
+  int crash_count() {
+    return server_.services().crash_count("com.victim", "Work");
+  }
+  sim::Duration next_delay() {
+    return server_.services().next_restart_delay("com.victim", "Work");
+  }
+
+  sim::Simulator sim_;
+  SystemServer server_;
+  RecordingApp* victim_ = nullptr;
+};
+
+TEST_F(RecoveryTest, CrashedStartedServiceRestartsAfterBaseDelay) {
+  start_and_deliver();
+  server_.kill_app(uid("com.victim"));
+  EXPECT_FALSE(running());
+  EXPECT_TRUE(restart_pending());
+  EXPECT_EQ(crash_count(), 1);
+
+  sim_.run_for(ServiceManager::kRestartBase - sim::millis(10));
+  EXPECT_FALSE(running());  // still inside the backoff
+  sim_.run_for(sim::millis(20));
+  EXPECT_TRUE(running());
+  EXPECT_FALSE(restart_pending());
+  EXPECT_EQ(server_.services().restarts_total(), 1u);
+  EXPECT_EQ(victim_->count("svc_create:Work"), 2);
+
+  // The redelivered onStartCommand arrives after the dispatch latency.
+  sim_.run_for(ServiceManager::kStartCommandDispatch);
+  EXPECT_EQ(victim_->count("svc_start:Work"), 2);
+}
+
+TEST_F(RecoveryTest, RestartBackoffDoublesUpToCap) {
+  start_and_deliver();
+  sim::Duration expected = ServiceManager::kRestartBase;
+  for (int crash = 1; crash <= 6; ++crash) {
+    server_.kill_app(uid("com.victim"));
+    ASSERT_TRUE(restart_pending());
+    EXPECT_EQ(crash_count(), crash);
+    // Wait out this crash's delay (plus the dispatch) to get the next.
+    sim_.run_for(expected + sim::millis(10));
+    ASSERT_TRUE(running());
+    expected = expected * 2;
+    if (expected > ServiceManager::kRestartMax) {
+      expected = ServiceManager::kRestartMax;
+    }
+    EXPECT_EQ(next_delay().micros(), expected.micros());
+  }
+  // After six crashes in quick succession the next delay is the ceiling.
+  EXPECT_EQ(next_delay().micros(), ServiceManager::kRestartMax.micros());
+}
+
+TEST_F(RecoveryTest, BackoffResetsAfterCleanRun) {
+  start_and_deliver();
+  server_.kill_app(uid("com.victim"));
+  sim_.run_for(ServiceManager::kRestartBase + sim::millis(10));
+  ASSERT_TRUE(running());
+  EXPECT_EQ(crash_count(), 1);
+
+  // A full reset window of clean running starts the backoff over.
+  sim_.run_for(ServiceManager::kRestartResetWindow);
+  server_.kill_app(uid("com.victim"));
+  EXPECT_EQ(crash_count(), 1);  // reset to 0, then this crash
+  sim_.run_for(ServiceManager::kRestartBase + sim::millis(10));
+  EXPECT_TRUE(running());
+}
+
+TEST_F(RecoveryTest, StopServiceCancelsPendingRestart) {
+  start_and_deliver();
+  server_.kill_app(uid("com.victim"));
+  ASSERT_TRUE(restart_pending());
+
+  EXPECT_TRUE(server_.services().stop_service(uid("com.client"),
+                                              work_intent()));
+  EXPECT_FALSE(restart_pending());
+  sim_.run_for(sim::seconds(5));
+  EXPECT_FALSE(running());
+  EXPECT_EQ(victim_->count("svc_create:Work"), 1);  // never came back
+  EXPECT_EQ(server_.services().restarts_total(), 0u);
+}
+
+TEST_F(RecoveryTest, ExplicitStartSupersedesPendingRestart) {
+  start_and_deliver();
+  server_.kill_app(uid("com.victim"));
+  ASSERT_TRUE(restart_pending());
+
+  EXPECT_TRUE(server_.services().start_service(uid("com.client"),
+                                               work_intent()));
+  EXPECT_FALSE(restart_pending());
+  EXPECT_TRUE(running());
+  sim_.run_for(sim::seconds(5));
+  // Exactly one redelivery from the explicit start; the cancelled restart
+  // contributes nothing.
+  EXPECT_EQ(victim_->count("svc_start:Work"), 2);
+  EXPECT_EQ(server_.services().restarts_total(), 0u);
+}
+
+TEST_F(RecoveryTest, RestartKeepsOriginalStarterAsDrivingUid) {
+  EventLog log(server_.events());
+  start_and_deliver();
+  server_.kill_app(uid("com.victim"));
+  sim_.run_for(ServiceManager::kRestartBase + sim::millis(10));
+  ASSERT_TRUE(running());
+
+  // Anti-laundering: the framework-initiated restart is still attributed
+  // to the uid that called startService before the crash.
+  const FwEvent* restart = log.last(FwEventType::kServiceStart);
+  ASSERT_NE(restart, nullptr);
+  EXPECT_EQ(restart->driving, uid("com.client"));
+  EXPECT_EQ(restart->driven, uid("com.victim"));
+}
+
+TEST_F(RecoveryTest, HostDeathInsideDispatchWindowCancelsDelivery) {
+  // Regression: the host dies between startService() and the pending
+  // onStartCommand event; the stale delivery must not fire into the
+  // quickly re-started service, or it would see the command twice.
+  ASSERT_TRUE(server_.services().start_service(uid("com.client"),
+                                               work_intent()));
+  ASSERT_EQ(victim_->count("svc_start:Work"), 0);  // still in the window
+  server_.kill_app(uid("com.victim"));
+  ASSERT_TRUE(server_.services().start_service(uid("com.client"),
+                                               work_intent()));
+  sim_.run_for(sim::millis(20));
+  EXPECT_EQ(victim_->count("svc_start:Work"), 1);
+  EXPECT_EQ(victim_->count("svc_create:Work"), 2);
+}
+
+TEST_F(RecoveryTest, HungAppIsKilledAfterAnrTimeout) {
+  const kernelsim::Uid client = uid("com.client");
+  server_.broadcasts().register_receiver(client, "test.PING");
+  server_.ensure_process(client);
+  server_.set_app_hung(client, true);
+  ASSERT_TRUE(server_.app_hung(client));
+
+  EventLog log(server_.events());
+  server_.broadcasts().send_broadcast(kernelsim::kSystemUid, "test.PING",
+                                      /*by_system=*/true);
+  EXPECT_EQ(server_.main_queue_depth(client), 1u);
+
+  sim_.run_for(SystemServer::kAnrTimeout - sim::millis(1));
+  EXPECT_TRUE(server_.pid_of(client).valid());
+  EXPECT_EQ(server_.anr_kills(), 0u);
+
+  sim_.run_for(sim::millis(2));
+  EXPECT_EQ(server_.anr_kills(), 1u);
+  EXPECT_FALSE(server_.pid_of(client).valid());
+  EXPECT_EQ(server_.main_queue_depth(client), 0u);
+  EXPECT_EQ(log.count(FwEventType::kAnr), 1);
+  const FwEvent* anr = log.last(FwEventType::kAnr);
+  ASSERT_NE(anr, nullptr);
+  EXPECT_EQ(anr->driven, client);
+}
+
+TEST_F(RecoveryTest, UnhangingDrainsQueueAndAvertsAnr) {
+  const kernelsim::Uid client = uid("com.client");
+  server_.broadcasts().register_receiver(client, "test.PING");
+  server_.ensure_process(client);
+  server_.set_app_hung(client, true);
+  server_.broadcasts().send_broadcast(kernelsim::kSystemUid, "test.PING",
+                                      /*by_system=*/true);
+  ASSERT_EQ(server_.main_queue_depth(client), 1u);
+
+  sim_.run_for(sim::seconds(5));
+  server_.set_app_hung(client, false);
+  EXPECT_EQ(server_.main_queue_depth(client), 0u);  // drained in order
+
+  sim_.run_for(sim::seconds(10));
+  EXPECT_EQ(server_.anr_kills(), 0u);
+  EXPECT_TRUE(server_.pid_of(client).valid());
+}
+
+TEST_F(RecoveryTest, AnrCheckIsDisarmedByDeathAndRespawn) {
+  const kernelsim::Uid client = uid("com.client");
+  server_.broadcasts().register_receiver(client, "test.PING");
+  server_.ensure_process(client);
+  server_.set_app_hung(client, true);
+  server_.broadcasts().send_broadcast(kernelsim::kSystemUid, "test.PING",
+                                      /*by_system=*/true);
+
+  sim_.run_for(sim::seconds(2));
+  server_.kill_app(client);       // something else kills the hung app...
+  server_.ensure_process(client); // ...and it comes right back
+
+  // The stale watchdog check must not kill the fresh process for its
+  // predecessor's hang.
+  sim_.run_for(sim::seconds(15));
+  EXPECT_EQ(server_.anr_kills(), 0u);
+  EXPECT_TRUE(server_.pid_of(client).valid());
+}
+
+TEST_F(RecoveryTest, KillAppUnknownUidIsCheckedError) {
+  EXPECT_THROW(server_.kill_app(kernelsim::Uid{424242}), sim::CheckFailure);
+}
+
+TEST_F(RecoveryTest, KillAppDeadUidIsNoOp) {
+  const kernelsim::Uid client = uid("com.client");
+  server_.ensure_process(client);
+  server_.kill_app(client);
+  ASSERT_FALSE(server_.pid_of(client).valid());
+  EXPECT_NO_THROW(server_.kill_app(client));  // double-kills are routine
+}
+
+TEST_F(RecoveryTest, SetAppHungUnknownUidIsCheckedError) {
+  EXPECT_THROW(server_.set_app_hung(kernelsim::Uid{424242}, true),
+               sim::CheckFailure);
+}
+
+TEST_F(RecoveryTest, HangingProcesslessAppIsNoOp) {
+  server_.set_app_hung(uid("com.client"), true);
+  EXPECT_FALSE(server_.app_hung(uid("com.client")));
+}
+
+// --- Energy conservation across the recovery boundaries ---
+
+TEST(RecoveryEnergyTest, ServiceRestartConservesEnergy) {
+  apps::Testbed bed;
+  apps::DemoAppSpec spec = apps::victim_spec();
+  spec.wakelock_bug = false;
+  bed.install<apps::DemoApp>(spec);
+  bed.start();
+
+  bed.context_of(spec.package)
+      .start_service(Intent::explicit_for(spec.package, apps::DemoApp::kService));
+  bed.run_for(sim::seconds(3));
+  bed.server().kill_app(bed.uid_of(spec.package));
+  bed.run_for(sim::seconds(10));  // backoff elapses, service restarts
+
+  EXPECT_EQ(bed.server().services().restarts_total(), 1u);
+  EXPECT_TRUE(
+      bed.server().services().running(spec.package, apps::DemoApp::kService));
+
+  const double truth = bed.server().battery().consumed_total_mj();
+  EXPECT_NEAR(bed.battery_stats().total_mj(), truth, 1e-3);
+  EXPECT_NEAR(bed.power_tutor().total_mj(), truth, 1e-3);
+  EXPECT_NEAR(bed.eandroid()->engine().true_total_mj(), truth, 1e-3);
+}
+
+TEST(RecoveryEnergyTest, AnrKillConservesEnergy) {
+  apps::Testbed bed;
+  apps::DemoAppSpec spec = apps::message_spec();
+  bed.install<apps::DemoApp>(spec);
+  bed.start();
+
+  const kernelsim::Uid target = bed.uid_of(spec.package);
+  bed.context_of(spec.package).register_receiver("test.PING");
+  bed.server().set_app_hung(target, true);
+  bed.server().broadcasts().send_broadcast(kernelsim::kSystemUid, "test.PING",
+                                           /*by_system=*/true);
+  bed.run_for(sim::seconds(15));
+
+  EXPECT_EQ(bed.server().anr_kills(), 1u);
+  EXPECT_FALSE(bed.server().pid_of(target).valid());
+
+  const double truth = bed.server().battery().consumed_total_mj();
+  EXPECT_NEAR(bed.battery_stats().total_mj(), truth, 1e-3);
+  EXPECT_NEAR(bed.power_tutor().total_mj(), truth, 1e-3);
+  EXPECT_NEAR(bed.eandroid()->engine().true_total_mj(), truth, 1e-3);
+}
+
+}  // namespace
+}  // namespace eandroid::framework

@@ -45,6 +45,17 @@ TEST_F(ServiceManagerTest, StartServiceBringsItUp) {
                                                work_intent()));
   EXPECT_TRUE(server_.services().running("com.victim", "Work"));
   EXPECT_TRUE(victim_->saw("svc_create:Work"));
+  // Cold start: onStartCommand arrives after the main-thread dispatch
+  // latency, not synchronously inside startService().
+  EXPECT_FALSE(victim_->saw("svc_start:Work"));
+  sim_.run_for(ServiceManager::kStartCommandDispatch);
+  EXPECT_TRUE(victim_->saw("svc_start:Work"));
+}
+
+TEST_F(ServiceManagerTest, WarmStartDeliversSynchronously) {
+  server_.ensure_process(uid("com.victim"));
+  EXPECT_TRUE(server_.services().start_service(uid("com.client"),
+                                               work_intent()));
   EXPECT_TRUE(victim_->saw("svc_start:Work"));
 }
 

@@ -55,6 +55,32 @@ TEST(BatteryTest, PercentDropCallbackFires) {
   EXPECT_EQ(drops, (std::vector<int>{99, 98, 97}));
 }
 
+TEST(BatteryTest, DrainKeepsCountingConsumptionWhenEmpty) {
+  Battery battery(1.0);  // 3600 mJ
+  battery.drain(10'000.0, sim::TimePoint());
+  battery.drain(500.0, sim::TimePoint());
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.consumed_total_mj(), 10'500.0);
+}
+
+TEST(BatteryTest, DepleteToSkipsConsumptionLedger) {
+  Battery battery(1.0);  // 3600 mJ
+  battery.drain(360.0, sim::TimePoint());
+  std::vector<int> drops;
+  battery.set_on_percent_drop([&](int p) { drops.push_back(p); });
+
+  // The exhaust fault: the cell collapses, nothing was consumed.
+  battery.deplete_to(0.0, sim::TimePoint(5));
+  EXPECT_TRUE(battery.empty());
+  EXPECT_DOUBLE_EQ(battery.consumed_total_mj(), 360.0);
+  ASSERT_FALSE(drops.empty());  // percent drops still announced
+  EXPECT_EQ(drops.back(), 0);
+
+  // Depleting "up" is a no-op; deplete never adds charge.
+  battery.deplete_to(100.0, sim::TimePoint(6));
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), 0.0);
+}
+
 TEST(BatteryTest, ManySmallDrainsMatchOneBigDrain) {
   Battery a(1.0), b(1.0);
   for (int i = 0; i < 100; ++i) a.drain(3.6, sim::TimePoint(i));

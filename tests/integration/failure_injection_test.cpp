@@ -6,6 +6,9 @@
 #include "apps/demo_app.h"
 #include "apps/malware.h"
 #include "apps/testbed.h"
+#include "core/invariants.h"
+#include "core/window.h"
+#include "kernel/types.h"
 
 namespace eandroid::apps {
 namespace {
@@ -134,6 +137,145 @@ TEST(FailureInjectionTest, EnergyConservationSurvivesKills) {
   const double drained = bed.server().battery().drained_mj();
   EXPECT_NEAR(bed.battery_stats().total_mj(), drained, 1e-3);
   EXPECT_NEAR(bed.eandroid()->engine().true_total_mj(), drained, 1e-3);
+}
+
+/// Runs every invariant check against `bed` and expects a clean report.
+void expect_invariants_hold(Testbed& bed) {
+  core::InvariantChecker checker(bed.server());
+  checker.attach(bed.eandroid());
+  checker.attach(&bed.battery_stats());
+  checker.attach(&bed.power_tutor());
+  const core::InvariantReport report = checker.check();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(FailureInjectionTest, KillDuringBroadcastDelivery) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.install<DemoApp>(camera_spec());
+  bed.start();
+  const kernelsim::Uid receiver = bed.uid_of("com.example.message");
+  bed.context_of("com.example.message").register_receiver("test.PING");
+
+  // Park the delivery on the receiver's main thread, then kill it while
+  // the broadcast is still in flight.
+  bed.server().set_app_hung(receiver, true);
+  bed.server().broadcasts().send_broadcast(kernelsim::kSystemUid, "test.PING",
+                                           /*by_system=*/true);
+  ASSERT_EQ(bed.server().main_queue_depth(receiver), 1u);
+  bed.server().kill_app(receiver);
+
+  EXPECT_EQ(bed.server().main_queue_depth(receiver), 0u);
+  bed.run_for(sim::seconds(15));
+  EXPECT_EQ(bed.server().anr_kills(), 0u);  // the stale check is disarmed
+  expect_invariants_hold(bed);
+}
+
+TEST(FailureInjectionTest, KillWithPendingAlarm) {
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  bed.start();
+  const kernelsim::Uid owner = bed.uid_of("com.example.message");
+  bed.context_of("com.example.message").set_alarm(sim::seconds(5), "tick");
+  ASSERT_EQ(bed.server().alarms().pending_count(), 1u);
+
+  bed.server().kill_app(owner);
+  ASSERT_FALSE(bed.server().pid_of(owner).valid());
+  // Android keeps alarms across process death, and an RTC_WAKEUP fire
+  // wakes the dead owner back up; the re-spawn must enter the lifecycle
+  // cleanly and leave accounting consistent.
+  bed.run_for(sim::seconds(10));
+  EXPECT_EQ(bed.server().alarms().fired_total(), 1u);
+  EXPECT_TRUE(bed.server().pid_of(owner).valid());
+  expect_invariants_hold(bed);
+}
+
+TEST(FailureInjectionTest, ChainMemberDeathMidAttack) {
+  // The Fig 7/9c chain: malware binds A's service, A's service start
+  // chains into B. Killing the middle-of-chain host mid-attack must close
+  // B's windows, keep A alive, and leave accounting consistent.
+  Testbed bed;
+  DemoAppSpec tail = victim_spec();
+  tail.package = "com.example.tail";
+  tail.wakelock_bug = false;
+  DemoAppSpec middle = victim_spec();
+  middle.wakelock_bug = false;
+  // The chain hop: being driven makes the middle start the tail's root
+  // activity (Fig 7's B -> C edge).
+  middle.chain_on_service =
+      framework::ComponentRef{tail.package, DemoApp::kRootActivity};
+  bed.install<DemoApp>(middle);
+  bed.install<DemoApp>(tail);
+  BinderMalware* malware =
+      bed.install<BinderMalware>(middle.package, DemoApp::kService);
+  bed.start();
+  bed.context_of(BinderMalware::kPackage);
+  bed.context_of(middle.package)
+      .start_service(Intent::explicit_for(middle.package, DemoApp::kService));
+  bed.run_for(sim::seconds(2));
+  ASSERT_TRUE(malware->bound());
+  ASSERT_TRUE(bed.server().pid_of(bed.uid_of(tail.package)).valid());
+  ASSERT_TRUE(bed.eandroid()->tracker().has_window(
+      core::WindowKind::kActivity, bed.uid_of(middle.package),
+      bed.uid_of(tail.package)));
+
+  bed.server().kill_app(bed.uid_of(tail.package));
+  EXPECT_FALSE(bed.eandroid()->tracker().has_window(
+      core::WindowKind::kActivity, bed.uid_of(middle.package),
+      bed.uid_of(tail.package)));
+  EXPECT_TRUE(
+      bed.server().services().running(middle.package, DemoApp::kService));
+  bed.run_for(sim::seconds(2));
+  expect_invariants_hold(bed);
+}
+
+TEST(FailureInjectionTest, BatteryExhaustionInsideCollateralWindow) {
+  Testbed bed;
+  WakelockMalware* malware = bed.install<WakelockMalware>();
+  bed.start();
+  bed.context_of(WakelockMalware::kPackage);
+  malware->attack();
+  bed.run_for(sim::minutes(1));
+  ASSERT_GE(bed.eandroid()->tracker().open_count(), 1u);
+
+  // The cell collapses mid-attack. The window stays open (the attack is
+  // still running), accounting stays conserved, and the battery never
+  // goes negative.
+  bed.server().battery().deplete_to(0.0, bed.sim().now());
+  bed.run_for(sim::minutes(1));
+  EXPECT_GE(bed.eandroid()->tracker().open_count(), 1u);
+  EXPECT_TRUE(bed.server().battery().empty());
+  expect_invariants_hold(bed);
+}
+
+TEST(FailureInjectionTest, CrashRestartCannotLaunderCollateral) {
+  // A started service whose host crashes and is restarted by the
+  // framework keeps charging its collateral to the ORIGINAL starter.
+  Testbed bed;
+  bed.install<DemoApp>(message_spec());
+  DemoAppSpec victim = victim_spec();
+  victim.wakelock_bug = false;
+  bed.install<DemoApp>(victim);
+  bed.start();
+  const kernelsim::Uid driver = bed.uid_of("com.example.message");
+  const kernelsim::Uid driven = bed.uid_of(victim.package);
+  bed.context_of("com.example.message")
+      .start_service(Intent::explicit_for(victim.package, DemoApp::kService));
+  bed.run_for(sim::seconds(5));
+  ASSERT_TRUE(bed.eandroid()->tracker().has_window(core::WindowKind::kService,
+                                                   driver, driven));
+  const double before = bed.eandroid()->engine().collateral_mj(driver);
+  ASSERT_GT(before, 0.0);
+
+  bed.server().kill_app(driven);
+  bed.run_for(sim::seconds(10));  // restart fires after the backoff
+
+  // The restarted window is driven by the same account, and collateral
+  // kept accruing there across the crash boundary.
+  EXPECT_TRUE(bed.eandroid()->tracker().has_window(core::WindowKind::kService,
+                                                   driver, driven));
+  EXPECT_GT(bed.eandroid()->engine().collateral_mj(driver), before);
+  expect_invariants_hold(bed);
 }
 
 TEST(FailureInjectionTest, RestartAfterKillWorks) {

@@ -1,0 +1,85 @@
+// FaultPlan/FaultInjector: plans are pure functions of (seed, horizon,
+// count); the injector fires bound actions at the scheduled instants and
+// counts unbound kinds as skipped.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace eandroid::sim {
+namespace {
+
+TEST(FaultPlanTest, GenerateIsDeterministic) {
+  const FaultPlan a = FaultPlan::generate(42, seconds(120), 16);
+  const FaultPlan b = FaultPlan::generate(42, seconds(120), 16);
+  ASSERT_EQ(a.faults.size(), 16u);
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+TEST(FaultPlanTest, FaultsSortedWithinHorizon) {
+  const FaultPlan plan = FaultPlan::generate(7, seconds(60), 32);
+  TimePoint prev;
+  for (const FaultSpec& fault : plan.faults) {
+    EXPECT_GT(fault.at.micros(), 0);
+    EXPECT_LE(fault.at.micros(), seconds(60).micros());
+    EXPECT_GE(fault.at.micros(), prev.micros());
+    prev = fault.at;
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsProduceDifferentPlans) {
+  EXPECT_NE(FaultPlan::generate(1, seconds(60), 12).describe(),
+            FaultPlan::generate(2, seconds(60), 12).describe());
+}
+
+TEST(FaultInjectorTest, FiresBoundActionsAtScheduledInstants) {
+  Simulator sim;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> kills;
+  std::vector<std::pair<std::int64_t, std::int64_t>> delays;
+
+  FaultActions actions;
+  actions.kill_app = [&](std::uint64_t target) {
+    kills.emplace_back(sim.now().micros(), target);
+  };
+  actions.delay_alarms = [&](Duration by) {
+    delays.emplace_back(sim.now().micros(), by.micros());
+  };
+
+  FaultPlan plan;
+  plan.faults.push_back(
+      FaultSpec{FaultKind::kKillApp, TimePoint{} + millis(10), 3, 1});
+  plan.faults.push_back(
+      FaultSpec{FaultKind::kDelayAlarms, TimePoint{} + millis(20), 0, 250});
+
+  FaultInjector injector(sim, actions);
+  injector.arm(plan);
+  sim.run_for(millis(50));
+
+  ASSERT_EQ(kills.size(), 1u);
+  EXPECT_EQ(kills[0].first, millis(10).micros());
+  EXPECT_EQ(kills[0].second, 3u);
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_EQ(delays[0].first, millis(20).micros());
+  EXPECT_EQ(delays[0].second, millis(250).micros());
+
+  EXPECT_EQ(injector.injected_total(), 2u);
+  EXPECT_EQ(injector.skipped_total(), 0u);
+  EXPECT_EQ(injector.injected_by_kind()[static_cast<int>(FaultKind::kKillApp)],
+            1u);
+}
+
+TEST(FaultInjectorTest, UnboundActionsCountAsSkipped) {
+  Simulator sim;
+  const FaultPlan plan = FaultPlan::generate(5, seconds(10), 10);
+  FaultInjector injector(sim, FaultActions{});
+  injector.arm(plan);
+  sim.run_for(seconds(11));
+  EXPECT_EQ(injector.injected_total(), 0u);
+  EXPECT_EQ(injector.skipped_total(), 10u);
+}
+
+}  // namespace
+}  // namespace eandroid::sim
