@@ -1,0 +1,246 @@
+// Metering hot-path profile: the allocation-free dense path vs the
+// pre-optimization baseline (fresh slice/breakdown buffers every tick,
+// window structures rebuilt every slice), measured in the same run on the
+// same workload.
+//
+// The workload is metering-dominated by design: a dozen apps with steady
+// CPU loads and routine tags, two bound-service collateral windows for the
+// engine's closure to walk, and a partial wakelock keeping the device
+// awake — so virtually every simulated event is a sampler tick. That is
+// exactly the regime long soaks and large sweeps live in, where per-tick
+// cost gates throughput.
+//
+// Three numbers per leg, written to BENCH_hotpath.json:
+//   * sims-per-wall-second (simulated seconds processed per wall second);
+//   * allocations per tick over the whole timed window;
+//   * steady-state allocations per tick (measured after warm-up, before
+//     the timed window) — the hot leg must be exactly zero.
+// The two legs must also produce bit-identical per-uid totals; a digest
+// mismatch fails the bench, because an optimization that changes results
+// is a bug, not a speedup.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+
+// --- Counting allocator: every global new/new[] bumps one counter. ---
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace eandroid;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kLoadApps = 9;
+constexpr int kVictims = 2;
+constexpr std::int64_t kSampleMs = 50;
+constexpr std::int64_t kWarmupS = 30;
+constexpr std::int64_t kSteadyS = 60;
+constexpr std::int64_t kTimedS = 7200;
+
+struct LegResult {
+  double wall_s = 0.0;
+  double sims_per_wall_s = 0.0;
+  double allocs_per_tick = 0.0;
+  double steady_allocs_per_tick = 0.0;
+  std::uint64_t ticks = 0;
+  std::string digest;
+};
+
+void append_f64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g|", v);
+  out += buf;
+}
+
+/// Full-precision per-uid totals of every profiler after the run.
+std::string scene_digest(apps::Testbed& bed) {
+  std::string out;
+  core::EAndroidEngine& engine = bed.eandroid()->engine();
+  for (const kernelsim::Uid uid : engine.known_uids()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "u%llu:",
+                  static_cast<unsigned long long>(uid.value));
+    out += buf;
+    append_f64(out, engine.direct_mj(uid));
+    append_f64(out, engine.collateral_mj(uid));
+    append_f64(out, bed.battery_stats().app_energy_mj(uid));
+    append_f64(out, bed.power_tutor().app_energy_mj(uid));
+  }
+  append_f64(out, engine.screen_row_mj());
+  append_f64(out, engine.system_row_mj());
+  append_f64(out, engine.true_total_mj());
+  append_f64(out, bed.battery_stats().total_mj());
+  append_f64(out, bed.power_tutor().total_mj());
+  append_f64(out, bed.server().battery().consumed_total_mj());
+  return out;
+}
+
+LegResult run_leg(bool hot_path) {
+  apps::TestbedOptions options;
+  options.seed = 1;
+  options.sample_period = sim::millis(kSampleMs);
+  options.hot_path = hot_path;
+  apps::Testbed bed(options);
+
+  // Two victims with bindable services (collateral windows + service CPU)…
+  for (int i = 0; i < kVictims; ++i) {
+    apps::DemoAppSpec spec;
+    spec.package = "com.bench.victim" + std::to_string(i);
+    spec.with_service = true;
+    spec.service_cpu = 0.1;
+    bed.install<apps::DemoApp>(spec);
+  }
+  // …a driver that binds them and keeps the device awake…
+  apps::DemoAppSpec driver;
+  driver.package = "com.bench.driver";
+  driver.permissions = {framework::Permission::kWakeLock};
+  bed.install<apps::DemoApp>(driver);
+  // …and a block of steady background loads with distinct routine tags.
+  for (int i = 0; i < kLoadApps; ++i) {
+    apps::DemoAppSpec spec;
+    spec.package = "com.bench.load" + std::to_string(i);
+    bed.install<apps::DemoApp>(spec);
+  }
+  bed.start();
+
+  framework::Context& driver_ctx = bed.context_of("com.bench.driver");
+  driver_ctx.acquire_wakelock(framework::WakelockType::kPartial, "bench");
+  for (int i = 0; i < kVictims; ++i) {
+    driver_ctx.bind_service(framework::Intent::explicit_for(
+        "com.bench.victim" + std::to_string(i), "WorkService"));
+  }
+  for (int i = 0; i < kLoadApps; ++i) {
+    framework::Context& ctx =
+        bed.context_of("com.bench.load" + std::to_string(i));
+    ctx.set_cpu_load("render", 0.04 + 0.01 * (i % 3));
+    ctx.set_cpu_load("net", 0.02);
+    ctx.set_cpu_load("db", 0.01);
+  }
+
+  // Warm-up: the screen times out, dense structures reach final size,
+  // every uid and routine tag is interned.
+  bed.sim().run_for(sim::seconds(kWarmupS));
+
+  LegResult result;
+  energy::EnergySampler& sampler = bed.sampler();
+
+  // Steady-state allocation probe: nothing but metering ticks happen in
+  // this window, so every allocation is the metering path's.
+  const std::uint64_t steady_allocs0 = alloc_count();
+  const std::uint64_t steady_ticks0 = sampler.slices_emitted();
+  bed.sim().run_for(sim::seconds(kSteadyS));
+  const std::uint64_t steady_ticks =
+      sampler.slices_emitted() - steady_ticks0;
+  result.steady_allocs_per_tick =
+      static_cast<double>(alloc_count() - steady_allocs0) /
+      static_cast<double>(steady_ticks);
+
+  // Timed throughput window.
+  const std::uint64_t allocs0 = alloc_count();
+  const std::uint64_t ticks0 = sampler.slices_emitted();
+  const auto start = Clock::now();
+  bed.sim().run_for(sim::seconds(kTimedS));
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  result.ticks = sampler.slices_emitted() - ticks0;
+  result.allocs_per_tick = static_cast<double>(alloc_count() - allocs0) /
+                           static_cast<double>(result.ticks);
+  result.sims_per_wall_s = static_cast<double>(kTimedS) / result.wall_s;
+
+  bed.sampler().flush();
+  result.digest = scene_digest(bed);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== metering hot path: baseline vs dense/cached, same run "
+              "===\n(12 apps, 2 service windows, %lld ms sampling, %lld "
+              "simulated seconds timed)\n\n",
+              static_cast<long long>(kSampleMs),
+              static_cast<long long>(kTimedS));
+
+  const LegResult baseline = run_leg(/*hot_path=*/false);
+  const LegResult hot = run_leg(/*hot_path=*/true);
+  const double speedup = hot.sims_per_wall_s / baseline.sims_per_wall_s;
+  const bool digests_match = baseline.digest == hot.digest;
+  const bool hot_alloc_free = hot.steady_allocs_per_tick == 0.0;
+
+  std::printf("%10s %10s %16s %14s %14s\n", "leg", "wall (s)",
+              "sim-s / wall-s", "allocs/tick", "steady a/t");
+  std::printf("%10s %10.3f %16.0f %14.2f %14.2f\n", "baseline",
+              baseline.wall_s, baseline.sims_per_wall_s,
+              baseline.allocs_per_tick, baseline.steady_allocs_per_tick);
+  std::printf("%10s %10.3f %16.0f %14.2f %14.2f\n", "hot", hot.wall_s,
+              hot.sims_per_wall_s, hot.allocs_per_tick,
+              hot.steady_allocs_per_tick);
+  std::printf("\nspeedup: %.2fx   digests: %s   hot steady-state: %s\n",
+              speedup, digests_match ? "identical" : "DIVERGED",
+              hot_alloc_free ? "allocation-free" : "ALLOCATES");
+
+  std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json != nullptr) {
+    auto leg = [json](const char* name, const LegResult& r) {
+      std::fprintf(json,
+                   "  \"%s\": {\"wall_s\": %.4f, \"sims_per_wall_s\": %.1f, "
+                   "\"allocs_per_tick\": %.3f, "
+                   "\"steady_allocs_per_tick\": %.3f, \"ticks\": %llu},\n",
+                   name, r.wall_s, r.sims_per_wall_s, r.allocs_per_tick,
+                   r.steady_allocs_per_tick,
+                   static_cast<unsigned long long>(r.ticks));
+    };
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"hotpath_profile\",\n"
+                 "  \"workload\": {\"apps\": %d, \"service_windows\": %d, "
+                 "\"sample_period_ms\": %lld, \"timed_sim_seconds\": %lld},\n",
+                 kLoadApps + kVictims + 1, kVictims,
+                 static_cast<long long>(kSampleMs),
+                 static_cast<long long>(kTimedS));
+    leg("baseline", baseline);
+    leg("hot", hot);
+    std::fprintf(json,
+                 "  \"speedup\": %.3f,\n"
+                 "  \"digest_match\": %s,\n"
+                 "  \"hot_steady_state_allocation_free\": %s\n"
+                 "}\n",
+                 speedup, digests_match ? "true" : "false",
+                 hot_alloc_free ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_hotpath.json\n");
+  }
+
+  if (!digests_match) {
+    std::printf("FAIL: hot path diverged from the baseline path\n");
+    return 1;
+  }
+  if (!hot_alloc_free) {
+    std::printf("FAIL: hot path allocates in steady state\n");
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -89,7 +91,36 @@ struct Measurement {
   double sims_per_wall_s = 0.0;
   double speedup = 1.0;
   bool identical_to_serial = true;
+  /// More workers than cores: wall time then measures scheduler churn,
+  /// not scaling, so no speedup claim is made for this row.
+  bool oversubscribed = false;
 };
+
+/// Thread counts to sweep: EANDROID_BENCH_THREADS ("1,2,4") overrides the
+/// default {1, 2, 4, hw} so CI and small containers can pin the sweep to
+/// what the machine actually has.
+std::vector<unsigned> thread_configs(unsigned hw) {
+  if (const char* env = std::getenv("EANDROID_BENCH_THREADS")) {
+    std::vector<unsigned> configs;
+    unsigned value = 0;
+    bool have_digit = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + static_cast<unsigned>(*p - '0');
+        have_digit = true;
+      } else if (*p == ',' || *p == '\0') {
+        if (have_digit && value > 0) configs.push_back(value);
+        value = 0;
+        have_digit = false;
+        if (*p == '\0') break;
+      }
+    }
+    if (!configs.empty()) return configs;
+  }
+  std::vector<unsigned> configs = {1, 2, 4};
+  if (hw > 4) configs.push_back(hw);
+  return configs;
+}
 
 }  // namespace
 
@@ -113,8 +144,7 @@ int main() {
   std::printf("%8s %10.2f %16.0f %8.2fx %10s\n", "serial", serial_wall,
               sim_seconds / serial_wall, 1.0, "--");
 
-  std::vector<unsigned> configs = {1, 2, 4};
-  if (hw > 4) configs.push_back(hw);
+  const std::vector<unsigned> configs = thread_configs(hw);
   std::vector<Measurement> measurements;
   bool all_identical = true;
   for (const unsigned threads : configs) {
@@ -130,11 +160,17 @@ int main() {
     m.sims_per_wall_s = sim_seconds / wall;
     m.speedup = serial_wall / wall;
     m.identical_to_serial = identical(serial, parallel);
+    m.oversubscribed = threads > hw;
     all_identical = all_identical && m.identical_to_serial;
     measurements.push_back(m);
-    std::printf("%8u %10.2f %16.0f %8.2fx %10s\n", threads, wall,
-                m.sims_per_wall_s, m.speedup,
-                m.identical_to_serial ? "yes" : "NO");
+    if (m.oversubscribed) {
+      std::printf("%8u %10.2f %16.0f %9s %10s\n", threads, wall,
+                  m.sims_per_wall_s, "--", m.identical_to_serial ? "yes" : "NO");
+    } else {
+      std::printf("%8u %10.2f %16.0f %8.2fx %10s\n", threads, wall,
+                  m.sims_per_wall_s, m.speedup,
+                  m.identical_to_serial ? "yes" : "NO");
+    }
   }
 
   std::FILE* json = std::fopen("BENCH_parallel.json", "w");
@@ -144,7 +180,7 @@ int main() {
                  "  \"bench\": \"parallel_scaling\",\n"
                  "  \"workload\": {\"seeds\": %llu, \"steps\": %d, "
                  "\"sim_seconds\": %.3f},\n"
-                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"effective_cores\": %u,\n"
                  "  \"serial\": {\"wall_s\": %.4f, \"sims_per_wall_s\": "
                  "%.1f},\n"
                  "  \"parallel\": [",
@@ -154,10 +190,17 @@ int main() {
       const Measurement& m = measurements[i];
       std::fprintf(json,
                    "%s\n    {\"threads\": %u, \"wall_s\": %.4f, "
-                   "\"sims_per_wall_s\": %.1f, \"speedup\": %.3f, "
-                   "\"identical_to_serial\": %s}",
-                   i == 0 ? "" : ",", m.threads, m.wall_s, m.sims_per_wall_s,
-                   m.speedup, m.identical_to_serial ? "true" : "false");
+                   "\"sims_per_wall_s\": %.1f, ",
+                   i == 0 ? "" : ",", m.threads, m.wall_s, m.sims_per_wall_s);
+      if (m.oversubscribed) {
+        // More workers than cores: speedup would be noise, not scaling.
+        std::fprintf(json, "\"speedup\": null, \"oversubscribed\": true, ");
+      } else {
+        std::fprintf(json, "\"speedup\": %.3f, \"oversubscribed\": false, ",
+                     m.speedup);
+      }
+      std::fprintf(json, "\"identical_to_serial\": %s}",
+                   m.identical_to_serial ? "true" : "false");
     }
     std::fprintf(json,
                  "\n  ],\n"

@@ -26,6 +26,34 @@ struct TestbedOptions {
   core::EngineConfig engine_config{};
   sim::Duration sample_period = sim::millis(250);
   hw::PowerParams params = hw::nexus4_params();
+  /// When false the metering path runs in its pre-optimization shape:
+  /// the sampler allocates fresh slice/breakdown buffers every tick and
+  /// the engine rebuilds its window-derived structures every slice. Both
+  /// shapes compute the identical sums in the identical order, so results
+  /// are bit-for-bit equal — the hotpath bench and the golden-digest
+  /// equivalence tests rely on that.
+  bool hot_path = true;
+};
+
+/// Process-wide override forcing every Testbed constructed while one is
+/// alive onto the baseline (pre-optimization) path, regardless of its
+/// options. Scenario entry points only take a seed; this lets tests and
+/// benches replay them on both paths without widening every signature.
+/// Not reentrant, not thread-safe — scope one at a time.
+class ScopedBaselinePath {
+ public:
+  ScopedBaselinePath() { flag() = true; }
+  ~ScopedBaselinePath() { flag() = false; }
+  ScopedBaselinePath(const ScopedBaselinePath&) = delete;
+  ScopedBaselinePath& operator=(const ScopedBaselinePath&) = delete;
+
+  [[nodiscard]] static bool active() { return flag(); }
+
+ private:
+  static bool& flag() {
+    static bool forced = false;
+    return forced;
+  }
 };
 
 class Testbed {
@@ -34,12 +62,17 @@ class Testbed {
       : options_(options),
         sim_(options.seed),
         server_(sim_, options.params),
-        sampler_(server_, options.sample_period),
+        sampler_(server_, options.sample_period,
+                 options.hot_path && !ScopedBaselinePath::active()),
         battery_stats_(server_.packages()),
         power_tutor_(server_.packages()) {
     if (options.with_eandroid) {
+      core::EngineConfig config = options.engine_config;
+      if (!options.hot_path || ScopedBaselinePath::active()) {
+        config.cache_window_structures = false;
+      }
       eandroid_ = std::make_unique<core::EAndroid>(
-          server_, options.eandroid_mode, options.engine_config);
+          server_, options.eandroid_mode, config);
       sampler_.add_sink(eandroid_.get());
     }
     sampler_.add_sink(&battery_stats_);

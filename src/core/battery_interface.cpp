@@ -28,22 +28,20 @@ EAView EAndroidBatteryInterface::view() const {
     row.original_mj = engine_.direct_mj(uid);
     row.collateral_mj = engine_.collateral_mj(uid);
     row.total_mj = row.original_mj + row.collateral_mj;
-    if (const auto* map = engine_.map_of(uid)) {
-      for (const auto& [entity, mj] : *map) {
-        InventoryItem item;
-        item.label = entity.is_screen() ? "Screen"
-                                        : label_for(packages, entity.uid);
-        item.energy_mj = mj;
-        row.inventory.push_back(item);
-      }
-      std::sort(row.inventory.begin(), row.inventory.end(),
-                [](const InventoryItem& a, const InventoryItem& b) {
-                  if (a.energy_mj != b.energy_mj) {
-                    return a.energy_mj > b.energy_mj;
-                  }
-                  return a.label < b.label;
-                });
+    for (const auto& [entity, mj] : engine_.collateral_entries(uid)) {
+      InventoryItem item;
+      item.label =
+          entity.is_screen() ? "Screen" : label_for(packages, entity.uid);
+      item.energy_mj = mj;
+      row.inventory.push_back(item);
     }
+    std::sort(row.inventory.begin(), row.inventory.end(),
+              [](const InventoryItem& a, const InventoryItem& b) {
+                if (a.energy_mj != b.energy_mj) {
+                  return a.energy_mj > b.energy_mj;
+                }
+                return a.label < b.label;
+              });
     out.rows.push_back(std::move(row));
   }
   std::sort(out.rows.begin(), out.rows.end(),
@@ -80,15 +78,13 @@ std::string EAndroidBatteryInterface::render_app_breakdown(
   std::snprintf(line, sizeof(line), "  %-26s %10.1f mJ\n", "own total",
                 engine_.direct_mj(uid));
   out += line;
-  if (const auto* map = engine_.map_of(uid)) {
-    for (const auto& [entity, mj] : *map) {
-      const std::string label =
-          entity.is_screen() ? "Screen"
-                             : label_for(server_.packages(), entity.uid);
-      std::snprintf(line, sizeof(line), "  collateral from %-15s %10.1f mJ\n",
-                    label.c_str(), mj);
-      out += line;
-    }
+  for (const auto& [entity, mj] : engine_.collateral_entries(uid)) {
+    const std::string label = entity.is_screen()
+                                  ? "Screen"
+                                  : label_for(server_.packages(), entity.uid);
+    std::snprintf(line, sizeof(line), "  collateral from %-15s %10.1f mJ\n",
+                  label.c_str(), mj);
+    out += line;
   }
   std::snprintf(line, sizeof(line), "  %-26s %10.1f mJ\n", "TOTAL",
                 engine_.direct_mj(uid) + engine_.collateral_mj(uid));

@@ -1,112 +1,203 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <deque>
+#include <cassert>
 
 namespace eandroid::core {
 
+namespace {
+using kernelsim::AppIdx;
+using kernelsim::kNoIdx;
+
+void sort_unique(std::vector<AppIdx>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+}  // namespace
+
 EAndroidEngine::EAndroidEngine(framework::SystemServer& server,
                                WindowTracker& tracker, EngineConfig config)
-    : server_(server), tracker_(tracker), config_(config) {}
+    : server_(server),
+      tracker_(tracker),
+      config_(config),
+      ids_(server.ids()) {}
 
 double EAndroidEngine::direct_mj(kernelsim::Uid uid) const {
-  auto it = direct_.find(uid);
-  return it == direct_.end() ? 0.0 : it->second.sum();
+  const AppIdx idx = ids_.find_app(uid);
+  return idx < direct_.size() ? direct_[idx].sum() : 0.0;
 }
 
 const energy::AppSliceEnergy* EAndroidEngine::direct_breakdown(
     kernelsim::Uid uid) const {
-  auto it = direct_.find(uid);
-  return it == direct_.end() ? nullptr : &it->second;
+  const AppIdx idx = ids_.find_app(uid);
+  if (idx >= direct_.size() || direct_[idx].sum() <= 0.0) return nullptr;
+  return &direct_[idx];
+}
+
+double EAndroidEngine::direct_routine_mj(kernelsim::Uid uid,
+                                         std::string_view routine) const {
+  const AppIdx idx = ids_.find_app(uid);
+  if (idx >= direct_.size()) return 0.0;
+  const kernelsim::RoutineIdx r = ids_.find_routine(routine);
+  return r == kNoIdx ? 0.0 : direct_[idx].routine_mj_of(r);
 }
 
 double EAndroidEngine::collateral_mj(kernelsim::Uid uid) const {
-  auto it = maps_.find(uid);
-  if (it == maps_.end()) return 0.0;
-  double sum = 0.0;
-  for (const auto& [entity, mj] : it->second) sum += mj;
+  const DriverMap* map = map_at(ids_.find_app(uid));
+  if (map == nullptr) return 0.0;
+  double sum = map->screen_mj;
+  for (const AppIdx from : map->from_touched) sum += map->from_app[from];
   return sum;
 }
 
 double EAndroidEngine::collateral_from(kernelsim::Uid driver,
                                        Entity entity) const {
-  auto it = maps_.find(driver);
-  if (it == maps_.end()) return 0.0;
-  auto eit = it->second.find(entity);
-  return eit == it->second.end() ? 0.0 : eit->second;
+  const DriverMap* map = map_at(ids_.find_app(driver));
+  if (map == nullptr) return 0.0;
+  if (entity.is_screen()) return map->screen_mj;
+  const AppIdx from = ids_.find_app(entity.uid);
+  return from < map->from_app.size() ? map->from_app[from] : 0.0;
 }
 
-const std::unordered_map<Entity, double>* EAndroidEngine::map_of(
+std::vector<std::pair<Entity, double>> EAndroidEngine::collateral_entries(
     kernelsim::Uid uid) const {
-  auto it = maps_.find(uid);
-  return it == maps_.end() ? nullptr : &it->second;
+  std::vector<std::pair<Entity, double>> out;
+  const DriverMap* map = map_at(ids_.find_app(uid));
+  if (map == nullptr) return out;
+  if (map->screen_mj > 0.0) out.emplace_back(Entity::screen(), map->screen_mj);
+  for (const AppIdx from : map->from_touched) {
+    out.emplace_back(Entity::app(ids_.uid_of(from)), map->from_app[from]);
+  }
+  return out;
 }
 
-std::unordered_set<kernelsim::Uid> EAndroidEngine::reachable_from(
-    kernelsim::Uid root,
-    const std::unordered_map<kernelsim::Uid,
-                             std::unordered_set<kernelsim::Uid>>& edges)
-    const {
-  std::unordered_set<kernelsim::Uid> seen;
+void EAndroidEngine::rebuild_window_structures() {
+  for (const AppIdx n : adj_nodes_) adj_[n].clear();
+  adj_nodes_.clear();
+  edge_drivers_.clear();
+  screen_windows_.clear();
+  wakelock_holders_.clear();
+  std::fill(closure_valid_.begin(), closure_valid_.end(), 0);
+
+  for (const auto& [id, window] : tracker_.open_windows()) {
+    switch (window.kind) {
+      case WindowKind::kActivity:
+      case WindowKind::kInterrupt:
+      case WindowKind::kService:
+      case WindowKind::kPush: {
+        if (window.driver == window.driven) break;
+        const AppIdx driver = ids_.app_of(window.driver);
+        const AppIdx driven = ids_.app_of(window.driven);
+        if (adj_.size() <= driver) adj_.resize(driver + 1);
+        if (adj_[driver].empty()) adj_nodes_.push_back(driver);
+        adj_[driver].push_back(driven);
+        edge_drivers_.push_back(driver);
+        break;
+      }
+      case WindowKind::kScreen:
+        screen_windows_.push_back(&window);
+        break;
+      case WindowKind::kWakelock:
+        wakelock_holders_.push_back(ids_.app_of(window.driver));
+        break;
+    }
+  }
+  for (const AppIdx n : adj_nodes_) sort_unique(adj_[n]);
+  sort_unique(edge_drivers_);
+  sort_unique(wakelock_holders_);
+  // Window ids are issued in open order, so sorting by id fixes one
+  // deterministic iteration order for the brightness-delta sums.
+  std::sort(screen_windows_.begin(), screen_windows_.end(),
+            [](const Window* a, const Window* b) { return a->id < b->id; });
+  cached_generation_ = tracker_.generation();
+}
+
+const std::vector<AppIdx>& EAndroidEngine::closure_of(AppIdx root) {
+  if (closure_.size() <= root) {
+    closure_.resize(root + 1);
+    closure_valid_.resize(root + 1, 0);
+  }
+  std::vector<AppIdx>& out = closure_[root];
+  if (closure_valid_[root]) return out;
+  out.clear();
   if (!config_.chain_propagation) {
-    // Ablation: only the direct neighbours charge.
-    auto it = edges.find(root);
-    if (it != edges.end()) {
-      seen = it->second;
-      seen.erase(root);
+    // Ablation: only the direct neighbours charge. Filtered fill of the
+    // reused buffer — no copy of the adjacency row, no per-call set.
+    if (root < adj_.size()) {
+      for (const AppIdx next : adj_[root]) {
+        if (next != root) out.push_back(next);
+      }
     }
-    return seen;
-  }
-  std::deque<kernelsim::Uid> frontier{root};
-  seen.insert(root);
-  while (!frontier.empty()) {
-    const kernelsim::Uid at = frontier.front();
-    frontier.pop_front();
-    auto it = edges.find(at);
-    if (it == edges.end()) continue;
-    for (kernelsim::Uid next : it->second) {
-      if (seen.insert(next).second) frontier.push_back(next);
+  } else {
+    if (bfs_seen_.size() < ids_.app_count()) bfs_seen_.resize(ids_.app_count(), 0);
+    bfs_stack_.clear();
+    bfs_stack_.push_back(root);
+    bfs_seen_[root] = 1;
+    while (!bfs_stack_.empty()) {
+      const AppIdx at = bfs_stack_.back();
+      bfs_stack_.pop_back();
+      if (at >= adj_.size()) continue;
+      for (const AppIdx next : adj_[at]) {
+        if (bfs_seen_[next]) continue;
+        bfs_seen_[next] = 1;
+        out.push_back(next);
+        bfs_stack_.push_back(next);
+      }
     }
+    bfs_seen_[root] = 0;
+    for (const AppIdx n : out) bfs_seen_[n] = 0;
+    // Sorted closure = one canonical charge order per driver.
+    std::sort(out.begin(), out.end());
   }
-  seen.erase(root);
-  return seen;
+  closure_valid_[root] = 1;
+  return out;
 }
 
 void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
   if (!config_.accounting_enabled) return;
+  assert(&slice.ids() == &ids_);
   true_total_mj_ += slice.total_mj();
   system_row_mj_ += slice.system_mj;
 
   // 1. Direct ("original") energy, component by component.
-  for (const auto& [uid, e] : slice.apps) {
-    energy::AppSliceEnergy& acc = direct_[uid];
+  for (const AppIdx idx : slice.active()) {
+    if (direct_.size() <= idx) direct_.resize(idx + 1);
+    const energy::AppSliceEnergy& e = slice.at(idx);
+    energy::AppSliceEnergy& acc = direct_[idx];
     acc.cpu_mj += e.cpu_mj;
     acc.camera_mj += e.camera_mj;
     acc.gps_mj += e.gps_mj;
     acc.wifi_mj += e.wifi_mj;
     acc.audio_mj += e.audio_mj;
-    for (const auto& [routine, mj] : e.cpu_by_routine) {
-      acc.cpu_by_routine[routine] += mj;
+    for (const kernelsim::RoutineIdx r : e.routines) {
+      acc.add_routine(r, e.routine_mj[r]);
     }
   }
 
-  const auto& windows = tracker_.open_windows();
+  // The window-derived structures only change when a window opens or
+  // closes; most slices reuse them untouched.
+  if (!config_.cache_window_structures ||
+      cached_generation_ != tracker_.generation()) {
+    rebuild_window_structures();
+  }
 
-  // 2. Collateral screen energy per driver.
-  std::unordered_map<kernelsim::Uid, double> screen_collateral;
+  // 2. Collateral screen energy per driver (dense scratch).
+  for (const AppIdx a : screen_coll_touched_) screen_coll_[a] = 0.0;
+  screen_coll_touched_.clear();
+  auto add_screen_coll = [this](AppIdx driver, double mj) {
+    if (screen_coll_.size() <= driver) screen_coll_.resize(driver + 1, 0.0);
+    if (screen_coll_[driver] == 0.0) screen_coll_touched_.push_back(driver);
+    screen_coll_[driver] += mj;
+  };
   double claimed_screen = 0.0;
   if (slice.screen_mj > 0.0) {
     if (slice.screen_forced_by_wakelock) {
       // The screen is only on because of leaked wakelocks: holders with an
       // open wakelock window pay in full, split evenly.
-      std::unordered_set<kernelsim::Uid> holders;
-      for (const auto& [id, window] : windows) {
-        if (window.kind == WindowKind::kWakelock) holders.insert(window.driver);
-      }
-      if (!holders.empty()) {
-        const double share = slice.screen_mj / holders.size();
-        for (kernelsim::Uid holder : holders) {
-          screen_collateral[holder] += share;
+      if (!wakelock_holders_.empty()) {
+        const double share = slice.screen_mj / wakelock_holders_.size();
+        for (const AppIdx holder : wakelock_holders_) {
+          add_screen_coll(holder, share);
         }
         claimed_screen = slice.screen_mj;
       }
@@ -116,24 +207,30 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
       const auto& params = server_.params();
       const double current_mw =
           params.screen_base_mw + params.screen_per_level_mw * slice.brightness;
-      if (current_mw > 0.0) {
+      if (current_mw > 0.0 && !screen_windows_.empty()) {
+        for (const AppIdx a : delta_touched_) delta_scratch_[a] = 0.0;
+        delta_touched_.clear();
         double wanted = 0.0;
-        std::unordered_map<kernelsim::Uid, double> deltas;
-        for (const auto& [id, window] : windows) {
-          if (window.kind != WindowKind::kScreen) continue;
-          const int baseline = std::max(window.baseline_brightness, 0);
+        for (const Window* window : screen_windows_) {
+          const int baseline = std::max(window->baseline_brightness, 0);
           const double delta_mw = params.screen_per_level_mw *
                                   std::max(0, slice.brightness - baseline);
           if (delta_mw <= 0.0) continue;
-          deltas[window.driver] += delta_mw;
+          const AppIdx driver = ids_.app_of(window->driver);
+          if (delta_scratch_.size() <= driver) {
+            delta_scratch_.resize(driver + 1, 0.0);
+          }
+          if (delta_scratch_[driver] == 0.0) delta_touched_.push_back(driver);
+          delta_scratch_[driver] += delta_mw;
           wanted += delta_mw;
         }
         if (wanted > 0.0) {
           const double budget_mw = std::min(wanted, current_mw);
-          for (const auto& [driver, delta_mw] : deltas) {
-            const double mj =
-                slice.screen_mj * (delta_mw / wanted) * (budget_mw / current_mw);
-            screen_collateral[driver] += mj;
+          std::sort(delta_touched_.begin(), delta_touched_.end());
+          for (const AppIdx driver : delta_touched_) {
+            const double mj = slice.screen_mj * (delta_scratch_[driver] / wanted) *
+                              (budget_mw / current_mw);
+            add_screen_coll(driver, mj);
             claimed_screen += mj;
           }
         }
@@ -143,52 +240,50 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
   screen_row_mj_ += slice.screen_mj - claimed_screen;
   attributed_screen_mj_ += claimed_screen;
 
-  // 3. App->app edges from open windows.
-  std::unordered_map<kernelsim::Uid, std::unordered_set<kernelsim::Uid>> edges;
-  for (const auto& [id, window] : windows) {
-    if (window.kind == WindowKind::kActivity ||
-        window.kind == WindowKind::kInterrupt ||
-        window.kind == WindowKind::kService ||
-        window.kind == WindowKind::kPush) {
-      if (window.driver != window.driven) {
-        edges[window.driver].insert(window.driven);
-      }
-    }
-  }
-
-  auto slice_direct = [&slice](kernelsim::Uid uid) {
-    auto it = slice.apps.find(uid);
-    return it == slice.apps.end() ? 0.0 : it->second.sum();
-  };
-
-  // 4. Charge each driver's map: its own screen collateral plus, through
+  // 3. Charge each driver's map: its own screen collateral plus, through
   // the closure, every reached app's direct energy and screen collateral.
-  std::unordered_set<kernelsim::Uid> drivers;
-  for (const auto& [driver, set] : edges) drivers.insert(driver);
-  for (const auto& [driver, mj] : screen_collateral) drivers.insert(driver);
+  // Drivers ascending = canonical order.
+  std::sort(screen_coll_touched_.begin(), screen_coll_touched_.end());
+  drivers_scratch_.clear();
+  std::set_union(edge_drivers_.begin(), edge_drivers_.end(),
+                 screen_coll_touched_.begin(), screen_coll_touched_.end(),
+                 std::back_inserter(drivers_scratch_));
 
-  for (kernelsim::Uid driver : drivers) {
-    auto& map = maps_[driver];
-    auto own_screen = screen_collateral.find(driver);
-    if (own_screen != screen_collateral.end() && own_screen->second > 0.0) {
-      map[Entity::screen()] += own_screen->second;
+  for (const AppIdx driver : drivers_scratch_) {
+    if (maps_.size() <= driver) {
+      maps_.resize(driver + 1);
+      has_map_.resize(driver + 1, 0);
     }
-    for (kernelsim::Uid reached : reachable_from(driver, edges)) {
-      const double mj = slice_direct(reached);
-      if (mj > 0.0) map[Entity::app(reached)] += mj;
-      auto sit = screen_collateral.find(reached);
-      if (sit != screen_collateral.end() && sit->second > 0.0) {
-        map[Entity::screen()] += sit->second;
+    has_map_[driver] = 1;
+    DriverMap& map = maps_[driver];
+    const double own_screen = screen_coll_of(driver);
+    if (own_screen > 0.0) map.screen_mj += own_screen;
+    for (const AppIdx reached : closure_of(driver)) {
+      const energy::AppSliceEnergy* e = slice.find_at(reached);
+      if (e != nullptr) {
+        const double mj = e->sum();
+        if (mj > 0.0) {
+          if (map.from_app.size() <= reached) {
+            map.from_app.resize(reached + 1, 0.0);
+          }
+          if (map.from_app[reached] == 0.0) map.from_touched.push_back(reached);
+          map.from_app[reached] += mj;
+        }
       }
+      const double reached_screen = screen_coll_of(reached);
+      if (reached_screen > 0.0) map.screen_mj += reached_screen;
     }
   }
 }
 
 std::vector<kernelsim::Uid> EAndroidEngine::known_uids() const {
-  std::unordered_set<kernelsim::Uid> set;
-  for (const auto& [uid, mj] : direct_) set.insert(uid);
-  for (const auto& [uid, map] : maps_) set.insert(uid);
-  std::vector<kernelsim::Uid> out(set.begin(), set.end());
+  std::vector<kernelsim::Uid> out;
+  const std::size_t n = std::max(direct_.size(), has_map_.size());
+  for (AppIdx idx = 0; idx < n; ++idx) {
+    const bool has_direct = idx < direct_.size() && direct_[idx].sum() > 0.0;
+    const bool has_map = idx < has_map_.size() && has_map_[idx];
+    if (has_direct || has_map) out.push_back(ids_.uid_of(idx));
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -196,10 +291,13 @@ std::vector<kernelsim::Uid> EAndroidEngine::known_uids() const {
 void EAndroidEngine::reset() {
   direct_.clear();
   maps_.clear();
+  has_map_.clear();
   screen_row_mj_ = 0.0;
   attributed_screen_mj_ = 0.0;
   system_row_mj_ = 0.0;
   true_total_mj_ = 0.0;
+  // Force a window-structure rebuild on the next slice.
+  cached_generation_ = 0;
 }
 
 }  // namespace eandroid::core

@@ -13,21 +13,30 @@
 //     energy to their driver, which then flows up the same closure;
 //   * closure runs per-slice, so "only the part of energy consumption
 //     during the attack lifecycle" is charged, multi-collateral windows
-//     on the same pair dedupe naturally (set semantics), and when all
-//     windows close "the relation ... is broken and no extra energy would
-//     be charged";
+//     on the same pair dedupe naturally, and when all windows close "the
+//     relation ... is broken and no extra energy would be charged";
 //   * service-map inheritance (a driver importing services its driven app
 //     had already bound) is the closure composing driven->service edges.
+//
+// Hot-path layout: every accumulator is dense over interned AppIdx
+// (kernel/interner.h), and the window-derived structures — edge
+// adjacency, driver list, screen/wakelock window lists, and the
+// per-driver reachability closures — are cached and keyed on the
+// tracker's generation counter, so the common slice where no window
+// opened or closed recomputes nothing and allocates nothing. Closures
+// are kept sorted ascending, which fixes the floating-point order of
+// every shared accumulation for the bitwise-determinism contract.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/entity.h"
 #include "core/window_tracker.h"
 #include "energy/slice.h"
 #include "framework/system_server.h"
+#include "kernel/interner.h"
 
 namespace eandroid::core {
 
@@ -37,6 +46,10 @@ struct EngineConfig {
   bool accounting_enabled = true;
   /// Ablation: when false only direct windows charge (no chains).
   bool chain_propagation = true;
+  /// When false the window-derived structures are rebuilt from scratch on
+  /// every slice — the pre-optimization cost structure, used as the
+  /// baseline leg of the hotpath bench. Results are identical either way.
+  bool cache_window_structures = true;
 };
 
 class EAndroidEngine : public energy::AccountingSink {
@@ -50,15 +63,21 @@ class EAndroidEngine : public energy::AccountingSink {
   /// Energy mechanically attributed to the app itself ("original energy").
   [[nodiscard]] double direct_mj(kernelsim::Uid uid) const;
   /// Component breakdown of the app's own energy (cpu/camera/gps/wifi/
-  /// audio), for the revised-PowerTutor style of Fig 8.
+  /// audio), for the revised-PowerTutor style of Fig 8. The pointer is
+  /// invalidated by the next slice.
   [[nodiscard]] const energy::AppSliceEnergy* direct_breakdown(
       kernelsim::Uid uid) const;
+  /// One routine's share of the app's direct CPU energy (eprof view).
+  [[nodiscard]] double direct_routine_mj(kernelsim::Uid uid,
+                                         std::string_view routine) const;
   /// Sum of the app's collateral map.
   [[nodiscard]] double collateral_mj(kernelsim::Uid uid) const;
   /// One collateral map entry.
   [[nodiscard]] double collateral_from(kernelsim::Uid driver,
                                        Entity entity) const;
-  [[nodiscard]] const std::unordered_map<Entity, double>* map_of(
+  /// The app's collateral inventory (entity, mJ), screen entry first,
+  /// then app entries in first-charged order.
+  [[nodiscard]] std::vector<std::pair<Entity, double>> collateral_entries(
       kernelsim::Uid uid) const;
   /// Screen energy not claimed by any collateral window (the neutral
   /// "Screen" row, as in stock Android).
@@ -83,24 +102,58 @@ class EAndroidEngine : public energy::AccountingSink {
   void reset();
 
  private:
-  /// Apps reachable from `root` through open app->app windows.
-  [[nodiscard]] std::unordered_set<kernelsim::Uid> reachable_from(
-      kernelsim::Uid root,
-      const std::unordered_map<kernelsim::Uid,
-                               std::unordered_set<kernelsim::Uid>>& edges)
-      const;
+  /// Per-driver collateral map, dense over the driven apps' indices.
+  struct DriverMap {
+    double screen_mj = 0.0;
+    std::vector<double> from_app;  // by AppIdx; 0.0 = untouched
+    std::vector<kernelsim::AppIdx> from_touched;  // first-charged order
+  };
+
+  /// Rebuilds the window-derived structures from the tracker's open set.
+  void rebuild_window_structures();
+  /// Apps reachable from `root` through open app->app windows (root
+  /// excluded), sorted ascending; memoized until the window set changes.
+  const std::vector<kernelsim::AppIdx>& closure_of(kernelsim::AppIdx root);
+
+  [[nodiscard]] const DriverMap* map_at(kernelsim::AppIdx idx) const {
+    return idx < has_map_.size() && has_map_[idx] ? &maps_[idx] : nullptr;
+  }
+  [[nodiscard]] double screen_coll_of(kernelsim::AppIdx idx) const {
+    return idx < screen_coll_.size() ? screen_coll_[idx] : 0.0;
+  }
 
   framework::SystemServer& server_;
   WindowTracker& tracker_;
   EngineConfig config_;
+  kernelsim::IdTable& ids_;
 
-  std::unordered_map<kernelsim::Uid, energy::AppSliceEnergy> direct_;
-  std::unordered_map<kernelsim::Uid, std::unordered_map<Entity, double>>
-      maps_;
+  // --- Accumulators (dense by AppIdx) ---
+  std::vector<energy::AppSliceEnergy> direct_;
+  std::vector<DriverMap> maps_;
+  std::vector<std::uint8_t> has_map_;
   double screen_row_mj_ = 0.0;
   double attributed_screen_mj_ = 0.0;
   double system_row_mj_ = 0.0;
   double true_total_mj_ = 0.0;
+
+  // --- Window-derived caches, valid while cached_generation_ matches ---
+  std::uint64_t cached_generation_ = 0;
+  std::vector<std::vector<kernelsim::AppIdx>> adj_;  // rows sorted unique
+  std::vector<kernelsim::AppIdx> adj_nodes_;         // rows in use
+  std::vector<kernelsim::AppIdx> edge_drivers_;      // sorted unique
+  std::vector<const Window*> screen_windows_;        // kScreen, by id
+  std::vector<kernelsim::AppIdx> wakelock_holders_;  // sorted unique
+  std::vector<std::vector<kernelsim::AppIdx>> closure_;
+  std::vector<std::uint8_t> closure_valid_;
+
+  // --- Per-slice scratch (cleared in O(touched), never freed) ---
+  std::vector<double> screen_coll_;
+  std::vector<kernelsim::AppIdx> screen_coll_touched_;
+  std::vector<double> delta_scratch_;
+  std::vector<kernelsim::AppIdx> delta_touched_;
+  std::vector<kernelsim::AppIdx> drivers_scratch_;
+  std::vector<kernelsim::AppIdx> bfs_stack_;
+  std::vector<std::uint8_t> bfs_seen_;
 };
 
 }  // namespace eandroid::core

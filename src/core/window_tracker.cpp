@@ -49,6 +49,7 @@ Window& WindowTracker::open_window(WindowKind kind, kernelsim::Uid driver,
   window.opened = server_.simulator().now();
   auto [it, inserted] = windows_.emplace(id, std::move(window));
   ++opened_total_;
+  ++generation_;
   if (trace_.size() < kTraceCap) {
     trace_.push_back(WindowTrace{true, kind, driver, driven,
                                  server_.simulator().now(), reason});
@@ -65,6 +66,7 @@ void WindowTracker::close_window(std::uint64_t id, const char* reason) {
   const Window window = it->second;
   windows_.erase(it);
   ++closed_total_;
+  ++generation_;
   if (trace_.size() < kTraceCap) {
     trace_.push_back(WindowTrace{false, window.kind, window.driver,
                                  window.driven, server_.simulator().now(),

@@ -46,6 +46,13 @@ class WindowTracker {
   [[nodiscard]] std::uint64_t opened_total() const { return opened_total_; }
   [[nodiscard]] std::uint64_t closed_total() const { return closed_total_; }
 
+  /// Bumped whenever a window opens or closes. The engine keys its
+  /// derived structures (edge graph, reachability closures) on this, so
+  /// the common all-quiet slice rebuilds nothing. Field mutations on an
+  /// existing window (service started/binding flips, which don't affect
+  /// the derived structures) deliberately do not bump it.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
   /// Chronological open/close trace (bounded; oldest entries dropped).
   [[nodiscard]] const std::vector<WindowTrace>& trace() const {
     return trace_;
@@ -88,6 +95,7 @@ class WindowTracker {
   std::uint64_t next_window_ = 1;
   std::uint64_t opened_total_ = 0;
   std::uint64_t closed_total_ = 0;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace eandroid::core

@@ -1,38 +1,45 @@
 #include "energy/battery_stats.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace eandroid::energy {
 
 void BatteryStats::on_slice(const EnergySlice& slice) {
-  for (const auto& [uid, e] : slice.apps) {
-    app_mj_[uid] += e.sum();
+  assert(ids_ == nullptr || ids_ == &slice.ids());
+  ids_ = &slice.ids();
+  for (const kernelsim::AppIdx idx : slice.active()) {
+    if (app_mj_.size() <= idx) app_mj_.resize(idx + 1, 0.0);
+    app_mj_[idx] += slice.at(idx).sum();
   }
   screen_mj_ += slice.screen_mj;
   system_mj_ += slice.system_mj;
 }
 
 double BatteryStats::app_energy_mj(kernelsim::Uid uid) const {
-  auto it = app_mj_.find(uid);
-  return it == app_mj_.end() ? 0.0 : it->second;
+  if (ids_ == nullptr) return 0.0;
+  const kernelsim::AppIdx idx = ids_->find_app(uid);
+  return idx < app_mj_.size() ? app_mj_[idx] : 0.0;
 }
 
 double BatteryStats::total_mj() const {
   double total = screen_mj_ + system_mj_;
-  for (const auto& [uid, mj] : app_mj_) total += mj;
+  for (const double mj : app_mj_) total += mj;
   return total;
 }
 
 BatteryView BatteryStats::view() const {
   BatteryView out;
   out.total_mj = total_mj();
-  for (const auto& [uid, mj] : app_mj_) {
+  for (kernelsim::AppIdx idx = 0; idx < app_mj_.size(); ++idx) {
+    if (app_mj_[idx] <= 0.0) continue;
+    const kernelsim::Uid uid = ids_->uid_of(idx);
     const framework::PackageRecord* pkg = packages_.find(uid);
     BatteryRow row;
     row.label = pkg != nullptr ? pkg->manifest.package
                                : "uid:" + std::to_string(uid.value);
     row.uid = uid;
-    row.energy_mj = mj;
+    row.energy_mj = app_mj_[idx];
     out.rows.push_back(row);
   }
   out.rows.push_back(BatteryRow{"Screen", kernelsim::Uid{}, screen_mj_, 0.0});

@@ -7,7 +7,7 @@
 // the attacks sidestep.
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
 #include "energy/battery_view.h"
 #include "energy/slice.h"
@@ -31,7 +31,11 @@ class BatteryStats : public AccountingSink {
 
  private:
   const framework::PackageManager& packages_;
-  std::unordered_map<kernelsim::Uid, double> app_mj_;
+  /// Identifier table shared by every slice this sink has seen; bound on
+  /// the first slice (all slices fed to one sink must share a table).
+  const kernelsim::IdTable* ids_ = nullptr;
+  /// Accumulated energy, dense by AppIdx — no hashing on the slice path.
+  std::vector<double> app_mj_;
   double screen_mj_ = 0.0;
   double system_mj_ = 0.0;
 };

@@ -1,44 +1,57 @@
 #include "energy/eprof.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 namespace eandroid::energy {
 
 void Eprof::on_slice(const EnergySlice& slice) {
-  for (const auto& [uid, energy] : slice.apps) {
-    for (const auto& [routine, mj] : energy.cpu_by_routine) {
-      if (mj > 0.0) routines_[uid][routine] += mj;
+  assert(ids_ == nullptr || ids_ == &slice.ids());
+  ids_ = &slice.ids();
+  for (const kernelsim::AppIdx idx : slice.active()) {
+    const AppSliceEnergy& energy = slice.at(idx);
+    if (energy.routines.empty()) continue;
+    if (routines_.size() <= idx) routines_.resize(idx + 1);
+    std::vector<double>& row = routines_[idx];
+    for (const kernelsim::RoutineIdx r : energy.routines) {
+      if (row.size() <= r) row.resize(r + 1, 0.0);
+      row[r] += energy.routine_mj[r];
     }
   }
 }
 
 double Eprof::app_cpu_mj(kernelsim::Uid uid) const {
-  auto it = routines_.find(uid);
-  if (it == routines_.end()) return 0.0;
+  const kernelsim::AppIdx idx =
+      ids_ == nullptr ? kernelsim::kNoIdx : ids_->find_app(uid);
+  if (idx >= routines_.size()) return 0.0;
   double total = 0.0;
-  for (const auto& [routine, mj] : it->second) total += mj;
+  for (const double mj : routines_[idx]) total += mj;
   return total;
 }
 
 double Eprof::routine_mj(kernelsim::Uid uid,
                          const std::string& routine) const {
-  auto it = routines_.find(uid);
-  if (it == routines_.end()) return 0.0;
-  auto rit = it->second.find(routine);
-  return rit == it->second.end() ? 0.0 : rit->second;
+  if (ids_ == nullptr) return 0.0;
+  const kernelsim::AppIdx idx = ids_->find_app(uid);
+  if (idx >= routines_.size()) return 0.0;
+  const kernelsim::RoutineIdx r = ids_->find_routine(routine);
+  return r < routines_[idx].size() ? routines_[idx][r] : 0.0;
 }
 
 std::vector<RoutineEnergy> Eprof::profile_of(kernelsim::Uid uid) const {
   std::vector<RoutineEnergy> out;
-  auto it = routines_.find(uid);
-  if (it == routines_.end()) return out;
+  const kernelsim::AppIdx idx =
+      ids_ == nullptr ? kernelsim::kNoIdx : ids_->find_app(uid);
+  if (idx >= routines_.size()) return out;
   const double total = app_cpu_mj(uid);
-  for (const auto& [routine, mj] : it->second) {
+  const std::vector<double>& row = routines_[idx];
+  for (kernelsim::RoutineIdx r = 0; r < row.size(); ++r) {
+    if (row[r] <= 0.0) continue;
     RoutineEnergy entry;
-    entry.routine = routine;
-    entry.energy_mj = mj;
-    entry.percent_of_app = total > 0.0 ? 100.0 * mj / total : 0.0;
+    entry.routine = ids_->routine_name(r);
+    entry.energy_mj = row[r];
+    entry.percent_of_app = total > 0.0 ? 100.0 * row[r] / total : 0.0;
     out.push_back(entry);
   }
   std::sort(out.begin(), out.end(),

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "energy/slice.h"
@@ -48,8 +47,11 @@ class Eprof : public AccountingSink {
 
  private:
   const framework::PackageManager& packages_;
-  std::unordered_map<kernelsim::Uid, std::unordered_map<std::string, double>>
-      routines_;
+  /// Identifier table shared by every slice this sink has seen; bound on
+  /// the first slice (all slices fed to one sink must share a table).
+  const kernelsim::IdTable* ids_ = nullptr;
+  /// Accumulated CPU energy, dense [AppIdx][RoutineIdx].
+  std::vector<std::vector<double>> routines_;
 };
 
 }  // namespace eandroid::energy

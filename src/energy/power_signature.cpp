@@ -8,9 +8,9 @@ void PowerSignatureDetector::on_slice(const EnergySlice& slice) {
   const double seconds = slice.length().seconds();
   if (seconds <= 0.0) return;
   observed_s_ += seconds;
-  for (const auto& [uid, energy] : slice.apps) {
-    Profile& profile = profiles_[uid];
-    const double mj = energy.sum();
+  for (const kernelsim::AppIdx idx : slice.active()) {
+    Profile& profile = profiles_[slice.uid_at(idx)];
+    const double mj = slice.at(idx).sum();
     profile.energy_mj += mj;
     profile.peak_mw = std::max(profile.peak_mw, mj / seconds);
   }

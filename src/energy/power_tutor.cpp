@@ -1,63 +1,98 @@
 #include "energy/power_tutor.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace eandroid::energy {
 
 void PowerTutor::on_slice(const EnergySlice& slice) {
-  for (const auto& [uid, e] : slice.apps) {
-    PerApp& app = apps_[uid];
+  assert(ids_ == nullptr || ids_ == &slice.ids());
+  ids_ = &slice.ids();
+  for (const kernelsim::AppIdx idx : slice.active()) {
+    if (apps_.size() <= idx) apps_.resize(idx + 1);
+    const AppSliceEnergy& e = slice.at(idx);
+    PerApp& app = apps_[idx];
     app.cpu += e.cpu_mj;
     app.camera += e.camera_mj;
     app.gps += e.gps_mj;
     app.wifi += e.wifi_mj;
     app.audio += e.audio_mj;
   }
-  // Screen policy: the foreground app pays.
+  // Screen policy: the foreground app pays. Kept in a small sorted-by-uid
+  // vector; the insert is one-time per app, the steady state is a binary
+  // search and an add.
   if (slice.foreground.valid()) {
-    apps_[slice.foreground].screen += slice.screen_mj;
+    auto it = std::lower_bound(
+        screen_by_uid_.begin(), screen_by_uid_.end(), slice.foreground,
+        [](const auto& entry, kernelsim::Uid u) { return entry.first < u; });
+    if (it != screen_by_uid_.end() && it->first == slice.foreground) {
+      it->second += slice.screen_mj;
+    } else {
+      screen_by_uid_.insert(it, {slice.foreground, slice.screen_mj});
+    }
   } else {
     unattributed_screen_mj_ += slice.screen_mj;
   }
   system_mj_ += slice.system_mj;
 }
 
+double PowerTutor::screen_mj_of(kernelsim::Uid uid) const {
+  auto it = std::lower_bound(
+      screen_by_uid_.begin(), screen_by_uid_.end(), uid,
+      [](const auto& entry, kernelsim::Uid u) { return entry.first < u; });
+  return it != screen_by_uid_.end() && it->first == uid ? it->second : 0.0;
+}
+
 double PowerTutor::app_energy_mj(kernelsim::Uid uid) const {
-  auto it = apps_.find(uid);
-  return it == apps_.end() ? 0.0 : it->second.sum();
+  const kernelsim::AppIdx idx =
+      ids_ == nullptr ? kernelsim::kNoIdx : ids_->find_app(uid);
+  return direct_sum_of(idx) + screen_mj_of(uid);
 }
 
 double PowerTutor::component_energy_mj(kernelsim::Uid uid, HwPart part) const {
-  auto it = apps_.find(uid);
-  if (it == apps_.end()) return 0.0;
+  if (part == HwPart::kScreen) return screen_mj_of(uid);
+  const kernelsim::AppIdx idx =
+      ids_ == nullptr ? kernelsim::kNoIdx : ids_->find_app(uid);
+  if (idx >= apps_.size()) return 0.0;
   switch (part) {
-    case HwPart::kCpu: return it->second.cpu;
-    case HwPart::kScreen: return it->second.screen;
-    case HwPart::kCamera: return it->second.camera;
-    case HwPart::kGps: return it->second.gps;
-    case HwPart::kWifi: return it->second.wifi;
-    case HwPart::kAudio: return it->second.audio;
+    case HwPart::kCpu: return apps_[idx].cpu;
+    case HwPart::kCamera: return apps_[idx].camera;
+    case HwPart::kGps: return apps_[idx].gps;
+    case HwPart::kWifi: return apps_[idx].wifi;
+    case HwPart::kAudio: return apps_[idx].audio;
+    case HwPart::kScreen: break;  // handled above
   }
   return 0.0;
 }
 
 double PowerTutor::total_mj() const {
   double total = system_mj_ + unattributed_screen_mj_;
-  for (const auto& [uid, app] : apps_) total += app.sum();
+  for (const PerApp& app : apps_) total += app.sum();
+  for (const auto& [uid, mj] : screen_by_uid_) total += mj;
   return total;
 }
 
 BatteryView PowerTutor::view() const {
   BatteryView out;
   out.total_mj = total_mj();
-  for (const auto& [uid, app] : apps_) {
+  auto label_of = [this](kernelsim::Uid uid) {
     const framework::PackageRecord* pkg = packages_.find(uid);
-    BatteryRow row;
-    row.label = pkg != nullptr ? pkg->manifest.package
-                               : "uid:" + std::to_string(uid.value);
-    row.uid = uid;
-    row.energy_mj = app.sum();
-    out.rows.push_back(row);
+    return pkg != nullptr ? pkg->manifest.package
+                          : "uid:" + std::to_string(uid.value);
+  };
+  for (kernelsim::AppIdx idx = 0; idx < apps_.size(); ++idx) {
+    const double direct = apps_[idx].sum();
+    if (direct <= 0.0) continue;
+    const kernelsim::Uid uid = ids_->uid_of(idx);
+    out.rows.push_back(
+        BatteryRow{label_of(uid), uid, direct + screen_mj_of(uid), 0.0});
+  }
+  // Foreground apps whose only energy is screen (no direct row above).
+  for (const auto& [uid, mj] : screen_by_uid_) {
+    const kernelsim::AppIdx idx =
+        ids_ == nullptr ? kernelsim::kNoIdx : ids_->find_app(uid);
+    if (direct_sum_of(idx) > 0.0) continue;
+    out.rows.push_back(BatteryRow{label_of(uid), uid, mj, 0.0});
   }
   out.rows.push_back(
       BatteryRow{"Android OS", kernelsim::Uid{}, system_mj_, 0.0});
@@ -78,6 +113,7 @@ BatteryView PowerTutor::view() const {
 
 void PowerTutor::reset() {
   apps_.clear();
+  screen_by_uid_.clear();
   system_mj_ = 0.0;
   unattributed_screen_mj_ = 0.0;
 }

@@ -7,7 +7,8 @@
 // effects — the paper modified both interfaces, and so do we (core/).
 #pragma once
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "energy/battery_view.h"
 #include "energy/slice.h"
@@ -34,15 +35,27 @@ class PowerTutor : public AccountingSink {
 
  private:
   struct PerApp {
-    double cpu = 0.0, screen = 0.0, camera = 0.0, gps = 0.0, wifi = 0.0,
-           audio = 0.0;
+    double cpu = 0.0, camera = 0.0, gps = 0.0, wifi = 0.0, audio = 0.0;
     [[nodiscard]] double sum() const {
-      return cpu + screen + camera + gps + wifi + audio;
+      return cpu + camera + gps + wifi + audio;
     }
   };
 
+  [[nodiscard]] double screen_mj_of(kernelsim::Uid uid) const;
+  [[nodiscard]] double direct_sum_of(kernelsim::AppIdx idx) const {
+    return idx < apps_.size() ? apps_[idx].sum() : 0.0;
+  }
+
   const framework::PackageManager& packages_;
-  std::unordered_map<kernelsim::Uid, PerApp> apps_;
+  /// Identifier table shared by every slice this sink has seen; bound on
+  /// the first slice (all slices fed to one sink must share a table).
+  const kernelsim::IdTable* ids_ = nullptr;
+  /// Direct (non-screen) energy, dense by AppIdx.
+  std::vector<PerApp> apps_;
+  /// Screen energy billed by the foreground policy; sorted ascending by
+  /// uid (the foreground app may never appear in the interner, so this
+  /// row set is keyed by uid directly).
+  std::vector<std::pair<kernelsim::Uid, double>> screen_by_uid_;
   double system_mj_ = 0.0;
   double unattributed_screen_mj_ = 0.0;  // screen on with no foreground app
 };

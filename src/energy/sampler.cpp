@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "hw/cpu_power_model.h"
-
 namespace eandroid::energy {
 
 const char* to_string(HwPart part) {
@@ -19,8 +17,14 @@ const char* to_string(HwPart part) {
 }
 
 EnergySampler::EnergySampler(framework::SystemServer& server,
-                             sim::Duration period)
-    : server_(server), period_(period), window_begin_(server.simulator().now()) {}
+                             sim::Duration period, bool reuse_buffers)
+    : server_(server),
+      period_(period),
+      window_begin_(server.simulator().now()),
+      reuse_buffers_(reuse_buffers),
+      params_(server.params()),
+      model_(params_),
+      slice_(server.ids()) {}
 
 EnergySampler::~EnergySampler() { stop(); }
 
@@ -49,66 +53,79 @@ void EnergySampler::tick() {
   const double window_s = window.seconds();
   auto mj_of = [window_s](double mw) { return mw * window_s; };
 
-  EnergySlice slice;
-  slice.begin = window_begin_;
-  slice.end = now;
+  if (!reuse_buffers_) {
+    // Baseline mode: pay the pre-optimization churn — every buffer is
+    // rebuilt from scratch each tick. The arithmetic below is identical
+    // either way, so both modes produce bit-identical slices.
+    slice_ = EnergySlice(server_.ids());
+    breakdown_ = hw::PowerBreakdown{};
+  }
+  slice_.reset(window_begin_, now);
   window_begin_ = now;
 
-  const auto& params = server_.params();
-
   // --- CPU ---
-  const kernelsim::CpuWindow cpu = server_.cpu().sample_window();
+  const kernelsim::CpuWindow& cpu = server_.cpu().sample_window();
   const bool suspended = server_.cpu().suspended();
-  slice.system_mj += mj_of(suspended ? params.cpu_suspend_mw
-                                     : params.cpu_idle_awake_mw);
+  slice_.system_mj += mj_of(suspended ? params_.cpu_suspend_mw
+                                      : params_.cpu_idle_awake_mw);
   if (cpu.total_utilization > 0.0) {
     // The governor picks the operating point for the whole window; apps
     // split the active power by their share of the busy time.
-    const hw::CpuPowerModel model(params);
     const double active_mw =
-        model.operating_point(cpu.total_utilization).active_mw;
+        model_.operating_point(cpu.total_utilization).active_mw;
     const double mw_per_share = active_mw / cpu.total_utilization;
-    for (const auto& [uid, share] : cpu.share_by_uid) {
-      slice.apps[uid].cpu_mj += mj_of(mw_per_share * share);
+    for (const kernelsim::CpuWindow::Share& s : cpu.shares) {
+      slice_.app_at(s.app).cpu_mj += mj_of(mw_per_share * s.share);
     }
-    for (const auto& [uid, routines] : cpu.share_by_uid_routine) {
-      for (const auto& [routine, share] : routines) {
-        slice.apps[uid].cpu_by_routine[routine] +=
-            mj_of(mw_per_share * share);
-      }
+    for (const kernelsim::CpuWindow::RoutineShare& rs : cpu.routine_shares) {
+      slice_.app_at(rs.app).add_routine(rs.routine,
+                                        mj_of(mw_per_share * rs.share));
     }
   }
 
   // --- Session components ---
-  const auto charge = [&](const hw::PowerBreakdown& breakdown,
+  const auto charge = [&](const hw::SessionComponent& component,
                           double AppSliceEnergy::*field) {
+    component.breakdown_into(breakdown_);
     double attributed = 0.0;
-    for (const auto& [uid, mw] : breakdown.by_uid) {
-      slice.apps[uid].*field += mj_of(mw);
+    // by_uid is sorted ascending: canonical accumulation order.
+    for (const auto& [uid, mw] : breakdown_.by_uid) {
+      slice_.app(uid).*field += mj_of(mw);
       attributed += mw;
     }
-    slice.system_mj += mj_of(breakdown.total_mw - attributed);
+    slice_.system_mj += mj_of(breakdown_.total_mw - attributed);
   };
-  charge(server_.camera().breakdown(), &AppSliceEnergy::camera_mj);
-  charge(server_.gps().breakdown(), &AppSliceEnergy::gps_mj);
-  charge(server_.wifi().breakdown(), &AppSliceEnergy::wifi_mj);
-  charge(server_.audio().breakdown(), &AppSliceEnergy::audio_mj);
+  charge(server_.camera(), &AppSliceEnergy::camera_mj);
+  charge(server_.gps(), &AppSliceEnergy::gps_mj);
+  charge(server_.wifi(), &AppSliceEnergy::wifi_mj);
+  charge(server_.audio(), &AppSliceEnergy::audio_mj);
 
   // --- Screen (policy applied by sinks) ---
-  slice.screen_on = server_.screen().on();
-  slice.brightness = server_.screen().brightness();
-  slice.screen_mj = mj_of(server_.screen().power_mw());
-  slice.foreground = server_.activities().foreground_uid();
-  slice.screen_forced_by_wakelock = server_.power().screen_forced_by_wakelock();
-  slice.screen_wakelock_owners = server_.power().screen_wakelock_owners();
+  slice_.screen_on = server_.screen().on();
+  slice_.brightness = server_.screen().brightness();
+  slice_.screen_mj = mj_of(server_.screen().power_mw());
+  slice_.foreground = server_.activities().foreground_uid();
+  // Wakelock state only matters while the screen is up, and the owner
+  // list only while wakelocks are what keeps it up — don't pay for the
+  // queries (or the owner copy) in the dark.
+  if (slice_.screen_on) {
+    slice_.screen_forced_by_wakelock =
+        server_.power().screen_forced_by_wakelock();
+    if (slice_.screen_forced_by_wakelock) {
+      server_.power().screen_wakelock_owners_into(
+          slice_.screen_wakelock_owners);
+    }
+  }
+
+  slice_.seal();
 
   // Net battery flow: consumption always drains; a connected charger
   // back-fills at its rate over the same window.
-  server_.battery().drain(slice.total_mj(), now);
+  server_.battery().drain(slice_.total_mj(), now);
   if (server_.battery().charging()) {
     server_.battery().charge(mj_of(server_.battery().charge_rate_mw()), now);
   }
-  for (AccountingSink* sink : sinks_) sink->on_slice(slice);
+  for (AccountingSink* sink : sinks_) sink->on_slice(slice_);
   ++slices_;
 }
 

@@ -7,6 +7,14 @@
 // standard assumption of utilization-based models (the paper cites their
 // ~20% worst-case error; our interest is attribution, not wattmeter
 // accuracy).
+//
+// The tick is allocation-free in steady state: ONE EnergySlice lives for
+// the whole run and is reset (not reallocated) per window, component
+// breakdowns land in a reused buffer, and the per-tick constants (power
+// params, CPU power model) are hoisted out of the loop. Setting
+// `reuse_buffers = false` rebuilds every buffer from scratch each tick —
+// the pre-optimization cost structure — with bit-identical arithmetic,
+// which is how the hotpath bench measures before/after in one binary.
 #pragma once
 
 #include <functional>
@@ -14,6 +22,7 @@
 
 #include "energy/slice.h"
 #include "framework/system_server.h"
+#include "hw/cpu_power_model.h"
 #include "sim/simulator.h"
 
 namespace eandroid::energy {
@@ -21,7 +30,8 @@ namespace eandroid::energy {
 class EnergySampler {
  public:
   EnergySampler(framework::SystemServer& server,
-                sim::Duration period = sim::millis(250));
+                sim::Duration period = sim::millis(250),
+                bool reuse_buffers = true);
   ~EnergySampler();
 
   EnergySampler(const EnergySampler&) = delete;
@@ -38,6 +48,7 @@ class EnergySampler {
   void flush();
 
   [[nodiscard]] std::uint64_t slices_emitted() const { return slices_; }
+  [[nodiscard]] bool reuse_buffers() const { return reuse_buffers_; }
 
  private:
   void tick();
@@ -48,6 +59,16 @@ class EnergySampler {
   std::function<void()> stopper_;
   sim::TimePoint window_begin_;
   std::uint64_t slices_ = 0;
+  bool reuse_buffers_;
+
+  /// Hoisted per-tick constants: the params never change mid-run and the
+  /// model is a pure function of them.
+  const hw::PowerParams& params_;
+  hw::CpuPowerModel model_;
+
+  /// Persistent metering buffers (reset per tick, never reallocated).
+  EnergySlice slice_;
+  hw::PowerBreakdown breakdown_;
 };
 
 }  // namespace eandroid::energy

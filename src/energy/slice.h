@@ -6,12 +6,20 @@
 // row, PowerTutor charges the foreground app, E-Android charges collateral
 // screen energy to its initiator — so the slice carries the raw screen
 // energy plus the state needed by each policy, and the sinks decide.
+//
+// Storage is dense and reusable: per-app cells live in a flat vector
+// indexed by interned AppIdx (kernel/interner.h) with an active-app list,
+// so the sampler keeps ONE slice alive for the whole run and reset()
+// clears it in O(active) without freeing anything. Sinks iterate
+// active() — ascending index order after seal(), which pins the
+// canonical floating-point summation order everywhere.
 #pragma once
 
-#include <string>
-#include <unordered_map>
+#include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "kernel/interner.h"
 #include "kernel/types.h"
 #include "sim/time.h"
 
@@ -29,20 +37,43 @@ struct AppSliceEnergy {
   double wifi_mj = 0.0;
   double audio_mj = 0.0;
   /// eprof-style breakdown of cpu_mj by routine tag (sums to cpu_mj);
-  /// NOT additive with the fields above.
-  std::unordered_map<std::string, double> cpu_by_routine;
+  /// NOT additive with the fields above. Dense by RoutineIdx with a
+  /// touched list; an exact 0.0 cell means untouched (all adds are
+  /// positive).
+  std::vector<double> routine_mj;
+  std::vector<kernelsim::RoutineIdx> routines;
+
+  void add_routine(kernelsim::RoutineIdx r, double mj) {
+    if (routine_mj.size() <= r) routine_mj.resize(r + 1, 0.0);
+    if (mj == 0.0) return;
+    if (routine_mj[r] == 0.0) routines.push_back(r);
+    routine_mj[r] += mj;
+  }
+  [[nodiscard]] double routine_mj_of(kernelsim::RoutineIdx r) const {
+    return r < routine_mj.size() ? routine_mj[r] : 0.0;
+  }
+
+  void reset() {
+    cpu_mj = camera_mj = gps_mj = wifi_mj = audio_mj = 0.0;
+    for (const kernelsim::RoutineIdx r : routines) routine_mj[r] = 0.0;
+    routines.clear();
+  }
 
   [[nodiscard]] double sum() const {
     return cpu_mj + camera_mj + gps_mj + wifi_mj + audio_mj;
   }
 };
 
-struct EnergySlice {
+class EnergySlice {
+ public:
+  /// Standalone slice owning a private identifier table (tests, tools).
+  EnergySlice()
+      : owned_(std::make_shared<kernelsim::IdTable>()), ids_(owned_.get()) {}
+  /// Slice sharing the system-wide table (the sampler's persistent one).
+  explicit EnergySlice(kernelsim::IdTable& ids) : ids_(&ids) {}
+
   sim::TimePoint begin;
   sim::TimePoint end;
-
-  /// Directly attributable energy per app (everything but screen).
-  std::unordered_map<kernelsim::Uid, AppSliceEnergy> apps;
 
   /// CPU idle / suspend floor plus unattributed tails: the "Android OS"
   /// row in the battery interface.
@@ -55,15 +86,88 @@ struct EnergySlice {
   kernelsim::Uid foreground;
   /// Screen stayed on only because of wakelocks (user timeout elapsed).
   bool screen_forced_by_wakelock = false;
-  /// Holders of screen-keeping wakelocks during this window.
+  /// Holders of screen-keeping wakelocks during this window; populated
+  /// only while the screen is forced on (reused buffer).
   std::vector<kernelsim::Uid> screen_wakelock_owners;
+
+  // --- Per-app cells (everything but screen) ---
+  /// Cell for `uid`, interning it on first sight.
+  AppSliceEnergy& app(kernelsim::Uid uid) { return app_at(ids_->app_of(uid)); }
+  /// Cell for an already-interned app (the metering hot path).
+  AppSliceEnergy& app_at(kernelsim::AppIdx idx) {
+    if (by_app_.size() <= idx) {
+      by_app_.resize(idx + 1);
+      in_slice_.resize(idx + 1, 0);
+    }
+    if (!in_slice_[idx]) {
+      in_slice_[idx] = 1;
+      active_.push_back(idx);
+    }
+    return by_app_[idx];
+  }
+  /// Cell of an app known to be active (no touch-tracking).
+  [[nodiscard]] const AppSliceEnergy& at(kernelsim::AppIdx idx) const {
+    return by_app_[idx];
+  }
+  /// Cell for `uid` if it is active this slice, nullptr otherwise.
+  [[nodiscard]] const AppSliceEnergy* find(kernelsim::Uid uid) const {
+    return find_at(ids_->find_app(uid));
+  }
+  /// Same, for an already-interned index (the engine's closure walk).
+  [[nodiscard]] const AppSliceEnergy* find_at(kernelsim::AppIdx idx) const {
+    if (idx >= in_slice_.size() || !in_slice_[idx]) return nullptr;
+    return &by_app_[idx];
+  }
+  /// Apps with energy this slice; ascending index order after seal().
+  [[nodiscard]] const std::vector<kernelsim::AppIdx>& active() const {
+    return active_;
+  }
+
+  [[nodiscard]] kernelsim::Uid uid_at(kernelsim::AppIdx idx) const {
+    return ids_->uid_of(idx);
+  }
+  [[nodiscard]] kernelsim::IdTable& ids() { return *ids_; }
+  [[nodiscard]] const kernelsim::IdTable& ids() const { return *ids_; }
+
+  /// Clears the slice for the next window without releasing storage.
+  void reset(sim::TimePoint new_begin, sim::TimePoint new_end) {
+    begin = new_begin;
+    end = new_end;
+    system_mj = screen_mj = 0.0;
+    screen_on = false;
+    brightness = 0;
+    foreground = kernelsim::Uid{};
+    screen_forced_by_wakelock = false;
+    screen_wakelock_owners.clear();
+    for (const kernelsim::AppIdx idx : active_) {
+      by_app_[idx].reset();
+      in_slice_[idx] = 0;
+    }
+    active_.clear();
+  }
+
+  /// Fixes the canonical iteration order (ascending app index, ascending
+  /// routine index per app). Sinks rely on this for bit-stable sums.
+  void seal() {
+    std::sort(active_.begin(), active_.end());
+    for (const kernelsim::AppIdx idx : active_) {
+      std::sort(by_app_[idx].routines.begin(), by_app_[idx].routines.end());
+    }
+  }
 
   [[nodiscard]] sim::Duration length() const { return end - begin; }
   [[nodiscard]] double total_mj() const {
     double total = system_mj + screen_mj;
-    for (const auto& [uid, e] : apps) total += e.sum();
+    for (const kernelsim::AppIdx idx : active_) total += by_app_[idx].sum();
     return total;
   }
+
+ private:
+  std::shared_ptr<kernelsim::IdTable> owned_;  // standalone slices only
+  kernelsim::IdTable* ids_;
+  std::vector<AppSliceEnergy> by_app_;  // dense by AppIdx
+  std::vector<std::uint8_t> in_slice_;  // cell touched this slice?
+  std::vector<kernelsim::AppIdx> active_;
 };
 
 /// A profiler that consumes slices (BatteryStats, PowerTutor, E-Android).

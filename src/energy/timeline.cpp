@@ -23,12 +23,13 @@ void TimelineRecorder::on_slice(const EnergySlice& slice) {
                          ? pkg->manifest.package
                          : "uid:" + std::to_string(slice.foreground.value);
   }
-  for (const auto& [uid, energy] : slice.apps) {
+  for (const kernelsim::AppIdx idx : slice.active()) {
+    const kernelsim::Uid uid = slice.uid_at(idx);
     const framework::PackageRecord* pkg = packages_.find(uid);
     row.apps.emplace_back(pkg != nullptr
                               ? pkg->manifest.package
                               : "uid:" + std::to_string(uid.value),
-                          energy.sum());
+                          slice.at(idx).sum());
   }
   std::sort(row.apps.begin(), row.apps.end());
   rows_.push_back(std::move(row));

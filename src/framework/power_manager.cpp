@@ -1,5 +1,6 @@
 #include "framework/power_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/log.h"
@@ -130,10 +131,17 @@ std::vector<const WakelockInfo*> PowerManagerService::held_by(
 std::vector<kernelsim::Uid> PowerManagerService::screen_wakelock_owners()
     const {
   std::vector<kernelsim::Uid> out;
+  screen_wakelock_owners_into(out);
+  return out;
+}
+
+void PowerManagerService::screen_wakelock_owners_into(
+    std::vector<kernelsim::Uid>& out) const {
+  out.clear();
   for (const auto& [id, info] : held_) {
     if (keeps_screen_on(info.type)) out.push_back(info.owner);
   }
-  return out;
+  std::sort(out.begin(), out.end());
 }
 
 void PowerManagerService::arm_timeout() {

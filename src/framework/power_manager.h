@@ -87,6 +87,10 @@ class PowerManagerService {
   /// Owners of currently-held screen-keeping wakelocks.
   [[nodiscard]] std::vector<kernelsim::Uid> screen_wakelock_owners() const;
 
+  /// Same, into a caller-owned buffer (cleared first), sorted ascending
+  /// by uid — reusable per metering tick and canonically ordered.
+  void screen_wakelock_owners_into(std::vector<kernelsim::Uid>& out) const;
+
  private:
   void release_internal(WakelockId id, bool by_death);
   void reevaluate();

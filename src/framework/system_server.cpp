@@ -17,7 +17,7 @@ SystemServer::SystemServer(sim::Simulator& sim, const hw::PowerParams& params)
       params_(params),
       processes_(),
       binder_(sim_, processes_),
-      cpu_(sim_, processes_, params.cpu_cores),
+      cpu_(sim_, processes_, params.cpu_cores, &ids_),
       screen_(params_),
       camera_(sim_, "camera", params_.camera_active_mw, params_.camera_tail_mw,
               params_.camera_tail),

@@ -33,6 +33,7 @@
 #include "hw/session_component.h"
 #include "kernel/binder.h"
 #include "kernel/cpu_sched.h"
+#include "kernel/interner.h"
 #include "kernel/process_table.h"
 #include "kernel/types.h"
 #include "sim/simulator.h"
@@ -95,6 +96,7 @@ class SystemServer : public AppHost {
   [[nodiscard]] kernelsim::ProcessTable& processes() { return processes_; }
   [[nodiscard]] kernelsim::BinderDriver& binder() { return binder_; }
   [[nodiscard]] kernelsim::CpuScheduler& cpu() { return cpu_; }
+  [[nodiscard]] kernelsim::IdTable& ids() { return ids_; }
   [[nodiscard]] hw::Screen& screen() { return screen_; }
   [[nodiscard]] hw::SessionComponent& camera() { return camera_; }
   [[nodiscard]] hw::SessionComponent& gps() { return gps_; }
@@ -159,6 +161,9 @@ class SystemServer : public AppHost {
 
   kernelsim::ProcessTable processes_;
   kernelsim::BinderDriver binder_;
+  /// Shared identifier interner; declared before its consumers (cpu_ and,
+  /// through accessors, the energy layer) so it outlives them.
+  kernelsim::IdTable ids_;
   kernelsim::CpuScheduler cpu_;
 
   hw::Screen screen_;

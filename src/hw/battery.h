@@ -18,7 +18,11 @@ class Battery {
   /// `capacity_mwh` — usable energy when full (milliwatt-hours).
   explicit Battery(double capacity_mwh)
       : capacity_mj_(capacity_mwh * 3600.0),  // 1 mWh = 3600 mJ
-        remaining_mj_(capacity_mj_) {}
+        remaining_mj_(capacity_mj_) {
+    // One history point per integer-percent change: a full discharge is
+    // ~101 entries, so this keeps the metering tick allocation-free.
+    history_.reserve(128);
+  }
 
   /// Removes `energy_mj` millijoules; clamps at empty.
   void drain(double energy_mj, sim::TimePoint now);

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "kernel/types.h"
 #include "sim/simulator.h"
@@ -22,10 +24,23 @@ struct SessionId {
   [[nodiscard]] constexpr bool valid() const { return id != 0; }
 };
 
-/// Per-uid power attribution for one instant, in milliwatts.
+/// Per-uid power attribution for one instant, in milliwatts. `by_uid` is
+/// sorted ascending by uid — a flat vector so the sampler can reuse one
+/// breakdown buffer per tick and consumers sum in canonical order.
 struct PowerBreakdown {
   double total_mw = 0.0;
-  std::unordered_map<kernelsim::Uid, double> by_uid;
+  std::vector<std::pair<kernelsim::Uid, double>> by_uid;
+
+  [[nodiscard]] double of(kernelsim::Uid uid) const {
+    for (const auto& [u, mw] : by_uid) {
+      if (u == uid) return mw;
+    }
+    return 0.0;
+  }
+  void clear() {
+    total_mw = 0.0;
+    by_uid.clear();
+  }
 };
 
 class SessionComponent {
@@ -56,6 +71,10 @@ class SessionComponent {
   /// Instantaneous power with per-uid attribution. Tail power is charged
   /// to the uid whose session ended last (it caused the tail).
   [[nodiscard]] PowerBreakdown breakdown() const;
+
+  /// Same, written into a caller-owned buffer (cleared first) so the
+  /// metering loop reuses one allocation across ticks.
+  void breakdown_into(PowerBreakdown& out) const;
 
  private:
   sim::Simulator& sim_;

@@ -5,9 +5,11 @@
 namespace eandroid::kernelsim {
 
 CpuScheduler::CpuScheduler(sim::Simulator& sim, ProcessTable& processes,
-                           int cores)
+                           int cores, IdTable* ids)
     : sim_(sim),
       processes_(processes),
+      owned_ids_(ids == nullptr ? std::make_unique<IdTable>() : nullptr),
+      ids_(ids == nullptr ? owned_ids_.get() : ids),
       accrue_mark_(sim.now()),
       window_start_(sim.now()),
       cores_(cores < 1 ? 1 : cores) {
@@ -23,11 +25,28 @@ CpuScheduler::CpuScheduler(sim::Simulator& sim, ProcessTable& processes,
         continue;
       }
       if (dt > 0.0 && !suspended_ && it->second.duty > 0.0) {
-        accrued_[info.uid][it->second.routine] += it->second.duty * dt;
+        add_cell(ids_->app_of(info.uid), it->second.routine,
+                 it->second.duty * dt);
       }
       it = loads_.erase(it);
     }
   });
+}
+
+RoutineIdx CpuScheduler::ipc_routine() {
+  if (ipc_routine_ == kNoIdx) ipc_routine_ = ids_->routine_of("ipc");
+  return ipc_routine_;
+}
+
+void CpuScheduler::add_cell(AppIdx app, RoutineIdx routine,
+                            double core_seconds) {
+  if (accrued_.size() <= app) accrued_.resize(app + 1);
+  std::vector<double>& row = accrued_[app];
+  if (row.size() <= routine) row.resize(routine + 1, 0.0);
+  double& cell = row[routine];
+  // All accruals are strictly positive, so an exact 0.0 means untouched.
+  if (cell == 0.0) touched_.push_back(pack_cell(app, routine));
+  cell += core_seconds;
 }
 
 void CpuScheduler::integrate() {
@@ -35,19 +54,28 @@ void CpuScheduler::integrate() {
   const double dt = (now - accrue_mark_).seconds();
   accrue_mark_ = now;
   if (dt <= 0.0 || suspended_) return;
-  for (const auto& [id, load] : loads_) {
+  for (auto& [id, load] : loads_) {
     if (load.duty <= 0.0) continue;
-    const ProcessInfo* info = processes_.find(load.pid);
-    if (info == nullptr || !info->alive) continue;
-    accrued_[info->uid][load.routine] += load.duty * dt;
+    if (load.app == kNoIdx) {
+      // The load was registered before its process existed; resolve once
+      // the process shows up, like the seed's per-integrate lookup did.
+      const ProcessInfo* info = processes_.find(load.pid);
+      if (info == nullptr) continue;
+      load.app = ids_->app_of(info->uid);
+    }
+    if (!processes_.alive(load.pid)) continue;
+    add_cell(load.app, load.routine, load.duty * dt);
   }
 }
 
 LoadHandle CpuScheduler::add_load(Pid pid, double duty,
-                                  std::string routine) {
+                                  std::string_view routine) {
   integrate();
   const LoadHandle h{next_load_++};
-  loads_[h.id] = Load{pid, std::clamp(duty, 0.0, 1.0), std::move(routine)};
+  const ProcessInfo* info = processes_.find(pid);
+  const AppIdx app = info == nullptr ? kNoIdx : ids_->app_of(info->uid);
+  loads_[h.id] =
+      Load{pid, std::clamp(duty, 0.0, 1.0), app, ids_->routine_of(routine)};
   return h;
 }
 
@@ -66,7 +94,11 @@ void CpuScheduler::charge_burst(Pid pid, sim::Duration cpu_time) {
   if (suspended_) return;  // halted processes cannot run
   const ProcessInfo* info = processes_.find(pid);
   if (info == nullptr) return;
-  pending_bursts_[info->uid] += cpu_time;
+  if (cpu_time <= sim::Duration(0)) return;
+  const AppIdx app = ids_->app_of(info->uid);
+  if (burst_micros_.size() <= app) burst_micros_.resize(app + 1, 0);
+  if (burst_micros_[app] == 0) burst_touched_.push_back(app);
+  burst_micros_[app] += cpu_time.micros();
 }
 
 void CpuScheduler::set_suspended(bool suspended) {
@@ -83,62 +115,85 @@ double CpuScheduler::instantaneous_utilization() const {
   return std::min(1.0, demand / cores_);
 }
 
-CpuWindow CpuScheduler::sample_window() {
+const CpuWindow& CpuScheduler::sample_window() {
   integrate();
   const sim::TimePoint now = sim_.now();
   const sim::Duration window = now - window_start_;
   window_start_ = now;
 
-  CpuWindow out;
+  window_.clear();
   if (window <= sim::Duration(0)) {
-    pending_bursts_.clear();
-    accrued_.clear();
-    return out;
+    // Degenerate window: discard what little accrued.
+    for (const std::uint64_t key : touched_) {
+      accrued_[key >> 32][key & 0xffffffffu] = 0.0;
+    }
+    touched_.clear();
+    for (const AppIdx app : burst_touched_) burst_micros_[app] = 0;
+    burst_touched_.clear();
+    return window_;
   }
   const double window_s = window.seconds();
 
-  // Demand per uid (and per routine): time-weighted steady duties (exact
-  // under mid-window changes, suspend, and process death) plus bursts
-  // spread over the window. Bursts survive suspension-at-sample-time —
-  // they were charged while awake.
-  std::unordered_map<Uid, double> demand;
-  std::unordered_map<Uid, std::unordered_map<std::string, double>>
-      routine_demand;
-  double total_demand = 0.0;
-  for (const auto& [uid, routines] : accrued_) {
-    for (const auto& [routine, core_seconds] : routines) {
-      const double duty = core_seconds / window_s;
-      if (duty <= 0.0) continue;
-      demand[uid] += duty;
-      routine_demand[uid][routine] += duty;
-      total_demand += duty;
-    }
+  // Fold pending bursts into the (app, "ipc") cells: a burst of t
+  // core-time spread over the window is t/window of duty, i.e. t
+  // core-seconds added to the cell. Bursts survive
+  // suspension-at-sample-time — they were charged while awake.
+  for (const AppIdx app : burst_touched_) {
+    add_cell(app, ipc_routine(),
+             static_cast<double>(burst_micros_[app]) / 1e6);
+    burst_micros_[app] = 0;
   }
-  for (const auto& [uid, cpu_time] : pending_bursts_) {
-    const double duty =
-        static_cast<double>(cpu_time.micros()) / window.micros();
-    demand[uid] += duty;
-    routine_demand[uid]["ipc"] += duty;
+  burst_touched_.clear();
+
+  if (touched_.empty()) return window_;
+
+  // Canonical order: ascending (app, routine). The packed key sorts
+  // exactly that way, and it fixes the floating-point summation order of
+  // total demand for the determinism contract.
+  std::sort(touched_.begin(), touched_.end());
+
+  // Demand per cell and per app: time-weighted steady duties (exact
+  // under mid-window changes, suspend, and process death) plus the
+  // folded bursts. Shares are emitted unscaled first, then normalized.
+  double total_demand = 0.0;
+  AppIdx current = kNoIdx;
+  double app_demand = 0.0;
+  for (const std::uint64_t key : touched_) {
+    const AppIdx app = static_cast<AppIdx>(key >> 32);
+    const RoutineIdx routine = static_cast<RoutineIdx>(key & 0xffffffffu);
+    double& cell = accrued_[app][routine];
+    const double duty = cell / window_s;
+    cell = 0.0;
+    if (duty <= 0.0) continue;
+    if (app != current) {
+      if (current != kNoIdx && app_demand > 0.0) {
+        window_.shares.push_back({ids_->uid_of(current), current, app_demand});
+      }
+      current = app;
+      app_demand = 0.0;
+    }
+    window_.routine_shares.push_back({app, routine, duty});
+    app_demand += duty;
     total_demand += duty;
   }
-  pending_bursts_.clear();
-  accrued_.clear();
+  if (current != kNoIdx && app_demand > 0.0) {
+    window_.shares.push_back({ids_->uid_of(current), current, app_demand});
+  }
+  touched_.clear();
 
-  if (total_demand <= 0.0) return out;
+  if (total_demand <= 0.0) {
+    window_.clear();
+    return window_;
+  }
 
   // Saturate at the package's core count; apps share proportionally.
   // Utilization is normalized over all cores so the power model's input
   // stays in [0, 1].
-  out.total_utilization = std::min(1.0, total_demand / cores_);
-  const double scale = out.total_utilization / total_demand;
-  for (const auto& [uid, d] : demand) {
-    if (d <= 0.0) continue;
-    out.share_by_uid[uid] = d * scale;
-    for (const auto& [routine, rd] : routine_demand[uid]) {
-      if (rd > 0.0) out.share_by_uid_routine[uid][routine] = rd * scale;
-    }
-  }
-  return out;
+  window_.total_utilization = std::min(1.0, total_demand / cores_);
+  const double scale = window_.total_utilization / total_demand;
+  for (CpuWindow::Share& s : window_.shares) s.share *= scale;
+  for (CpuWindow::RoutineShare& rs : window_.routine_shares) rs.share *= scale;
+  return window_;
 }
 
 }  // namespace eandroid::kernelsim

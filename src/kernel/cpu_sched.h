@@ -10,11 +10,22 @@
 // When the system is suspended (deep sleep), processes are halted and no
 // CPU time accrues — matching Android's default-suspend policy the paper
 // describes; a partial wakelock keeps the CPU running.
+//
+// Accounting is dense: uids and routine tags are interned through an
+// IdTable (kernel/interner.h) and the per-window accrual lives in flat
+// (app, routine) cells with a touched-cell list, so a sampling window
+// costs O(active cells) and allocates nothing in steady state. Cells are
+// iterated in ascending (app, routine) order, fixing one canonical
+// floating-point summation order for the window's total demand.
 #pragma once
 
-#include <string>
+#include <cstdint>
+#include <memory>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "kernel/interner.h"
 #include "kernel/process_table.h"
 #include "kernel/types.h"
 #include "sim/simulator.h"
@@ -28,28 +39,59 @@ struct LoadHandle {
 };
 
 /// Utilization for one sampling window, as read by the energy sampler.
+/// Entries are dense (interned indices) and sorted ascending, so
+/// consumers accumulate in canonical order without hashing.
 struct CpuWindow {
-  double total_utilization = 0.0;                  // [0, 1]
-  std::unordered_map<Uid, double> share_by_uid;    // sums to total
-  /// Routine-level split of each uid's share (eprof-style accounting);
-  /// inner maps sum to the uid's share. Bursts land under "ipc".
-  std::unordered_map<Uid, std::unordered_map<std::string, double>>
-      share_by_uid_routine;
+  double total_utilization = 0.0;  // [0, 1]
+
+  struct Share {
+    Uid uid;
+    AppIdx app = 0;
+    double share = 0.0;
+  };
+  struct RoutineShare {
+    AppIdx app = 0;
+    RoutineIdx routine = 0;
+    double share = 0.0;
+  };
+  /// Per-app share of total_utilization, ascending by app index; shares
+  /// sum to total_utilization.
+  std::vector<Share> shares;
+  /// Routine-level split, ascending by (app, routine); an app's entries
+  /// sum to its share. Bursts land under "ipc".
+  std::vector<RoutineShare> routine_shares;
+
+  /// Convenience lookup for tests and cold paths.
+  [[nodiscard]] double share_of(Uid uid) const {
+    for (const Share& s : shares) {
+      if (s.uid == uid) return s.share;
+    }
+    return 0.0;
+  }
+
+  void clear() {
+    total_utilization = 0.0;
+    shares.clear();
+    routine_shares.clear();
+  }
 };
 
 class CpuScheduler {
  public:
   /// `cores` — number of identical cores; demand saturates at this many
   /// cores' worth of work and utilization is normalized to [0, 1] over
-  /// the whole package.
-  CpuScheduler(sim::Simulator& sim, ProcessTable& processes, int cores = 1);
+  /// the whole package. `ids` — shared identifier table; when null the
+  /// scheduler owns a private one (standalone tests).
+  CpuScheduler(sim::Simulator& sim, ProcessTable& processes, int cores = 1,
+               IdTable* ids = nullptr);
 
   [[nodiscard]] int cores() const { return cores_; }
+  [[nodiscard]] IdTable& ids() { return *ids_; }
 
   /// Adds a steady load of `duty` (fraction of one core) owned by `pid`.
   /// Loads of dead processes stop counting automatically. `routine` tags
   /// the load for eprof-style per-routine accounting.
-  LoadHandle add_load(Pid pid, double duty, std::string routine = "main");
+  LoadHandle add_load(Pid pid, double duty, std::string_view routine = "main");
 
   /// Adjusts an existing load's duty.
   void set_duty(LoadHandle h, double duty);
@@ -66,8 +108,9 @@ class CpuScheduler {
 
   /// Closes the sampling window that began at the previous call (or at
   /// construction) and returns its utilization breakdown. Bursts are
-  /// consumed; steady loads persist.
-  CpuWindow sample_window();
+  /// consumed; steady loads persist. The returned reference is to a
+  /// reused buffer, valid until the next call.
+  const CpuWindow& sample_window();
 
   /// Instantaneous utilization from steady loads only (no window needed).
   [[nodiscard]] double instantaneous_utilization() const;
@@ -76,19 +119,43 @@ class CpuScheduler {
   struct Load {
     Pid pid;
     double duty;
-    std::string routine;
+    AppIdx app;
+    RoutineIdx routine;
   };
 
   /// Accrues busy time at the current loads up to now; called before any
   /// state mutation so mid-window changes are accounted exactly.
   void integrate();
 
+  /// Adds `core_seconds` to the (app, routine) accrual cell, tracking it
+  /// in the touched list on first touch.
+  void add_cell(AppIdx app, RoutineIdx routine, double core_seconds);
+
+  [[nodiscard]] static std::uint64_t pack_cell(AppIdx app,
+                                               RoutineIdx routine) {
+    return (static_cast<std::uint64_t>(app) << 32) | routine;
+  }
+
+  RoutineIdx ipc_routine();
+
   sim::Simulator& sim_;
   ProcessTable& processes_;
+  std::unique_ptr<IdTable> owned_ids_;
+  IdTable* ids_;
   std::unordered_map<std::uint64_t, Load> loads_;
-  std::unordered_map<Uid, sim::Duration> pending_bursts_;
-  /// Time-weighted core-seconds accrued since the window started.
-  std::unordered_map<Uid, std::unordered_map<std::string, double>> accrued_;
+
+  /// Time-weighted core-seconds accrued since the window started,
+  /// [app][routine]; 0.0 = untouched (all accruals are positive).
+  std::vector<std::vector<double>> accrued_;
+  /// Cells with nonzero accrual, packed (app << 32 | routine).
+  std::vector<std::uint64_t> touched_;
+  /// Pending one-shot burst core-time per app, in microseconds.
+  std::vector<std::int64_t> burst_micros_;
+  std::vector<AppIdx> burst_touched_;
+
+  CpuWindow window_;
+  RoutineIdx ipc_routine_ = kNoIdx;
+
   sim::TimePoint accrue_mark_;
   sim::TimePoint window_start_;
   int cores_ = 1;

@@ -1,0 +1,92 @@
+// Dense interning of sparse identifiers for the metering hot path.
+//
+// Energy accounting touches the same small universe of apps and routine
+// tags thousands of times per simulated second. Keying that traffic on
+// sparse `Uid`s and routine strings forces every sink into hash maps — a
+// heap allocation per node and a cache miss per lookup. The IdTable maps
+// each uid and routine tag to a small dense index on first sight; from
+// then on every consumer (CpuScheduler window, EnergySlice, the profiler
+// sinks, EAndroidEngine) stores its state in flat vectors indexed by
+// AppIdx/RoutineIdx and iterates them in ascending index order — which
+// also fixes one canonical floating-point summation order everywhere,
+// the foundation of the bitwise-determinism contract.
+//
+// Indices are assigned in deterministic first-seen order and never
+// recycled; the table only grows (the app/tag universe of a run is tiny
+// and bounded), so a steady-state intern() is a single hash probe with
+// no allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace eandroid::kernelsim {
+
+/// Dense index of an interned Uid (first-seen order).
+using AppIdx = std::uint32_t;
+/// Dense index of an interned routine tag (first-seen order).
+using RoutineIdx = std::uint32_t;
+/// Sentinel: identifier never interned.
+inline constexpr std::uint32_t kNoIdx = 0xffffffffu;
+
+class IdTable {
+ public:
+  // --- Uids ---
+  /// Dense index for `uid`, interning it on first sight.
+  AppIdx app_of(Uid uid) {
+    auto [it, inserted] = app_index_.try_emplace(uid.value, 0);
+    if (inserted) {
+      it->second = static_cast<AppIdx>(uids_.size());
+      uids_.push_back(uid);
+    }
+    return it->second;
+  }
+  /// Index of an already-interned uid, kNoIdx otherwise.
+  [[nodiscard]] AppIdx find_app(Uid uid) const {
+    auto it = app_index_.find(uid.value);
+    return it == app_index_.end() ? kNoIdx : it->second;
+  }
+  [[nodiscard]] Uid uid_of(AppIdx idx) const { return uids_[idx]; }
+  [[nodiscard]] std::size_t app_count() const { return uids_.size(); }
+
+  // --- Routine tags ---
+  RoutineIdx routine_of(std::string_view tag) {
+    auto it = routine_index_.find(tag);
+    if (it != routine_index_.end()) return it->second;
+    const RoutineIdx idx = static_cast<RoutineIdx>(routines_.size());
+    routines_.emplace_back(tag);
+    routine_index_.emplace(routines_.back(), idx);
+    return idx;
+  }
+  [[nodiscard]] RoutineIdx find_routine(std::string_view tag) const {
+    auto it = routine_index_.find(tag);
+    return it == routine_index_.end() ? kNoIdx : it->second;
+  }
+  [[nodiscard]] const std::string& routine_name(RoutineIdx idx) const {
+    return routines_[idx];
+  }
+  [[nodiscard]] std::size_t routine_count() const { return routines_.size(); }
+
+ private:
+  /// Transparent hashing so routine_of(string_view) never builds a
+  /// temporary std::string on the lookup path.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::int32_t, AppIdx> app_index_;
+  std::vector<Uid> uids_;
+  std::unordered_map<std::string, RoutineIdx, StringHash, std::equal_to<>>
+      routine_index_;
+  std::vector<std::string> routines_;
+};
+
+}  // namespace eandroid::kernelsim

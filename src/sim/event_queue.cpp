@@ -6,10 +6,55 @@
 
 namespace eandroid::sim {
 
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) return;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], heap_[i])) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::remove_root() {
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
 EventHandle EventQueue::push(TimePoint when, Callback cb) {
   const std::uint64_t id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.push_back(Entry{when, next_seq_++, id, Duration(0), std::move(cb)});
+  sift_up(heap_.size() - 1);
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+EventHandle EventQueue::push_periodic(TimePoint first, Duration period,
+                                      Callback cb) {
+  assert(period > Duration(0));
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{first, next_seq_++, id, period, std::move(cb)});
+  sift_up(heap_.size() - 1);
   pending_.insert(id);
   return EventHandle{id};
 }
@@ -19,10 +64,12 @@ bool EventQueue::cancel(EventHandle h) {
   // Only events that are actually still scheduled can be cancelled;
   // handles of fired or already-cancelled events are a safe no-op.
   if (pending_.erase(h.id) == 0) return false;
-  // The entry cannot be removed from the middle of a binary heap; it is
+  // The entry cannot be removed from the middle of the heap; it is
   // discarded lazily when it reaches the head, or eagerly by compact()
   // once dead entries outnumber live ones (the 64 floor keeps tiny
-  // queues from compacting on every other cancel).
+  // queues from compacting on every other cancel). A periodic entry
+  // cancelled from inside its own callback is parked outside the heap —
+  // fire_front() notices and corrects dead_ when it skips the reschedule.
   ++dead_;
   if (dead_ > 64 && dead_ > pending_.size()) compact();
   return true;
@@ -31,14 +78,16 @@ bool EventQueue::cancel(EventHandle h) {
 void EventQueue::compact() {
   std::erase_if(heap_,
                 [this](const Entry& e) { return !pending_.contains(e.id); });
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  // Floyd heapify: sift_down the internal nodes bottom-up.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
   dead_ = 0;
 }
 
 void EventQueue::skip_cancelled() {
   while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    remove_root();
     --dead_;
   }
 }
@@ -57,11 +106,50 @@ TimePoint EventQueue::next_time() const {
 EventQueue::Callback EventQueue::pop() {
   skip_cancelled();
   assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Callback cb = std::move(heap_.back().cb);
-  pending_.erase(heap_.back().id);
-  heap_.pop_back();
+  Callback cb = std::move(heap_.front().cb);
+  pending_.erase(heap_.front().id);
+  heap_.front().cb = nullptr;
+  remove_root();
   return cb;
+}
+
+void EventQueue::fire_front() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  if (heap_.front().period <= Duration(0)) {
+    // One-shot: consume the entry before running, exactly like pop(),
+    // so a callback cancelling its own handle stays a no-op.
+    Callback cb = std::move(heap_.front().cb);
+    pending_.erase(heap_.front().id);
+    heap_.front().cb = nullptr;
+    remove_root();
+    cb();
+    return;
+  }
+  // Periodic: park the whole entry outside the heap while the callback
+  // runs (a cancel storm inside it may trigger compact(), which must not
+  // destroy a callback mid-execution), then reschedule it in place. The
+  // id stays in pending_ throughout, so cancel() from inside the callback
+  // is how a periodic timer stops itself.
+  Entry entry = std::move(heap_.front());
+  remove_root();
+  try {
+    entry.cb();
+  } catch (...) {
+    // Propagating an exception consumes the event like a one-shot would.
+    if (pending_.erase(entry.id) == 0 && dead_ > 0) --dead_;
+    throw;
+  }
+  if (pending_.contains(entry.id)) {
+    entry.when = entry.when + entry.period;
+    entry.seq = next_seq_++;
+    heap_.push_back(std::move(entry));
+    sift_up(heap_.size() - 1);
+  } else if (dead_ > 0) {
+    // cancel() assumed the entry was buried in the heap and counted it
+    // dead; it was parked here instead and is now gone for real.
+    --dead_;
+  }
 }
 
 }  // namespace eandroid::sim

@@ -4,6 +4,17 @@
 // (FIFO), which keeps framework call/callback sequences deterministic.
 // Events can be cancelled via the handle returned by push().
 //
+// Layout: a hand-rolled 4-ary min-heap over a flat vector. The shallower
+// tree does fewer cache-missing compares per sift than a binary heap, and
+// owning the sift code lets fire_front() move an entry out, run it, and
+// push it back without churning the pending-id set.
+//
+// Periodic events (push_periodic / Simulator::every) are first-class: one
+// heap entry and one id live for the whole lifetime of the timer, and each
+// firing reschedules that same entry in place — no fresh std::function, no
+// heap-entry allocation, no pending-set insert/erase per tick. The 250 ms
+// metering timer used to pay all three on every tick.
+//
 // Memory stays proportional to the LIVE event count: a single `pending_`
 // set tracks scheduled-and-not-cancelled ids (an entry whose id has left
 // the set is dead), and when dead entries buried in the heap — e.g.
@@ -34,8 +45,14 @@ class EventQueue {
   /// Schedules `cb` to run at absolute time `when`.
   EventHandle push(TimePoint when, Callback cb);
 
+  /// Schedules `cb` to run at `first` and then every `period` after, until
+  /// cancelled. The entry is rescheduled in place by fire_front(): the
+  /// callback object and the id are allocated once, at registration.
+  EventHandle push_periodic(TimePoint first, Duration period, Callback cb);
+
   /// Cancels a pending event. Returns false if it already fired or was
-  /// cancelled before.
+  /// cancelled before. Cancelling a periodic event stops it; cancelling it
+  /// from inside its own callback suppresses the pending reschedule.
   bool cancel(EventHandle h);
 
   [[nodiscard]] bool empty() const;
@@ -44,23 +61,40 @@ class EventQueue {
   /// Time of the earliest pending event. Precondition: !empty().
   [[nodiscard]] TimePoint next_time() const;
 
-  /// Removes and returns the earliest pending event's callback.
+  /// Removes and returns the earliest pending event's callback. A
+  /// periodic entry popped this way is removed for good (the simulator
+  /// run loop uses fire_front() instead, which reschedules it).
   /// Precondition: !empty().
   Callback pop();
+
+  /// Pops the earliest pending event and runs it. One-shot entries are
+  /// consumed; periodic entries run while parked outside the heap (safe
+  /// against compaction from inside the callback) and are then pushed
+  /// back — same callback object, same id, next instant — unless the
+  /// callback cancelled them. Precondition: !empty().
+  void fire_front();
 
  private:
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
     std::uint64_t id;
+    /// Zero for one-shot events; the reschedule interval for periodic.
+    Duration period{0};
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// Min-heap order: earlier instant first, FIFO (seq) within an instant.
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  // 4-ary heap primitives over heap_.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes the root entry (heap_[0]) keeping the heap shape.
+  void remove_root();
 
   /// Drops dead (cancelled) entries sitting at the head of the heap.
   void skip_cancelled();
@@ -69,9 +103,9 @@ class EventQueue {
   /// free because it runs only when dead entries dominate.
   void compact();
 
-  /// Binary heap under Later (std::push_heap/pop_heap); a plain vector so
-  /// compact() can filter it in place and pop() can move callbacks out
-  /// without const_cast.
+  /// 4-ary heap in a flat vector; a plain vector so compact() can filter
+  /// it in place and fire_front() can move entries out and back without
+  /// const_cast.
   std::vector<Entry> heap_;
   /// Ids of events that are scheduled and not cancelled. Keeping the
   /// exact set (rather than a counter) makes cancel() of an

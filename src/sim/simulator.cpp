@@ -1,43 +1,24 @@
 #include "sim/simulator.h"
 
-#include <memory>
 #include <utility>
 
 namespace eandroid::sim {
 
 std::function<void()> Simulator::every(Duration period,
                                        std::function<void()> task) {
-  struct Ticker {
-    Simulator* sim;
-    Duration period;
-    std::function<void()> task;
-    bool stopped = false;
-    EventHandle pending;
-
-    // The scheduled callback holds the shared_ptr, so the ticker stays
-    // alive even when the caller discards the canceller.
-    static void arm(const std::shared_ptr<Ticker>& self) {
-      self->pending = self->sim->schedule(self->period, [self] {
-        if (self->stopped) return;
-        self->task();
-        if (!self->stopped) arm(self);
-      });
-    }
-  };
-  auto ticker = std::make_shared<Ticker>(
-      Ticker{this, period, std::move(task), false, EventHandle{}});
-  Ticker::arm(ticker);
-  return [ticker] {
-    ticker->stopped = true;
-    ticker->sim->cancel(ticker->pending);
-  };
+  // One periodic queue entry for the whole lifetime of the timer; the
+  // queue reschedules it in place each firing (no per-tick allocation).
+  const EventHandle h =
+      queue_.push_periodic(now_ + period, period, std::move(task));
+  // {Simulator*, handle} fits std::function's small-buffer storage, so
+  // the canceller itself does not allocate either.
+  return [this, h] { queue_.cancel(h); };
 }
 
 void Simulator::run_until(TimePoint until) {
   while (!queue_.empty() && queue_.next_time() <= until) {
     now_ = queue_.next_time();
-    auto cb = queue_.pop();
-    cb();
+    queue_.fire_front();
   }
   if (now_ < until) now_ = until;
 }
@@ -45,8 +26,7 @@ void Simulator::run_until(TimePoint until) {
 void Simulator::run_all() {
   while (!queue_.empty()) {
     now_ = queue_.next_time();
-    auto cb = queue_.pop();
-    cb();
+    queue_.fire_front();
   }
 }
 

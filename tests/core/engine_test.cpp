@@ -56,11 +56,12 @@ class EngineTest : public ::testing::Test {
   energy::EnergySlice slice_with(
       std::initializer_list<std::pair<std::string, double>> cpu,
       double screen_mj = 0.0) {
-    energy::EnergySlice slice;
+    // Shares the server's id table, as the engine requires.
+    energy::EnergySlice slice(server_.ids());
     slice.begin = sim_.now();
     slice.end = sim_.now() + sim::millis(250);
     for (const auto& [package, mj] : cpu) {
-      slice.apps[uid(package)].cpu_mj = mj;
+      slice.app(uid(package)).cpu_mj = mj;
     }
     slice.screen_mj = screen_mj;
     slice.screen_on = screen_mj > 0.0;
@@ -69,6 +70,7 @@ class EngineTest : public ::testing::Test {
     slice.screen_forced_by_wakelock =
         server_.power().screen_forced_by_wakelock();
     slice.system_mj = 5.0;
+    slice.seal();
     return slice;
   }
 

@@ -37,15 +37,16 @@ class InterfaceTest : public ::testing::Test {
   }
 
   energy::EnergySlice slice(double a_mj, double b_mj, double screen = 0.0) {
-    energy::EnergySlice s;
+    energy::EnergySlice s(server_.ids());
     s.begin = sim_.now();
     s.end = sim_.now() + sim::millis(250);
-    if (a_mj > 0) s.apps[uid("com.a")].cpu_mj = a_mj;
-    if (b_mj > 0) s.apps[uid("com.b")].cpu_mj = b_mj;
+    if (a_mj > 0) s.app(uid("com.a")).cpu_mj = a_mj;
+    if (b_mj > 0) s.app(uid("com.b")).cpu_mj = b_mj;
     s.screen_mj = screen;
     s.screen_on = screen > 0;
     s.brightness = server_.screen().brightness();
     s.system_mj = 10.0;
+    s.seal();
     return s;
   }
 
@@ -119,14 +120,16 @@ TEST_F(InterfaceTest, RevisedPowerTutorBreakdownSplitsComponents) {
   server_.user_launch("com.a");
   ctx("com.a").start_activity(Intent::explicit_for("com.b", "Main"));
   energy::EnergySlice s = slice(10.0, 100.0);
-  s.apps[uid("com.a")].camera_mj = 33.0;
-  s.apps[uid("com.a")].cpu_by_routine["main"] = 10.0;
+  s.app(uid("com.a")).camera_mj = 33.0;
+  s.app(uid("com.a")).add_routine(s.ids().routine_of("main"), 10.0);
+  s.seal();
   ea_->on_slice(s);
   const auto* direct = ea_->engine().direct_breakdown(uid("com.a"));
   ASSERT_NE(direct, nullptr);
   EXPECT_DOUBLE_EQ(direct->cpu_mj, 10.0);
   EXPECT_DOUBLE_EQ(direct->camera_mj, 33.0);
-  EXPECT_DOUBLE_EQ(direct->cpu_by_routine.at("main"), 10.0);
+  EXPECT_DOUBLE_EQ(ea_->engine().direct_routine_mj(uid("com.a"), "main"),
+                   10.0);
 
   const std::string text =
       ea_->battery_interface().render_app_breakdown(uid("com.a"));

@@ -23,18 +23,22 @@ class ProfilersTest : public ::testing::Test {
 
   EnergySlice make_slice(double a_cpu, double b_cpu, double screen,
                          kernelsim::Uid foreground) {
-    EnergySlice slice;
+    // All slices share the fixture's table: the dense sinks key their
+    // accumulators on stable app indices across slices.
+    EnergySlice slice(ids_);
     slice.begin = sim::TimePoint(0);
     slice.end = sim::TimePoint(250'000);
-    if (a_cpu > 0) slice.apps[uid_a_].cpu_mj = a_cpu;
-    if (b_cpu > 0) slice.apps[uid_b_].cpu_mj = b_cpu;
+    if (a_cpu > 0) slice.app(uid_a_).cpu_mj = a_cpu;
+    if (b_cpu > 0) slice.app(uid_b_).cpu_mj = b_cpu;
     slice.screen_mj = screen;
     slice.screen_on = screen > 0;
     slice.foreground = foreground;
     slice.system_mj = 10.0;
+    slice.seal();
     return slice;
   }
 
+  kernelsim::IdTable ids_;
   framework::PackageManager packages_;
   BatteryStats stats_;
   PowerTutor tutor_;
@@ -95,10 +99,11 @@ TEST_F(ProfilersTest, PowerTutorUnattributedScreenWithoutForeground) {
 
 TEST_F(ProfilersTest, PowerTutorComponentBreakdown) {
   EnergySlice slice = make_slice(0, 0, 0, uid_a_);
-  slice.apps[uid_a_].camera_mj = 30;
-  slice.apps[uid_a_].gps_mj = 20;
-  slice.apps[uid_a_].wifi_mj = 10;
-  slice.apps[uid_a_].audio_mj = 5;
+  slice.app(uid_a_).camera_mj = 30;
+  slice.app(uid_a_).gps_mj = 20;
+  slice.app(uid_a_).wifi_mj = 10;
+  slice.app(uid_a_).audio_mj = 5;
+  slice.seal();
   tutor_.on_slice(slice);
   EXPECT_DOUBLE_EQ(tutor_.component_energy_mj(uid_a_, HwPart::kCamera), 30.0);
   EXPECT_DOUBLE_EQ(tutor_.component_energy_mj(uid_a_, HwPart::kGps), 20.0);

@@ -89,7 +89,9 @@ TEST_F(SamplerTest, CpuLoadAttributedToApp) {
   ASSERT_FALSE(sink_.slices.empty());
   const EnergySlice& slice = sink_.slices.back();
   const double expected = server_.params().cpu_active_mw * 0.4 * 0.25;
-  EXPECT_NEAR(slice.apps.at(uid()).cpu_mj, expected, 1e-6);
+  const AppSliceEnergy* app = slice.find(uid());
+  ASSERT_NE(app, nullptr);
+  EXPECT_NEAR(app->cpu_mj, expected, 1e-6);
 }
 
 TEST_F(SamplerTest, CameraSessionAttributedToApp) {
@@ -97,8 +99,9 @@ TEST_F(SamplerTest, CameraSessionAttributedToApp) {
   sink_.slices.clear();
   sim_.run_for(sim::millis(250));
   const EnergySlice& slice = sink_.slices.back();
-  EXPECT_NEAR(slice.apps.at(uid()).camera_mj,
-              server_.params().camera_active_mw * 0.25, 1e-6);
+  const AppSliceEnergy* app = slice.find(uid());
+  ASSERT_NE(app, nullptr);
+  EXPECT_NEAR(app->camera_mj, server_.params().camera_active_mw * 0.25, 1e-6);
   ctx().camera_end(session);
 }
 

@@ -25,7 +25,7 @@ TEST_F(SessionComponentTest, ActiveSessionAttributedToOwner) {
   camera_.begin_session(kAppA);
   const PowerBreakdown breakdown = camera_.breakdown();
   EXPECT_DOUBLE_EQ(breakdown.total_mw, 1200.0);
-  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppA), 1200.0);
+  EXPECT_DOUBLE_EQ(breakdown.of(kAppA), 1200.0);
 }
 
 TEST_F(SessionComponentTest, ConcurrentSessionsShareEqually) {
@@ -33,14 +33,14 @@ TEST_F(SessionComponentTest, ConcurrentSessionsShareEqually) {
   camera_.begin_session(kAppB);
   const PowerBreakdown breakdown = camera_.breakdown();
   EXPECT_DOUBLE_EQ(breakdown.total_mw, 1200.0);
-  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppA), 600.0);
-  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppB), 600.0);
+  EXPECT_DOUBLE_EQ(breakdown.of(kAppA), 600.0);
+  EXPECT_DOUBLE_EQ(breakdown.of(kAppB), 600.0);
 }
 
 TEST_F(SessionComponentTest, SameUidTwoSessionsGetsFullPower) {
   camera_.begin_session(kAppA);
   camera_.begin_session(kAppA);
-  EXPECT_DOUBLE_EQ(camera_.breakdown().by_uid.at(kAppA), 1200.0);
+  EXPECT_DOUBLE_EQ(camera_.breakdown().of(kAppA), 1200.0);
 }
 
 TEST_F(SessionComponentTest, TailPowerAfterLastSessionEnds) {
@@ -48,7 +48,7 @@ TEST_F(SessionComponentTest, TailPowerAfterLastSessionEnds) {
   camera_.end_session(id);
   const PowerBreakdown tail = camera_.breakdown();
   EXPECT_DOUBLE_EQ(tail.total_mw, 150.0);
-  EXPECT_DOUBLE_EQ(tail.by_uid.at(kAppA), 150.0);
+  EXPECT_DOUBLE_EQ(tail.of(kAppA), 150.0);
 }
 
 TEST_F(SessionComponentTest, TailExpires) {
@@ -64,7 +64,7 @@ TEST_F(SessionComponentTest, NoTailWhileAnotherSessionRuns) {
   camera_.end_session(a);
   const PowerBreakdown breakdown = camera_.breakdown();
   EXPECT_DOUBLE_EQ(breakdown.total_mw, 1200.0);
-  EXPECT_DOUBLE_EQ(breakdown.by_uid.at(kAppB), 1200.0);
+  EXPECT_DOUBLE_EQ(breakdown.of(kAppB), 1200.0);
 }
 
 TEST_F(SessionComponentTest, EndUnknownSessionIsNoop) {
@@ -78,7 +78,7 @@ TEST_F(SessionComponentTest, EndSessionsOfUidCleansUp) {
   camera_.begin_session(kAppB);
   camera_.end_sessions_of(kAppA);
   EXPECT_EQ(camera_.session_count(), 1u);
-  EXPECT_DOUBLE_EQ(camera_.breakdown().by_uid.at(kAppB), 1200.0);
+  EXPECT_DOUBLE_EQ(camera_.breakdown().of(kAppB), 1200.0);
 }
 
 TEST_F(SessionComponentTest, ZeroTailComponentGoesStraightToIdle) {

@@ -1,0 +1,103 @@
+// Golden-digest equivalence between the allocation-free hot path and the
+// baseline path (fresh buffers every tick, no window-structure caches).
+// The two shapes share every summation and its order, so full-precision
+// digests of whole runs must match bit-for-bit — any divergence means an
+// optimization changed observable results, not just cost.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "apps/chaos.h"
+#include "apps/scenarios.h"
+#include "apps/testbed.h"
+
+namespace eandroid::apps {
+namespace {
+
+void append_f64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g|", v);
+  out += buf;
+}
+
+void append_view(std::string& out, const energy::BatteryView& view) {
+  for (const auto& row : view.rows) {
+    out += row.label;
+    out += ':';
+    append_f64(out, row.energy_mj);
+    append_f64(out, row.percent);
+  }
+  append_f64(out, view.total_mj);
+}
+
+/// Full-precision rendering of everything a scenario reports per uid.
+std::string scenario_digest(const ScenarioResult& result) {
+  std::string out = result.name + ";";
+  append_view(out, result.android_view);
+  append_view(out, result.powertutor_view);
+  for (const auto& row : result.ea_view.rows) {
+    out += row.label;
+    out += ':';
+    append_f64(out, row.original_mj);
+    append_f64(out, row.collateral_mj);
+    append_f64(out, row.total_mj);
+    append_f64(out, row.percent);
+    for (const auto& item : row.inventory) {
+      out += item.label;
+      append_f64(out, item.energy_mj);
+    }
+  }
+  append_f64(out, result.ea_view.screen_row_mj);
+  append_f64(out, result.ea_view.system_row_mj);
+  append_f64(out, result.ea_view.true_total_mj);
+  append_f64(out, result.battery_drained_mj);
+  return out;
+}
+
+using ScenarioFn = ScenarioResult (*)(std::uint64_t);
+
+TEST(HotpathEquivalenceTest, Fig09ScenariosMatchBitForBit) {
+  const std::pair<const char*, ScenarioFn> scenarios[] = {
+      {"scene1", [](std::uint64_t s) { return run_scene1(s); }},
+      {"scene2", [](std::uint64_t s) { return run_scene2(s); }},
+      {"attack1", [](std::uint64_t s) { return run_attack1(s); }},
+      {"attack2", [](std::uint64_t s) { return run_attack2(s); }},
+      {"attack3", [](std::uint64_t s) { return run_attack3(s); }},
+      {"attack4", [](std::uint64_t s) { return run_attack4(s); }},
+      {"attack5", [](std::uint64_t s) { return run_attack5(s); }},
+      {"attack6", [](std::uint64_t s) { return run_attack6(s); }},
+      {"chain", [](std::uint64_t s) { return run_chain_attack(s); }},
+      {"multi", [](std::uint64_t s) { return run_multi_attack(s); }},
+  };
+  for (const auto& [name, fn] : scenarios) {
+    const std::string hot = scenario_digest(fn(1));
+    std::string baseline;
+    {
+      ScopedBaselinePath force_baseline;
+      baseline = scenario_digest(fn(1));
+    }
+    EXPECT_EQ(hot, baseline) << name;
+  }
+}
+
+TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.workload_steps = 40;
+    options.fault_count = 6;
+    options.horizon = sim::seconds(30);
+    const std::string hot = run_chaos(options).digest();
+    std::string baseline;
+    {
+      ScopedBaselinePath force_baseline;
+      baseline = run_chaos(options).digest();
+    }
+    EXPECT_EQ(hot, baseline) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace eandroid::apps

@@ -18,7 +18,7 @@ TEST_F(CpuSchedTest, IdleWindowReportsZero) {
   sim_.run_for(sim::seconds(1));
   const CpuWindow window = cpu_.sample_window();
   EXPECT_DOUBLE_EQ(window.total_utilization, 0.0);
-  EXPECT_TRUE(window.share_by_uid.empty());
+  EXPECT_TRUE(window.shares.empty());
 }
 
 TEST_F(CpuSchedTest, SteadyLoadReportsItsDuty) {
@@ -27,7 +27,7 @@ TEST_F(CpuSchedTest, SteadyLoadReportsItsDuty) {
   sim_.run_for(sim::seconds(1));
   const CpuWindow window = cpu_.sample_window();
   EXPECT_NEAR(window.total_utilization, 0.3, 1e-9);
-  EXPECT_NEAR(window.share_by_uid.at(Uid{10000}), 0.3, 1e-9);
+  EXPECT_NEAR(window.share_of(Uid{10000}), 0.3, 1e-9);
 }
 
 TEST_F(CpuSchedTest, DemandSaturatesAtOneCore) {
@@ -38,8 +38,8 @@ TEST_F(CpuSchedTest, DemandSaturatesAtOneCore) {
   sim_.run_for(sim::seconds(1));
   const CpuWindow window = cpu_.sample_window();
   EXPECT_NEAR(window.total_utilization, 1.0, 1e-9);
-  EXPECT_NEAR(window.share_by_uid.at(Uid{10000}), 0.5, 1e-9);
-  EXPECT_NEAR(window.share_by_uid.at(Uid{10001}), 0.5, 1e-9);
+  EXPECT_NEAR(window.share_of(Uid{10000}), 0.5, 1e-9);
+  EXPECT_NEAR(window.share_of(Uid{10001}), 0.5, 1e-9);
 }
 
 TEST_F(CpuSchedTest, DeadProcessLoadStopsCounting) {
@@ -118,7 +118,7 @@ TEST_F(CpuSchedTest, SharesSumToTotal) {
   sim_.run_for(sim::seconds(1));
   const CpuWindow window = cpu_.sample_window();
   double sum = 0.0;
-  for (const auto& [uid, share] : window.share_by_uid) sum += share;
+  for (const auto& s : window.shares) sum += s.share;
   EXPECT_NEAR(sum, window.total_utilization, 1e-9);
 }
 
@@ -149,7 +149,7 @@ TEST_F(CpuSchedTest, DeathMidWindowIsProrated) {
   sim_.run_for(sim::millis(500));
   const CpuWindow window = cpu_.sample_window();
   EXPECT_NEAR(window.total_utilization, 0.2, 1e-9);
-  EXPECT_NEAR(window.share_by_uid.at(Uid{10000}), 0.2, 1e-9);
+  EXPECT_NEAR(window.share_of(Uid{10000}), 0.2, 1e-9);
 }
 
 TEST_F(CpuSchedTest, RemoveLoadMidWindowIsProrated) {

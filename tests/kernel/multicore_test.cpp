@@ -38,8 +38,8 @@ TEST_F(MulticoreTest, ParallelAppsDoNotContendBelowCapacity) {
   const CpuWindow window = quad_.sample_window();
   EXPECT_NEAR(window.total_utilization, 0.5, 1e-9);
   // Each app gets its full core — no proportional squeeze.
-  EXPECT_NEAR(window.share_by_uid.at(Uid{10000}), 0.25, 1e-9);
-  EXPECT_NEAR(window.share_by_uid.at(Uid{10001}), 0.25, 1e-9);
+  EXPECT_NEAR(window.share_of(Uid{10000}), 0.25, 1e-9);
+  EXPECT_NEAR(window.share_of(Uid{10001}), 0.25, 1e-9);
 }
 
 TEST_F(MulticoreTest, SaturatesAtAllCores) {
@@ -53,7 +53,7 @@ TEST_F(MulticoreTest, SaturatesAtAllCores) {
   const CpuWindow window = quad_.sample_window();
   EXPECT_NEAR(window.total_utilization, 1.0, 1e-9);  // 6 cores wanted, 4 given
   double sum = 0.0;
-  for (const auto& [uid, share] : window.share_by_uid) sum += share;
+  for (const auto& s : window.shares) sum += s.share;
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 

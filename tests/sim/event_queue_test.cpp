@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 namespace eandroid::sim {
@@ -106,6 +108,125 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
   q.pop();
   EXPECT_EQ(q.size(), 0u);
+}
+
+// Stress: a deterministic pseudo-random interleaving of push / cancel /
+// pop / fire (with in-place periodic reschedule) against a brute-force
+// reference model. Cancels are frequent enough to drive the heap across
+// its compaction boundary many times, so this catches id aliasing,
+// FIFO-at-the-same-instant breaks, and compaction losing or duplicating
+// entries.
+TEST(EventQueueTest, StressInterleavedOpsAcrossCompaction) {
+  EventQueue q;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  struct ModelEvent {
+    std::uint64_t token;
+    TimePoint when;
+    Duration period{0};  // 0 = one-shot
+    EventHandle handle;
+  };
+  // Scheduling order; the stable minimum over `when` is the FIFO-correct
+  // next event. Rescheduled periodic entries move to the back, matching
+  // the queue's fresh sequence number per firing.
+  std::vector<ModelEvent> live;
+  std::unordered_set<std::uint64_t> seen_ids;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_token = 1;
+  TimePoint now{0};
+
+  auto model_earliest = [&live] {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < live.size(); ++i) {
+      if (live[i].when < live[best].when) best = i;
+    }
+    return best;
+  };
+  auto consume_front = [&](bool via_pop) {
+    ASSERT_FALSE(live.empty());
+    const std::size_t best = model_earliest();
+    const ModelEvent expect = live[best];
+    live.erase(live.begin() + best);
+    now = expect.when;
+    ASSERT_EQ(q.next_time(), expect.when);
+    const std::size_t before = fired.size();
+    if (via_pop) {
+      q.pop()();  // removes even a periodic entry for good
+    } else {
+      q.fire_front();
+      if (expect.period > Duration(0)) {
+        ModelEvent again = expect;
+        again.when = again.when + again.period;
+        live.push_back(again);
+      }
+    }
+    ASSERT_EQ(fired.size(), before + 1);
+    EXPECT_EQ(fired.back(), expect.token);
+  };
+
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint64_t r = next_rand();
+    const std::uint64_t arg = r >> 8;
+    switch (r % 8) {
+      case 0:
+      case 1:
+      case 2: {  // one-shot push; small spread forces equal instants
+        const std::uint64_t token = next_token++;
+        const TimePoint when =
+            now + Duration(static_cast<std::int64_t>(arg % 40));
+        const EventHandle h =
+            q.push(when, [&fired, token] { fired.push_back(token); });
+        ASSERT_TRUE(seen_ids.insert(h.id).second) << "event id reused";
+        live.push_back({token, when, Duration(0), h});
+        break;
+      }
+      case 3: {  // periodic push
+        const std::uint64_t token = next_token++;
+        const TimePoint when =
+            now + Duration(static_cast<std::int64_t>(arg % 40));
+        const Duration period = Duration(static_cast<std::int64_t>(1 + arg % 7));
+        const EventHandle h = q.push_periodic(
+            when, period, [&fired, token] { fired.push_back(token); });
+        ASSERT_TRUE(seen_ids.insert(h.id).second) << "event id reused";
+        live.push_back({token, when, period, h});
+        break;
+      }
+      case 4:
+      case 5: {  // cancel a random live entry (fuels compaction)
+        if (live.empty()) break;
+        const std::size_t victim = arg % live.size();
+        EXPECT_TRUE(q.cancel(live[victim].handle));
+        live.erase(live.begin() + victim);
+        break;
+      }
+      case 6: {  // fire the earliest; periodic entries reschedule in place
+        if (!live.empty()) consume_front(/*via_pop=*/false);
+        break;
+      }
+      case 7: {  // pop() consumes the earliest entry outright
+        if (!live.empty()) consume_front(/*via_pop=*/true);
+        break;
+      }
+    }
+    ASSERT_EQ(q.size(), live.size());
+    ASSERT_EQ(q.empty(), live.empty());
+  }
+
+  // Drain what is left: cancel the periodics, fire the one-shots dry.
+  for (std::size_t i = live.size(); i-- > 0;) {
+    if (live[i].period > Duration(0)) {
+      EXPECT_TRUE(q.cancel(live[i].handle));
+      live.erase(live.begin() + i);
+    }
+  }
+  while (!live.empty()) consume_front(/*via_pop=*/false);
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace
