@@ -7,6 +7,7 @@
 //    fixed-frequency vs frequency-stepped CPU model.
 #include <cstdio>
 
+#include "apps/testbed.h"
 #include "apps/demo_app.h"
 #include "apps/malware.h"
 #include "apps/scenarios.h"

@@ -4,6 +4,7 @@
 // driver's own energy plus the contributions of every attack-related app.
 #include <cstdio>
 
+#include "apps/testbed.h"
 #include "apps/demo_app.h"
 #include "apps/scenarios.h"
 

@@ -1,0 +1,301 @@
+// Fleet scaling profile: simulation throughput vs fleet size, plus the
+// memory story of the shared-immutable-config refactor.
+//
+// Two sections, written to BENCH_fleet.json:
+//
+//   * memory — live heap bytes per device right after construction, for
+//     two construction legs of the same 64-device fleet: the fleet path
+//     (ONE PowerParams / Manifest set / EngineConfig aliased by every
+//     device) vs the pre-refactor shape (every device owns private
+//     copies). The delta is exactly what the shared_ptr<const> plumbing
+//     buys at population scale.
+//
+//   * scaling — device-simulated-seconds per wall second and peak RSS
+//     per device while fleets of 8/32/128 devices run a push-campaign
+//     workload in lockstep epochs. The largest fleet's throughput is the
+//     number CI gates against (a -15% regression fails bench-smoke,
+//     mirroring the hotpath gate).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <malloc.h>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "apps/demo_app.h"
+#include "fleet/aggregate.h"
+#include "fleet/fleet.h"
+
+// --- Counting allocator: tracks allocation count AND live bytes. ---
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::int64_t> g_live_bytes{0};
+
+std::int64_t live_bytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = std::malloc(size ? size : 1)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_live_bytes.fetch_add(
+        static_cast<std::int64_t>(malloc_usable_size(p)),
+        std::memory_order_relaxed);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    g_live_bytes.fetch_sub(
+        static_cast<std::int64_t>(malloc_usable_size(p)),
+        std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  ::operator delete(p);
+}
+
+namespace {
+
+using namespace eandroid;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kMemoryDevices = 64;
+constexpr std::int64_t kRunSimSeconds = 60;
+
+// --- Peak-RSS probes (Linux): VmHWM, resettable via clear_refs. ---
+
+void reset_peak_rss() {
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+}
+
+std::int64_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// --- The shared workload: a sender, a push endpoint, a background load. ---
+
+fleet::InstallPlan make_plan() {
+  fleet::InstallPlan plan;
+  apps::DemoAppSpec sender;
+  sender.package = "com.fleet.weather";
+  plan.add_app<apps::DemoApp>(sender);
+
+  apps::DemoAppSpec victim;
+  victim.package = "com.fleet.syncclient";
+  victim.push_endpoint = true;
+  plan.add_app<apps::DemoApp>(victim);
+
+  apps::DemoAppSpec load;
+  load.package = "com.fleet.load";
+  load.background_cpu = 0.03;
+  plan.add_app<apps::DemoApp>(load);
+  return plan;
+}
+
+fleet::PushCampaign make_campaign() {
+  fleet::PushCampaign campaign;
+  campaign.sender_package = "com.fleet.weather";
+  campaign.target_package = "com.fleet.syncclient";
+  campaign.start = sim::TimePoint{} + sim::seconds(2);
+  campaign.period = sim::seconds(5);
+  campaign.pushes_per_device = 11;
+  campaign.device_stagger = sim::millis(7);
+  return campaign;
+}
+
+// --- Memory legs -----------------------------------------------------------
+
+/// Live bytes per device after constructing (not running) `n` devices
+/// whose specs alias ONE shared config set.
+std::int64_t shared_leg_bytes_per_device(int n) {
+  const auto plan =
+      std::make_shared<const fleet::InstallPlan>(make_plan());
+  const auto params = hw::shared_nexus4_params();
+  const auto engine_config = fleet::shared_default_engine_config();
+  std::vector<std::unique_ptr<fleet::DeviceContext>> devices;
+  devices.reserve(static_cast<std::size_t>(n));
+  const std::int64_t before = live_bytes();
+  for (int i = 0; i < n; ++i) {
+    fleet::DeviceSpec spec;
+    spec.seed = 1 + static_cast<std::uint64_t>(i);
+    spec.device_index = i;
+    spec.params = params;
+    spec.engine_config = engine_config;
+    spec.install_plan = plan;
+    devices.push_back(std::make_unique<fleet::DeviceContext>(std::move(spec)));
+  }
+  return (live_bytes() - before) / n;
+}
+
+/// The pre-refactor shape: every device owns private copies of the
+/// params, engine config, and manifests.
+std::int64_t copied_leg_bytes_per_device(int n) {
+  std::vector<std::unique_ptr<fleet::DeviceContext>> devices;
+  devices.reserve(static_cast<std::size_t>(n));
+  const std::int64_t before = live_bytes();
+  for (int i = 0; i < n; ++i) {
+    fleet::DeviceSpec spec;
+    spec.seed = 1 + static_cast<std::uint64_t>(i);
+    spec.device_index = i;
+    spec.params =
+        std::make_shared<const hw::PowerParams>(hw::nexus4_params());
+    spec.engine_config = std::make_shared<const core::EngineConfig>();
+    // A fresh plan per device re-freezes every manifest: the per-device
+    // Manifest copies the old Testbed-per-phone design paid for.
+    spec.install_plan =
+        std::make_shared<const fleet::InstallPlan>(make_plan());
+    devices.push_back(std::make_unique<fleet::DeviceContext>(std::move(spec)));
+  }
+  return (live_bytes() - before) / n;
+}
+
+// --- Scaling legs ----------------------------------------------------------
+
+struct ScaleResult {
+  int devices = 0;
+  int shards = 0;
+  double wall_s = 0.0;
+  double device_sim_s_per_wall_s = 0.0;
+  std::int64_t peak_rss_kb_per_device = 0;
+  std::uint64_t pushes_delivered = 0;
+};
+
+ScaleResult run_fleet(int devices, int shards) {
+  reset_peak_rss();
+  fleet::FleetOptions options;
+  options.device_count = devices;
+  options.shards = shards;
+  options.epoch = sim::seconds(5);
+  options.install_plan =
+      std::make_shared<const fleet::InstallPlan>(make_plan());
+  fleet::Fleet fleet(options);
+  fleet.broker().add_campaign(make_campaign());
+  fleet.start();
+
+  const auto start = Clock::now();
+  fleet.run_for(sim::seconds(kRunSimSeconds));
+  fleet.finish();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ScaleResult result;
+  result.devices = devices;
+  result.shards = shards;
+  result.wall_s = wall;
+  result.device_sim_s_per_wall_s =
+      static_cast<double>(devices) * static_cast<double>(kRunSimSeconds) /
+      wall;
+  result.peak_rss_kb_per_device = peak_rss_kb() / devices;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    result.pushes_delivered +=
+        fleet.device(i).server().push().pushes_delivered();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== fleet scaling: lockstep push campaigns, %lld simulated "
+              "seconds per leg ===\n\n",
+              static_cast<long long>(kRunSimSeconds));
+
+  const std::int64_t shared_bpd =
+      shared_leg_bytes_per_device(kMemoryDevices);
+  const std::int64_t copied_bpd =
+      copied_leg_bytes_per_device(kMemoryDevices);
+  const double savings =
+      copied_bpd > 0
+          ? static_cast<double>(copied_bpd - shared_bpd) /
+                static_cast<double>(copied_bpd)
+          : 0.0;
+  std::printf("memory (%d devices): %lld bytes/device shared config, %lld "
+              "copied (%.1f%% saved by sharing)\n\n",
+              kMemoryDevices, static_cast<long long>(shared_bpd),
+              static_cast<long long>(copied_bpd), 100.0 * savings);
+
+  const int sizes[] = {8, 32, 128};
+  std::vector<ScaleResult> results;
+  std::printf("%10s %8s %10s %22s %16s %10s\n", "devices", "shards",
+              "wall (s)", "device-sim-s / wall-s", "peak RSS/dev", "pushes");
+  for (const int n : sizes) {
+    const int shards = n >= 32 ? 4 : 2;
+    const ScaleResult r = run_fleet(n, shards);
+    std::printf("%10d %8d %10.3f %22.0f %13lld kB %10llu\n", r.devices,
+                r.shards, r.wall_s, r.device_sim_s_per_wall_s,
+                static_cast<long long>(r.peak_rss_kb_per_device),
+                static_cast<unsigned long long>(r.pushes_delivered));
+    results.push_back(r);
+  }
+  const double gate_throughput = results.back().device_sim_s_per_wall_s;
+
+  std::FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fleet_scaling\",\n"
+                 "  \"memory\": {\"devices\": %d, "
+                 "\"bytes_per_device_shared\": %lld, "
+                 "\"bytes_per_device_copied\": %lld, "
+                 "\"shared_savings_fraction\": %.4f},\n"
+                 "  \"scaling\": [\n",
+                 kMemoryDevices, static_cast<long long>(shared_bpd),
+                 static_cast<long long>(copied_bpd), savings);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ScaleResult& r = results[i];
+      std::fprintf(json,
+                   "    {\"devices\": %d, \"shards\": %d, \"wall_s\": %.4f, "
+                   "\"device_sim_s_per_wall_s\": %.1f, "
+                   "\"peak_rss_kb_per_device\": %lld, "
+                   "\"pushes_delivered\": %llu}%s\n",
+                   r.devices, r.shards, r.wall_s,
+                   r.device_sim_s_per_wall_s,
+                   static_cast<long long>(r.peak_rss_kb_per_device),
+                   static_cast<unsigned long long>(r.pushes_delivered),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"throughput_device_sim_s_per_wall_s\": %.1f\n"
+                 "}\n",
+                 gate_throughput);
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fleet.json\n");
+  }
+
+  // Sharing must never LOSE memory; a negative saving means the refactor
+  // regressed.
+  if (shared_bpd > copied_bpd) {
+    std::printf("FAIL: shared-config devices are larger than copied-config "
+                "devices\n");
+    return 1;
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/testbed.h"
 #include "apps/workload.h"
 #include "exp/parallel_runner.h"
 

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/testbed.h"
 #include "apps/workload.h"
 #include "exp/parallel_runner.h"
 

@@ -6,6 +6,7 @@
 #include "apps/testbed.h"
 #include "apps/workload.h"
 #include "core/invariants.h"
+#include "fleet/fault_actions.h"
 #include "sim/fault.h"
 
 namespace eandroid::apps {
@@ -50,54 +51,12 @@ std::string ChaosResult::digest() const {
 }
 
 ChaosResult run_chaos(const ChaosOptions& options) {
-  Testbed bed({.seed = options.seed});
+  Testbed bed({.seed = options.seed, .hot_path = options.hot_path});
   RandomWorkload workload(bed, {.seed = options.seed ^ kWorkloadSalt});
   bed.start();
 
   framework::SystemServer& server = bed.server();
-
-  // Fault targets: the third-party cast, in uid order so `target % size`
-  // is stable across runs.
-  std::vector<kernelsim::Uid> cast;
-  for (const framework::PackageRecord* pkg : server.packages().all_packages()) {
-    if (!pkg->system_app) cast.push_back(pkg->uid);
-  }
-  std::sort(cast.begin(), cast.end());
-
-  sim::FaultActions actions;
-  actions.kill_app = [&server, &cast](std::uint64_t target) {
-    if (cast.empty()) return;
-    server.kill_app(cast[target % cast.size()]);
-  };
-  actions.kill_lock_holder = [&server, &cast](std::uint64_t target) {
-    std::vector<kernelsim::Uid> holders;
-    for (kernelsim::Uid uid : cast) {
-      if (!server.power().held_by(uid).empty()) holders.push_back(uid);
-    }
-    if (holders.empty()) return;  // nobody to leak from right now
-    server.kill_app(holders[target % holders.size()]);
-  };
-  actions.hang_app = [&server, &cast](std::uint64_t target) {
-    if (cast.empty()) return;
-    const kernelsim::Uid uid = cast[target % cast.size()];
-    // Toggle: hanging a hung app instead recovers it, so long schedules
-    // exercise both the ANR kill and the drain-on-recovery path.
-    server.set_app_hung(uid, !server.app_hung(uid));
-  };
-  actions.binder_failure = [&server](std::uint64_t n) {
-    server.binder().fail_next(n);
-  };
-  actions.drop_broadcast = [&server](std::uint64_t n) {
-    server.broadcasts().drop_next(n);
-  };
-  actions.delay_alarms = [&server](sim::Duration by) {
-    server.alarms().delay_pending(by);
-  };
-  actions.battery_exhaust = [&bed, &server] {
-    // deplete_to, not drain(): the cell collapses, but the device did not
-    // consume that energy, so the conservation ledger must stay intact.
-    server.battery().deplete_to(0.0, bed.sim().now());
-  };
+  const sim::FaultActions actions = fleet::default_fault_actions(server);
 
   const sim::FaultPlan plan =
       sim::FaultPlan::generate(options.seed, options.horizon,

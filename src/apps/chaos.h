@@ -31,6 +31,9 @@ struct ChaosOptions {
   int fault_count = 12;
   /// Faults land uniformly in (0, horizon].
   sim::Duration horizon = sim::seconds(120);
+  /// False replays the identical schedule on the pre-optimization
+  /// metering path (TestbedOptions::hot_path); digests must not change.
+  bool hot_path = true;
 };
 
 struct ChaosResult {

@@ -4,7 +4,7 @@
 
 namespace eandroid::apps {
 
-std::string render_device_report(Testbed& bed,
+std::string render_device_report(fleet::DeviceContext& bed,
                                  const energy::Eprof* eprof,
                                  const energy::PowerSignatureDetector*
                                      detector,

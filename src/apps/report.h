@@ -9,7 +9,7 @@
 
 #include <string>
 
-#include "apps/testbed.h"
+#include "fleet/device_context.h"
 #include "energy/eprof.h"
 #include "energy/power_signature.h"
 
@@ -25,9 +25,9 @@ struct ReportOptions {
   double suspect_threshold_mw = 150.0;
 };
 
-/// Renders the report for a testbed; `eprof` and `detector` are optional
+/// Renders the report for a device (Testbed or fleet member); `eprof` and `detector` are optional
 /// extra sinks the caller attached (pass nullptr to skip the sections).
-std::string render_device_report(Testbed& bed,
+std::string render_device_report(fleet::DeviceContext& bed,
                                  const energy::Eprof* eprof = nullptr,
                                  const energy::PowerSignatureDetector*
                                      detector = nullptr,

@@ -37,8 +37,11 @@ DemoAppSpec background_hog_spec(const std::string& package, double bg_cpu) {
 
 }  // namespace
 
-ScenarioResult run_scene1(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_scene1(std::uint64_t seed,
+                         const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   bed.install<DemoApp>(message_spec());
   bed.install<DemoApp>(camera_spec());
   bed.start();
@@ -59,8 +62,11 @@ ScenarioResult run_scene1(std::uint64_t seed) {
   return collect(bed, "scene1_message_films_video");
 }
 
-ScenarioResult run_scene2(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_scene2(std::uint64_t seed,
+                         const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   bed.install<DemoApp>(contacts_spec());
   bed.install<DemoApp>(message_spec());
   bed.install<DemoApp>(camera_spec());
@@ -84,8 +90,11 @@ ScenarioResult run_scene2(std::uint64_t seed) {
   return collect(bed, "scene2_contacts_message_camera");
 }
 
-ScenarioResult run_attack1(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_attack1(std::uint64_t seed,
+                          const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   bed.install<DemoApp>(camera_spec());
   bed.install<HijackMalware>("com.example.camera", "Main");
   bed.start();
@@ -101,8 +110,11 @@ ScenarioResult run_attack1(std::uint64_t seed) {
   return collect(bed, "attack1_component_hijack");
 }
 
-ScenarioResult run_attack2(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_attack2(std::uint64_t seed,
+                          const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   bed.install<DemoApp>(background_hog_spec("com.example.newsfeed", 0.25));
   bed.install<DemoApp>(background_hog_spec("com.example.game", 0.15));
   bed.install<SpawnerMalware>(std::vector<std::string>{
@@ -118,8 +130,11 @@ ScenarioResult run_attack2(std::uint64_t seed) {
   return collect(bed, "attack2_background_spawn");
 }
 
-ScenarioResult run_attack3(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_attack3(std::uint64_t seed,
+                          const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   DemoAppSpec victim = victim_spec();
   victim.wakelock_bug = false;  // isolate the service effect, as in Fig 9c
   victim.exit_dialog = false;
@@ -148,8 +163,11 @@ ScenarioResult run_attack3(std::uint64_t seed) {
   return collect(bed, "attack3_bind_service");
 }
 
-ScenarioResult run_attack4(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_attack4(std::uint64_t seed,
+                          const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   const DemoAppSpec victim = victim_spec();
   bed.install<DemoApp>(victim);
   bed.install<InterrupterMalware>(victim.package);
@@ -170,8 +188,11 @@ ScenarioResult run_attack4(std::uint64_t seed) {
   return collect(bed, "attack4_interrupt_to_background");
 }
 
-ScenarioResult run_attack5(std::uint64_t seed, int brightness) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_attack5(std::uint64_t seed, int brightness,
+                           const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   bed.install<DemoApp>(music_spec());
   auto* malware = bed.install<BrightnessMalware>(brightness);
   bed.start();
@@ -189,8 +210,11 @@ ScenarioResult run_attack5(std::uint64_t seed, int brightness) {
   return collect(bed, "attack5_brightness_escalation");
 }
 
-ScenarioResult run_attack6(std::uint64_t seed, bool release_lock) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_attack6(std::uint64_t seed, bool release_lock,
+                           const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   auto* malware = bed.install<WakelockMalware>();
   bed.start();
 
@@ -206,8 +230,11 @@ ScenarioResult run_attack6(std::uint64_t seed, bool release_lock) {
                                    : "attack6_wakelock_leaked");
 }
 
-ScenarioResult run_chain_attack(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_chain_attack(std::uint64_t seed,
+                               const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
 
   // B: exported service; when driven, starts C (the man in the middle).
   DemoAppSpec b = victim_spec();
@@ -244,8 +271,11 @@ ScenarioResult run_chain_attack(std::uint64_t seed) {
   return collect(bed, "chain_attack_fig7");
 }
 
-ScenarioResult run_multi_attack(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_multi_attack(std::uint64_t seed,
+                               const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   DemoAppSpec victim = victim_spec();
   victim.wakelock_bug = false;
   victim.exit_dialog = false;
@@ -273,8 +303,11 @@ ScenarioResult run_multi_attack(std::uint64_t seed) {
   return collect(bed, "multi_hybrid_attack");
 }
 
-ScenarioResult run_push_flood(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_push_flood(std::uint64_t seed,
+                             const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   DemoAppSpec victim = message_spec();
   victim.package = "com.example.syncclient";
   victim.push_endpoint = true;
@@ -296,8 +329,11 @@ ScenarioResult run_push_flood(std::uint64_t seed) {
   return collect(bed, "push_flood_attack");
 }
 
-ScenarioResult run_benign_interruption(std::uint64_t seed) {
-  Testbed bed({.seed = seed});
+ScenarioResult run_benign_interruption(std::uint64_t seed,
+                                      const TestbedOptions& base) {
+  TestbedOptions options = base;
+  options.seed = seed;
+  Testbed bed(options);
   bed.install<DemoApp>(victim_spec());  // the wakelock-bug app, no malware
   bed.start();
 

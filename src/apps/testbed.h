@@ -1,21 +1,21 @@
-// Testbed: one simulated phone with all three profilers attached.
+// Testbed: the one-phone convenience wrapper over fleet::DeviceContext.
 //
-// Bundles the objects every experiment needs — simulator, system server,
-// energy sampler, stock BatteryStats, PowerTutor, and E-Android — in the
-// right construction order, mirroring the paper's setup of "original
-// versions and our modified versions of Android's official Batterystats
-// application and PowerTutor".
+// Historically this class owned the simulator + system server + sampler +
+// three profilers itself; that machinery now lives in
+// fleet/device_context.h so a Fleet can own N of them. Testbed remains
+// the single-device entry point every scenario, test, and bench uses: it
+// keeps the familiar TestbedOptions (plain values, freely mutable before
+// construction) and translates them into a DeviceSpec, wrapping the
+// params and engine config into the spec's shared immutable form.
+//
+// The old ScopedBaselinePath process-global is gone: baseline-vs-hot-path
+// is an explicit option (TestbedOptions::hot_path / DeviceSpec::hot_path)
+// threaded through scenario and chaos entry points, never ambient state.
 #pragma once
 
 #include <memory>
-#include <utility>
 
-#include "core/e_android.h"
-#include "energy/battery_stats.h"
-#include "energy/power_tutor.h"
-#include "energy/sampler.h"
-#include "framework/system_server.h"
-#include "sim/simulator.h"
+#include "fleet/device_context.h"
 
 namespace eandroid::apps {
 
@@ -35,111 +35,28 @@ struct TestbedOptions {
   bool hot_path = true;
 };
 
-/// Process-wide override forcing every Testbed constructed while one is
-/// alive onto the baseline (pre-optimization) path, regardless of its
-/// options. Scenario entry points only take a seed; this lets tests and
-/// benches replay them on both paths without widening every signature.
-/// Not reentrant, not thread-safe — scope one at a time.
-class ScopedBaselinePath {
- public:
-  ScopedBaselinePath() { flag() = true; }
-  ~ScopedBaselinePath() { flag() = false; }
-  ScopedBaselinePath(const ScopedBaselinePath&) = delete;
-  ScopedBaselinePath& operator=(const ScopedBaselinePath&) = delete;
-
-  [[nodiscard]] static bool active() { return flag(); }
-
- private:
-  static bool& flag() {
-    static bool forced = false;
-    return forced;
-  }
-};
-
-class Testbed {
+class Testbed : public fleet::DeviceContext {
  public:
   explicit Testbed(TestbedOptions options = {})
-      : options_(options),
-        sim_(options.seed),
-        server_(sim_, options.params),
-        sampler_(server_, options.sample_period,
-                 options.hot_path && !ScopedBaselinePath::active()),
-        battery_stats_(server_.packages()),
-        power_tutor_(server_.packages()) {
-    if (options.with_eandroid) {
-      core::EngineConfig config = options.engine_config;
-      if (!options.hot_path || ScopedBaselinePath::active()) {
-        config.cache_window_structures = false;
-      }
-      eandroid_ = std::make_unique<core::EAndroid>(
-          server_, options.eandroid_mode, config);
-      sampler_.add_sink(eandroid_.get());
-    }
-    sampler_.add_sink(&battery_stats_);
-    sampler_.add_sink(&power_tutor_);
-  }
+      : fleet::DeviceContext(spec_from(options)) {}
 
-  /// Installs an app object that provides `manifest()`; returns a borrowed
-  /// pointer (the package manager owns it).
-  template <typename App, typename... Args>
-  App* install(Args&&... args) {
-    auto app = std::make_unique<App>(std::forward<Args>(args)...);
-    App* borrowed = app.get();
-    server_.install(borrowed->manifest(), std::move(app));
-    return borrowed;
+  /// The DeviceSpec equivalent of one-phone options. The by-value params
+  /// and engine config are frozen into private shared objects — sharing
+  /// across devices is the fleet path's job (fleet/fleet.h builds specs
+  /// that alias one object for the whole population).
+  [[nodiscard]] static fleet::DeviceSpec spec_from(
+      const TestbedOptions& options) {
+    fleet::DeviceSpec spec;
+    spec.seed = options.seed;
+    spec.with_eandroid = options.with_eandroid;
+    spec.eandroid_mode = options.eandroid_mode;
+    spec.sample_period = options.sample_period;
+    spec.hot_path = options.hot_path;
+    spec.params = std::make_shared<const hw::PowerParams>(options.params);
+    spec.engine_config =
+        std::make_shared<const core::EngineConfig>(options.engine_config);
+    return spec;
   }
-
-  /// Boots the device and starts metering.
-  void start() {
-    server_.boot();
-    sampler_.start();
-  }
-
-  /// Advances virtual time, then closes the final partial sample window.
-  void run_for(sim::Duration d) {
-    sim_.run_for(d);
-    sampler_.flush();
-  }
-
-  /// Android's "battery usage since last full charge" semantic: clears
-  /// every profiler's accumulation (call when the charger is unplugged
-  /// after a full charge). The window tracker's open windows survive —
-  /// attacks in progress keep being attributed.
-  void reset_stats() {
-    sampler_.flush();
-    battery_stats_.reset();
-    power_tutor_.reset();
-    if (eandroid_) eandroid_->engine().reset();
-  }
-
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] framework::SystemServer& server() { return server_; }
-  [[nodiscard]] energy::EnergySampler& sampler() { return sampler_; }
-  [[nodiscard]] energy::BatteryStats& battery_stats() {
-    return battery_stats_;
-  }
-  [[nodiscard]] energy::PowerTutor& power_tutor() { return power_tutor_; }
-  /// Null when constructed with with_eandroid=false (stock Android).
-  [[nodiscard]] core::EAndroid* eandroid() { return eandroid_.get(); }
-
-  [[nodiscard]] framework::Context& context_of(const std::string& package) {
-    const framework::PackageRecord* pkg = server_.packages().find(package);
-    server_.ensure_process(pkg->uid);
-    return server_.context_of(pkg->uid);
-  }
-  [[nodiscard]] kernelsim::Uid uid_of(const std::string& package) {
-    const framework::PackageRecord* pkg = server_.packages().find(package);
-    return pkg == nullptr ? kernelsim::Uid{} : pkg->uid;
-  }
-
- private:
-  TestbedOptions options_;
-  sim::Simulator sim_;
-  framework::SystemServer server_;
-  energy::EnergySampler sampler_;
-  energy::BatteryStats battery_stats_;
-  energy::PowerTutor power_tutor_;
-  std::unique_ptr<core::EAndroid> eandroid_;
 };
 
 }  // namespace eandroid::apps

@@ -8,7 +8,8 @@ using framework::BrightnessMode;
 using framework::Intent;
 using framework::WakelockType;
 
-RandomWorkload::RandomWorkload(Testbed& bed, WorkloadOptions options)
+RandomWorkload::RandomWorkload(fleet::DeviceContext& bed,
+                               WorkloadOptions options)
     : bed_(bed), options_(options), rng_(options.seed) {
   DemoAppSpec a = victim_spec();
   a.package = "com.fuzz.a";

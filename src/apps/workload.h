@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "apps/testbed.h"
+#include "fleet/device_context.h"
 #include "sim/rng.h"
 
 namespace eandroid::apps {
@@ -29,8 +29,13 @@ class RandomWorkload {
  public:
   /// Installs a four-app cast (a wakelock-bug victim with a service, a
   /// backgroundable messenger, a camera app, and a privileged music app)
-  /// into `bed`. Call before bed.start().
-  RandomWorkload(Testbed& bed, WorkloadOptions options = {});
+  /// into `bed` — any DeviceContext, the single-phone Testbed included.
+  /// Call before bed.start().
+  ///
+  /// NOTE: step() advances the device's own clock, so a RandomWorkload
+  /// device cannot take part in a fleet's lockstep epochs — fleets drive
+  /// load through the PushBroker and fault plans instead.
+  RandomWorkload(fleet::DeviceContext& bed, WorkloadOptions options = {});
 
   /// Performs one random operation and advances virtual time.
   void step();
@@ -46,7 +51,7 @@ class RandomWorkload {
   [[nodiscard]] std::uint64_t steps_taken() const { return steps_; }
 
  private:
-  Testbed& bed_;
+  fleet::DeviceContext& bed_;
   WorkloadOptions options_;
   sim::Rng rng_;
   std::vector<std::string> apps_;

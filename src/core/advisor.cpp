@@ -31,7 +31,7 @@ BatteryForecast BatteryAdvisor::forecast(sim::Duration min_observation) const {
     AppAdvice advice;
     advice.uid = uid;
     const framework::PackageRecord* pkg = packages.find(uid);
-    advice.package = pkg != nullptr ? pkg->manifest.package
+    advice.package = pkg != nullptr ? pkg->manifest->package
                                     : "uid:" + std::to_string(uid.value);
     advice.responsible_mw = responsible_mj / forecast.observed_s;
     // Collateral double counts across chained drivers; clamp the savings

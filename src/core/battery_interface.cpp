@@ -9,7 +9,7 @@ namespace {
 std::string label_for(const framework::PackageManager& packages,
                       kernelsim::Uid uid) {
   const framework::PackageRecord* pkg = packages.find(uid);
-  return pkg != nullptr ? pkg->manifest.package
+  return pkg != nullptr ? pkg->manifest->package
                         : "uid:" + std::to_string(uid.value);
 }
 }  // namespace

@@ -21,7 +21,7 @@ std::vector<Alert> CollateralAttackDetector::scan() const {
 
   auto label = [&packages](kernelsim::Uid uid) {
     const framework::PackageRecord* pkg = packages.find(uid);
-    return pkg != nullptr ? pkg->manifest.package
+    return pkg != nullptr ? pkg->manifest->package
                           : "uid:" + std::to_string(uid.value);
   };
 

@@ -1,0 +1,46 @@
+#include "core/engine_report.h"
+
+#include <algorithm>
+
+namespace eandroid::core {
+
+double EngineReport::direct_total_mj() const {
+  double total = 0.0;
+  for (const PackageEnergy& row : packages) total += row.direct_mj;
+  return total;
+}
+
+double EngineReport::collateral_total_mj() const {
+  double total = 0.0;
+  for (const PackageEnergy& row : packages) total += row.collateral_mj;
+  return total;
+}
+
+EngineReport capture_engine_report(framework::SystemServer& server,
+                                   const EAndroid& eandroid) {
+  const EAndroidEngine& engine = eandroid.engine();
+  EngineReport report;
+  for (const kernelsim::Uid uid : engine.known_uids()) {
+    const framework::PackageRecord* pkg = server.packages().find(uid);
+    if (pkg == nullptr) continue;
+    PackageEnergy row;
+    row.package = pkg->manifest->package;
+    row.uid = uid;
+    row.system_app = pkg->system_app;
+    row.direct_mj = engine.direct_mj(uid);
+    row.collateral_mj = engine.collateral_mj(uid);
+    report.packages.push_back(std::move(row));
+  }
+  std::sort(report.packages.begin(), report.packages.end(),
+            [](const PackageEnergy& a, const PackageEnergy& b) {
+              return a.package < b.package;
+            });
+  report.screen_row_mj = engine.screen_row_mj();
+  report.attributed_screen_mj = engine.attributed_screen_mj();
+  report.system_row_mj = engine.system_row_mj();
+  report.true_total_mj = engine.true_total_mj();
+  report.battery_consumed_mj = server.battery().consumed_total_mj();
+  return report;
+}
+
+}  // namespace eandroid::core

@@ -1,0 +1,49 @@
+// EngineReport: a plain-data snapshot of one device's accounting state.
+//
+// The engine's accessors answer point queries against live objects that
+// are pinned to their device (uids, interned indices, tracker state). A
+// fleet run needs something transportable instead: after the last slice,
+// each device is frozen into an EngineReport — per-package direct and
+// collateral energy plus the device-level rows — keyed by package NAME,
+// which is the only identifier stable across devices. fleet/aggregate.h
+// merges these into population-level statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/e_android.h"
+#include "framework/system_server.h"
+
+namespace eandroid::core {
+
+struct PackageEnergy {
+  std::string package;
+  kernelsim::Uid uid;
+  bool system_app = false;
+  double direct_mj = 0.0;
+  double collateral_mj = 0.0;
+};
+
+struct EngineReport {
+  /// Per-package accounting, sorted by package name (merge order).
+  std::vector<PackageEnergy> packages;
+  double screen_row_mj = 0.0;
+  double attributed_screen_mj = 0.0;
+  double system_row_mj = 0.0;
+  double true_total_mj = 0.0;
+  /// Ground truth from the battery, independent of the engine.
+  double battery_consumed_mj = 0.0;
+
+  /// Sum of the per-package direct column.
+  [[nodiscard]] double direct_total_mj() const;
+  /// Sum of the per-package collateral column.
+  [[nodiscard]] double collateral_total_mj() const;
+};
+
+/// Freezes the current accounting state. Uids without a package record
+/// (never: the engine only learns uids from installed apps) are skipped.
+[[nodiscard]] EngineReport capture_engine_report(
+    framework::SystemServer& server, const EAndroid& eandroid);
+
+}  // namespace eandroid::core

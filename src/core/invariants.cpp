@@ -83,7 +83,7 @@ void InvariantChecker::check_dead_uid_state(
     const auto held = server_.power().held_by(pkg->uid);
     if (!held.empty()) {
       violation(out, "dead uid " + std::to_string(pkg->uid.value) + " (" +
-                         pkg->manifest.package + ") still holds " +
+                         pkg->manifest->package + ") still holds " +
                          std::to_string(held.size()) + " wakelock(s)");
     }
   }

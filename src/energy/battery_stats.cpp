@@ -36,7 +36,7 @@ BatteryView BatteryStats::view() const {
     const kernelsim::Uid uid = ids_->uid_of(idx);
     const framework::PackageRecord* pkg = packages_.find(uid);
     BatteryRow row;
-    row.label = pkg != nullptr ? pkg->manifest.package
+    row.label = pkg != nullptr ? pkg->manifest->package
                                : "uid:" + std::to_string(uid.value);
     row.uid = uid;
     row.energy_mj = app_mj_[idx];

@@ -65,7 +65,7 @@ std::vector<RoutineEnergy> Eprof::profile_of(kernelsim::Uid uid) const {
 std::string Eprof::render(kernelsim::Uid uid) const {
   const framework::PackageRecord* pkg = packages_.find(uid);
   std::string out = "eprof profile: ";
-  out += pkg != nullptr ? pkg->manifest.package
+  out += pkg != nullptr ? pkg->manifest->package
                         : "uid:" + std::to_string(uid.value);
   out += "\n";
   char line[128];

@@ -32,7 +32,7 @@ std::vector<Suspect> PowerSignatureDetector::suspects(
     Suspect suspect;
     const framework::PackageRecord* pkg = packages_.find(uid);
     suspect.package = pkg != nullptr
-                          ? pkg->manifest.package
+                          ? pkg->manifest->package
                           : "uid:" + std::to_string(uid.value);
     suspect.uid = uid;
     suspect.average_mw = average;

@@ -77,7 +77,7 @@ BatteryView PowerTutor::view() const {
   out.total_mj = total_mj();
   auto label_of = [this](kernelsim::Uid uid) {
     const framework::PackageRecord* pkg = packages_.find(uid);
-    return pkg != nullptr ? pkg->manifest.package
+    return pkg != nullptr ? pkg->manifest->package
                           : "uid:" + std::to_string(uid.value);
   };
   for (kernelsim::AppIdx idx = 0; idx < apps_.size(); ++idx) {

@@ -20,14 +20,14 @@ void TimelineRecorder::on_slice(const EnergySlice& slice) {
   if (slice.foreground.valid()) {
     const framework::PackageRecord* pkg = packages_.find(slice.foreground);
     row.foreground = pkg != nullptr
-                         ? pkg->manifest.package
+                         ? pkg->manifest->package
                          : "uid:" + std::to_string(slice.foreground.value);
   }
   for (const kernelsim::AppIdx idx : slice.active()) {
     const kernelsim::Uid uid = slice.uid_at(idx);
     const framework::PackageRecord* pkg = packages_.find(uid);
     row.apps.emplace_back(pkg != nullptr
-                              ? pkg->manifest.package
+                              ? pkg->manifest->package
                               : "uid:" + std::to_string(uid.value),
                           slice.at(idx).sum());
   }

@@ -1,0 +1,116 @@
+#include "fleet/aggregate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace eandroid::fleet {
+
+namespace {
+void append_f64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g|", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu|",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+}  // namespace
+
+std::string FleetReport::digest() const {
+  std::string out;
+  append_u64(out, static_cast<std::uint64_t>(devices));
+  for (const FleetPackageRow& row : packages) {
+    out += row.package;
+    out += ':';
+    append_u64(out, static_cast<std::uint64_t>(row.devices));
+    append_f64(out, row.direct_mj);
+    append_f64(out, row.collateral_mj);
+    append_u64(out, static_cast<std::uint64_t>(row.flagged_devices));
+  }
+  append_f64(out, screen_row_mj);
+  append_f64(out, attributed_screen_mj);
+  append_f64(out, system_row_mj);
+  append_f64(out, true_total_mj);
+  append_f64(out, battery_consumed_mj);
+  append_u64(out, pushes_delivered);
+  append_u64(out, alerts_total);
+  return out;
+}
+
+std::string FleetReport::render() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "fleet report: %d devices, %llu pushes delivered, %llu "
+                "alerts\n",
+                devices, static_cast<unsigned long long>(pushes_delivered),
+                static_cast<unsigned long long>(alerts_total));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-28s %8s %14s %14s %10s\n", "package",
+                "devices", "direct (mJ)", "collateral", "flagged");
+  out += buf;
+  for (const FleetPackageRow& row : packages) {
+    std::snprintf(buf, sizeof(buf), "%-28s %8d %14.1f %14.1f %10d\n",
+                  row.package.c_str(), row.devices, row.direct_mj,
+                  row.collateral_mj, row.flagged_devices);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "screen row %.1f mJ, system row %.1f mJ, true total %.1f "
+                "mJ, battery %.1f mJ\n",
+                screen_row_mj, system_row_mj, true_total_mj,
+                battery_consumed_mj);
+  out += buf;
+  return out;
+}
+
+FleetReport aggregate_fleet(Fleet& fleet,
+                            const core::DetectorConfig& detector_config) {
+  FleetReport report;
+  report.devices = static_cast<int>(fleet.size());
+  // std::map: rows come out sorted by package without a second pass.
+  std::map<std::string, FleetPackageRow> rows;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    DeviceContext& device = fleet.device(i);
+    const core::EngineReport device_report = device.engine_report();
+    for (const core::PackageEnergy& pkg : device_report.packages) {
+      FleetPackageRow& row = rows[pkg.package];
+      row.package = pkg.package;
+      row.devices += 1;
+      row.direct_mj += pkg.direct_mj;
+      row.collateral_mj += pkg.collateral_mj;
+    }
+    report.screen_row_mj += device_report.screen_row_mj;
+    report.attributed_screen_mj += device_report.attributed_screen_mj;
+    report.system_row_mj += device_report.system_row_mj;
+    report.true_total_mj += device_report.true_total_mj;
+    report.battery_consumed_mj += device_report.battery_consumed_mj;
+    report.pushes_delivered += device.server().push().pushes_delivered();
+
+    core::CollateralAttackDetector detector(device.server(),
+                                            *device.eandroid(),
+                                            detector_config);
+    const std::vector<core::Alert> alerts = detector.scan();
+    report.alerts_total += alerts.size();
+    // A package counts once per device however many rules it tripped.
+    std::vector<std::string> flagged;
+    for (const core::Alert& alert : alerts) flagged.push_back(alert.package);
+    std::sort(flagged.begin(), flagged.end());
+    flagged.erase(std::unique(flagged.begin(), flagged.end()),
+                  flagged.end());
+    for (const std::string& package : flagged) {
+      auto it = rows.find(package);
+      if (it != rows.end()) it->second.flagged_devices += 1;
+    }
+  }
+  report.packages.reserve(rows.size());
+  for (auto& [package, row] : rows) report.packages.push_back(std::move(row));
+  return report;
+}
+
+}  // namespace eandroid::fleet

@@ -1,0 +1,126 @@
+// DeviceContext: one simulated phone with all three profilers attached.
+//
+// The guts of the old apps::Testbed, extracted so a fleet can own N of
+// them: simulator, system server, energy sampler, stock BatteryStats,
+// PowerTutor, and E-Android, in the construction order the profilers
+// require. Everything about the device is named by its DeviceSpec —
+// immutable configuration arrives through the spec's shared_ptr<const>
+// fields, so a fleet's devices alias one PowerParams / Manifest set /
+// EngineConfig instead of copying them per device.
+//
+// Lockstep protocol (fleet/fleet.h): between epochs the driver thread may
+// touch the device (inject events, read state); within an epoch exactly
+// one worker advances it via advance_to(). The device itself has no
+// locks — the epoch barrier is the synchronization.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/e_android.h"
+#include "core/engine_report.h"
+#include "energy/battery_stats.h"
+#include "energy/power_tutor.h"
+#include "energy/sampler.h"
+#include "fleet/device_spec.h"
+#include "fleet/install_plan.h"
+#include "framework/system_server.h"
+#include "sim/simulator.h"
+
+namespace eandroid::fleet {
+
+class DeviceContext {
+ public:
+  explicit DeviceContext(DeviceSpec spec = {});
+
+  DeviceContext(const DeviceContext&) = delete;
+  DeviceContext& operator=(const DeviceContext&) = delete;
+
+  /// Installs an app object that provides `manifest()`; returns a borrowed
+  /// pointer (the package manager owns it).
+  template <typename App, typename... Args>
+  App* install(Args&&... args) {
+    auto app = std::make_unique<App>(std::forward<Args>(args)...);
+    App* borrowed = app.get();
+    server_.install(borrowed->manifest(), std::move(app));
+    return borrowed;
+  }
+
+  /// Boots the device and starts metering.
+  void start() {
+    server_.boot();
+    sampler_.start();
+  }
+
+  /// Advances virtual time, then closes the final partial sample window.
+  void run_for(sim::Duration d) {
+    sim_.run_for(d);
+    sampler_.flush();
+  }
+
+  /// Lockstep epoch step: advances to an absolute instant WITHOUT closing
+  /// the sample window, so epoch boundaries leave no trace in the energy
+  /// arithmetic (digests are independent of the fleet's epoch length).
+  void advance_to(sim::TimePoint until) { sim_.run_until(until); }
+
+  /// Closes the final partial window after the last epoch.
+  void finish() { sampler_.flush(); }
+
+  /// Android's "battery usage since last full charge" semantic: clears
+  /// every profiler's accumulation (call when the charger is unplugged
+  /// after a full charge). The window tracker's open windows survive —
+  /// attacks in progress keep being attributed.
+  void reset_stats() {
+    sampler_.flush();
+    battery_stats_.reset();
+    power_tutor_.reset();
+    if (eandroid_) eandroid_->engine().reset();
+  }
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] framework::SystemServer& server() { return server_; }
+  [[nodiscard]] energy::EnergySampler& sampler() { return sampler_; }
+  [[nodiscard]] energy::BatteryStats& battery_stats() {
+    return battery_stats_;
+  }
+  [[nodiscard]] energy::PowerTutor& power_tutor() { return power_tutor_; }
+  /// Null when constructed with with_eandroid=false (stock Android).
+  [[nodiscard]] core::EAndroid* eandroid() { return eandroid_.get(); }
+  [[nodiscard]] const core::EAndroid* eandroid() const {
+    return eandroid_.get();
+  }
+
+  [[nodiscard]] framework::Context& context_of(const std::string& package) {
+    const framework::PackageRecord* pkg = server_.packages().find(package);
+    server_.ensure_process(pkg->uid);
+    return server_.context_of(pkg->uid);
+  }
+  [[nodiscard]] kernelsim::Uid uid_of(const std::string& package) {
+    const framework::PackageRecord* pkg = server_.packages().find(package);
+    return pkg == nullptr ? kernelsim::Uid{} : pkg->uid;
+  }
+
+  /// Full-precision (%.17g) rendering of every per-uid total all three
+  /// profilers hold, plus the device-level rows, battery ground truth,
+  /// tracker counters, and push deliveries. Two runs of the same spec and
+  /// workload are observably identical iff their digests are equal — the
+  /// fleet's shard-independence tests compare these strings bitwise.
+  [[nodiscard]] std::string energy_digest();
+
+  /// Frozen accounting snapshot (requires E-Android; checked error
+  /// otherwise). fleet/aggregate.h merges these across devices.
+  [[nodiscard]] core::EngineReport engine_report();
+
+ private:
+  DeviceSpec spec_;
+  sim::Simulator sim_;
+  framework::SystemServer server_;
+  energy::EnergySampler sampler_;
+  energy::BatteryStats battery_stats_;
+  energy::PowerTutor power_tutor_;
+  std::unique_ptr<core::EAndroid> eandroid_;
+};
+
+}  // namespace eandroid::fleet

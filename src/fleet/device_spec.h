@@ -1,0 +1,55 @@
+// DeviceSpec: the complete, explicit recipe for one simulated device.
+//
+// A device's observable behaviour is a pure function of its spec: the
+// seed drives every random draw, the options select the metering shape,
+// and the shared pointers name the immutable configuration the device
+// aliases. That purity is the fleet's determinism contract — two devices
+// built from equal specs produce bitwise-identical results no matter
+// which thread advances them or how the fleet is sharded.
+//
+// The shared_ptr<const> fields are the memory contract: PowerParams,
+// Manifests (inside the InstallPlan), and EngineConfig exist ONCE per
+// fleet and every device aliases them. Null means "use the stock shared
+// instance" (params/engine config) or "install nothing" (plan).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/e_android.h"
+#include "hw/power_params.h"
+#include "sim/time.h"
+
+namespace eandroid::fleet {
+
+class InstallPlan;
+
+struct DeviceSpec {
+  /// Seed for the device's simulator RNG.
+  std::uint64_t seed = 1;
+  /// Position in the fleet (0 for a standalone device). Brokers use it to
+  /// phase campaigns across the population.
+  int device_index = 0;
+
+  bool with_eandroid = true;
+  core::Mode eandroid_mode = core::Mode::kComplete;
+  sim::Duration sample_period = sim::millis(250);
+  /// False selects the pre-optimization metering shape (fresh buffers per
+  /// tick, no window-structure caches) — bit-identical results, used as
+  /// the baseline leg of equivalence tests and benches.
+  bool hot_path = true;
+
+  /// Null = hw::shared_nexus4_params().
+  std::shared_ptr<const hw::PowerParams> params;
+  /// Null = default-constructed EngineConfig (shared stock instance).
+  std::shared_ptr<const core::EngineConfig> engine_config;
+  /// Packages stamped onto the device at construction; null = none.
+  std::shared_ptr<const InstallPlan> install_plan;
+};
+
+/// The stock EngineConfig as a shared immutable object (the engine-config
+/// leg of the one-per-fleet sharing contract).
+[[nodiscard]] const std::shared_ptr<const core::EngineConfig>&
+shared_default_engine_config();
+
+}  // namespace eandroid::fleet

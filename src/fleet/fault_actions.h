@@ -1,0 +1,23 @@
+// Stock FaultActions bindings for one simulated device.
+//
+// Extracted from the chaos harness so fleet campaigns can arm seeded
+// FaultPlans (sim/fault.h) on any subset of devices with the same action
+// semantics the single-phone chaos tests pinned: process kills,
+// wakelock-holder kills, main-thread hang toggles, Binder failures,
+// dropped broadcasts, deferred alarms, battery exhaustion.
+#pragma once
+
+#include "framework/system_server.h"
+#include "sim/fault.h"
+
+namespace eandroid::fleet {
+
+/// Binds every fault kind to `server`'s subsystems. The target pool is
+/// the third-party cast (non-system packages) in sorted-uid order at call
+/// time — install everything before binding. The returned actions hold a
+/// reference to `server` plus a snapshot of the cast; they stay valid for
+/// the server's lifetime.
+[[nodiscard]] sim::FaultActions default_fault_actions(
+    framework::SystemServer& server);
+
+}  // namespace eandroid::fleet

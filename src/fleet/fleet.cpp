@@ -1,0 +1,106 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace eandroid::fleet {
+
+namespace {
+FleetOptions normalized(FleetOptions options) {
+  EANDROID_CHECK(options.device_count >= 1,
+                 "Fleet needs at least one device, got "
+                     << options.device_count);
+  EANDROID_CHECK(options.shards >= 1,
+                 "Fleet needs at least one shard, got " << options.shards);
+  EANDROID_CHECK(options.epoch > sim::Duration(0),
+                 "Fleet epoch must be positive");
+  options.shards = std::min(options.shards, options.device_count);
+  if (options.params == nullptr) options.params = hw::shared_nexus4_params();
+  if (options.engine_config == nullptr) {
+    options.engine_config = shared_default_engine_config();
+  }
+  return options;
+}
+}  // namespace
+
+Fleet::Fleet(FleetOptions options)
+    : options_(normalized(std::move(options))),
+      pool_(static_cast<unsigned>(options_.shards)) {
+  devices_.reserve(static_cast<std::size_t>(options_.device_count));
+  for (int i = 0; i < options_.device_count; ++i) {
+    DeviceSpec spec;
+    spec.seed = options_.base_seed +
+                static_cast<std::uint64_t>(i) * options_.seed_stride;
+    spec.device_index = i;
+    spec.with_eandroid = options_.with_eandroid;
+    spec.eandroid_mode = options_.eandroid_mode;
+    spec.sample_period = options_.sample_period;
+    spec.hot_path = options_.hot_path;
+    spec.params = options_.params;
+    spec.engine_config = options_.engine_config;
+    spec.install_plan = options_.install_plan;
+    devices_.push_back(std::make_unique<DeviceContext>(std::move(spec)));
+  }
+}
+
+Fleet::~Fleet() = default;
+
+template <typename Fn>
+void Fleet::for_each_device_sharded(Fn&& fn) {
+  const int shards = options_.shards;
+  std::vector<std::future<void>> done;
+  done.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    done.push_back(pool_.submit([this, s, shards, &fn] {
+      for (std::size_t i = static_cast<std::size_t>(s); i < devices_.size();
+           i += static_cast<std::size_t>(shards)) {
+        fn(*devices_[i], static_cast<int>(i));
+      }
+    }));
+  }
+  // The barrier: rethrows the first shard failure on the driver thread.
+  for (std::future<void>& f : done) f.get();
+}
+
+void Fleet::start() {
+  EANDROID_CHECK(!started_, "Fleet::start called twice");
+  started_ = true;
+  for_each_device_sharded(
+      [](DeviceContext& device, int) { device.start(); });
+}
+
+void Fleet::run_for(sim::Duration total) {
+  EANDROID_CHECK(started_, "Fleet::run_for before start()");
+  const sim::TimePoint end = clock_ + total;
+  while (clock_ < end) {
+    const sim::TimePoint epoch_end =
+        std::min(end, clock_ + options_.epoch);
+    // 1. Injection: devices are quiescent; cross-device events land on
+    //    each device's own queue, on the driver thread.
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      broker_.inject(*devices_[i], static_cast<int>(i), clock_, epoch_end);
+    }
+    // 2+3. Advance every shard to the epoch end, then barrier.
+    for_each_device_sharded([epoch_end](DeviceContext& device, int) {
+      device.advance_to(epoch_end);
+    });
+    clock_ = epoch_end;
+  }
+}
+
+void Fleet::finish() {
+  for_each_device_sharded([](DeviceContext& device, int) { device.finish(); });
+}
+
+std::vector<std::string> Fleet::energy_digests() {
+  std::vector<std::string> digests(devices_.size());
+  for_each_device_sharded([&digests](DeviceContext& device, int i) {
+    digests[static_cast<std::size_t>(i)] = device.energy_digest();
+  });
+  return digests;
+}
+
+}  // namespace eandroid::fleet

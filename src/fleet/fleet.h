@@ -1,0 +1,111 @@
+// Fleet: N simulated devices advancing in deterministic lockstep epochs.
+//
+// The multi-device layer the one-phone testbed grew into. A fleet builds
+// N DeviceContexts from one FleetOptions — every device aliases the SAME
+// immutable configuration (PowerParams, install-plan manifests, engine
+// config) through shared_ptr<const>, so per-device memory is the mutable
+// simulation state only — and advances them on an exp::ThreadPool in
+// lockstep epochs:
+//
+//   per epoch [t, t+e):
+//     1. injection (driver thread): the PushBroker schedules every
+//        cross-device event landing in the epoch onto each device's own
+//        simulator — devices are quiescent, so no locks are needed;
+//     2. advance (workers): each shard advances its devices to the epoch
+//        end with run_until; a device is touched by exactly one worker
+//        per epoch;
+//     3. barrier: the driver joins all shard futures before the next
+//        injection.
+//
+// Determinism: a device's event stream is a pure function of its spec
+// and the campaigns — injection content depends only on (device_index,
+// epoch boundaries), never on sharding — so per-device digests are
+// bitwise identical across shard counts and repeated runs. The shard
+// tests in tests/fleet/ pin exactly that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/thread_pool.h"
+#include "fleet/device_context.h"
+#include "fleet/push_broker.h"
+
+namespace eandroid::fleet {
+
+struct FleetOptions {
+  int device_count = 1;
+  /// Device i seeds its simulator with base_seed + i * seed_stride, so a
+  /// fleet is a deterministic population, not N clones (stride 0 IS the
+  /// N-clones configuration, useful for A/B-ing one workload).
+  std::uint64_t base_seed = 1;
+  std::uint64_t seed_stride = 1;
+
+  /// Worker shards; devices are dealt round-robin (device i -> shard
+  /// i % shards). Results never depend on this — it is purely a
+  /// throughput knob.
+  int shards = 1;
+  /// Lockstep epoch length: the granularity of cross-device injection.
+  sim::Duration epoch = sim::seconds(1);
+
+  // Per-device knobs, identical across the fleet.
+  bool with_eandroid = true;
+  core::Mode eandroid_mode = core::Mode::kComplete;
+  sim::Duration sample_period = sim::millis(250);
+  bool hot_path = true;
+
+  // Shared immutable configuration (one object per fleet). Null params /
+  // engine_config fall back to the stock shared instances; a null plan
+  // installs nothing.
+  std::shared_ptr<const hw::PowerParams> params;
+  std::shared_ptr<const core::EngineConfig> engine_config;
+  std::shared_ptr<const InstallPlan> install_plan;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] DeviceContext& device(std::size_t i) { return *devices_[i]; }
+  [[nodiscard]] const FleetOptions& options() const { return options_; }
+  [[nodiscard]] PushBroker& broker() { return broker_; }
+  [[nodiscard]] sim::TimePoint now() const { return clock_; }
+
+  /// Boots every device and starts its sampler (sharded; deterministic
+  /// per device). Call once, before run_for.
+  void start();
+
+  /// Advances the whole fleet by `total`, one epoch at a time. May be
+  /// called repeatedly; the fleet clock carries across calls.
+  void run_for(sim::Duration total);
+
+  /// Closes every device's final partial sample window. Call after the
+  /// last run_for, before reading results.
+  void finish();
+
+  /// Per-device full-precision digests, in device order. Equal vectors
+  /// mean two fleet runs were observably identical on every device.
+  [[nodiscard]] std::vector<std::string> energy_digests();
+
+ private:
+  /// Runs `fn(device, index)` for every device, one pool job per shard,
+  /// and joins (the epoch barrier).
+  template <typename Fn>
+  void for_each_device_sharded(Fn&& fn);
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<DeviceContext>> devices_;
+  PushBroker broker_;
+  exp::ThreadPool pool_;
+  sim::TimePoint clock_;
+  bool started_ = false;
+};
+
+}  // namespace eandroid::fleet

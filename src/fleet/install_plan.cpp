@@ -1,0 +1,28 @@
+#include "fleet/install_plan.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace eandroid::fleet {
+
+void InstallPlan::add(framework::Manifest manifest, CodeFactory make_code) {
+  add(std::make_shared<const framework::Manifest>(std::move(manifest)),
+      std::move(make_code));
+}
+
+void InstallPlan::add(std::shared_ptr<const framework::Manifest> manifest,
+                      CodeFactory make_code) {
+  EANDROID_CHECK(manifest != nullptr, "InstallPlan entry needs a manifest");
+  EANDROID_CHECK(make_code != nullptr,
+                 "InstallPlan entry needs a code factory");
+  entries_.push_back(Entry{std::move(manifest), std::move(make_code)});
+}
+
+void InstallPlan::apply(framework::SystemServer& server) const {
+  for (const Entry& entry : entries_) {
+    server.install(entry.manifest, entry.make_code());
+  }
+}
+
+}  // namespace eandroid::fleet

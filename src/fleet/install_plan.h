@@ -1,0 +1,59 @@
+// InstallPlan: the package set a fleet stamps onto every device.
+//
+// A fleet of N devices runs the same cast of apps, and a Manifest is the
+// heavyweight part of a package (strings, component lists, permission
+// vectors). The plan therefore splits a package into what is immutable —
+// the Manifest, held once behind shared_ptr<const> and aliased into every
+// device's PackageManager — and what is per-device state: the AppCode
+// object, produced fresh for each device by a factory so counters and
+// wakelock handles never leak across devices.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "framework/app_code.h"
+#include "framework/manifest.h"
+#include "framework/system_server.h"
+
+namespace eandroid::fleet {
+
+class InstallPlan {
+ public:
+  using CodeFactory = std::function<std::unique_ptr<framework::AppCode>()>;
+
+  struct Entry {
+    std::shared_ptr<const framework::Manifest> manifest;
+    CodeFactory make_code;
+  };
+
+  /// Freezes `manifest` into a shared immutable object.
+  void add(framework::Manifest manifest, CodeFactory make_code);
+  /// Shares an already-frozen manifest (must be non-null).
+  void add(std::shared_ptr<const framework::Manifest> manifest,
+           CodeFactory make_code);
+
+  /// Convenience for app classes exposing `manifest()` and constructible
+  /// from their spec: one prototype builds the shared manifest, the
+  /// factory stamps per-device instances from a copy of the spec.
+  template <typename App, typename Spec>
+  void add_app(Spec spec) {
+    App prototype(spec);
+    add(prototype.manifest(),
+        [spec]() -> std::unique_ptr<framework::AppCode> {
+          return std::make_unique<App>(spec);
+        });
+  }
+
+  /// Installs every entry, in plan order, aliasing the shared manifests.
+  void apply(framework::SystemServer& server) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace eandroid::fleet

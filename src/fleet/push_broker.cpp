@@ -1,0 +1,51 @@
+#include "fleet/push_broker.h"
+
+#include "sim/check.h"
+
+namespace eandroid::fleet {
+
+std::uint64_t PushBroker::inject(DeviceContext& device, int device_index,
+                                 sim::TimePoint begin, sim::TimePoint end) {
+  EANDROID_CHECK(device.sim().now() <= begin,
+                 "PushBroker::inject: device clock "
+                     << device.sim().now().micros()
+                     << "us is past the epoch begin " << begin.micros()
+                     << "us");
+  framework::SystemServer& server = device.server();
+  std::uint64_t scheduled_here = 0;
+  for (const PushCampaign& campaign : campaigns_) {
+    if (campaign.device_stride > 1 &&
+        device_index % campaign.device_stride != campaign.device_phase) {
+      continue;
+    }
+    const framework::PackageRecord* sender =
+        server.packages().find(campaign.sender_package);
+    const framework::PackageRecord* target =
+        server.packages().find(campaign.target_package);
+    if (sender == nullptr || target == nullptr) continue;
+    const kernelsim::Uid sender_uid = sender->uid;
+    const kernelsim::Uid target_uid = target->uid;
+    const sim::TimePoint first =
+        campaign.start + campaign.device_stagger * device_index;
+    for (int k = 0; k < campaign.pushes_per_device; ++k) {
+      const sim::TimePoint at = first + campaign.period * k;
+      if (at < begin || at >= end) continue;
+      const std::string target_package = campaign.target_package;
+      const std::uint64_t bytes = campaign.bytes;
+      server.simulator().schedule_at(
+          at, [&server, sender_uid, target_uid, target_package, bytes] {
+            // The cloud end keeps both parties alive: the sender process
+            // must exist to own the send, and the target must have run
+            // once to register its endpoint (FCM token issuance).
+            server.ensure_process(sender_uid);
+            server.ensure_process(target_uid);
+            server.push().send_push(sender_uid, target_package, bytes);
+          });
+      ++scheduled_here;
+    }
+  }
+  scheduled_ += scheduled_here;
+  return scheduled_here;
+}
+
+}  // namespace eandroid::fleet

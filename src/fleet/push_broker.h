@@ -1,0 +1,79 @@
+// PushBroker: a cloud push server fanning notifications into a fleet.
+//
+// The first cross-device workload: campaigns describe deterministic push
+// schedules (an FCM-style broker blasting a sync topic, or a flooder
+// attacking a victim app across the whole population), and the broker
+// translates them into device-local events during the fleet's epoch
+// injection phase. Nothing is shared at delivery time — each send is
+// scheduled on the target device's own simulator and executes on
+// whichever worker advances that device, so fleet results stay bitwise
+// independent of sharding.
+//
+// Determinism contract: the events injected into device i for epoch
+// [begin, end) are a pure function of (campaigns, i, begin, end). The
+// broker keeps no per-delivery state; delivery counts live on each
+// device's PushService.
+//
+// Same-instant ties: a send landing at sim time t fires at t, but its
+// order among OTHER device events at exactly t follows insertion order —
+// and insertion happens at the start of the epoch containing t. Digests
+// are therefore invariant across shard counts and repeats always, and
+// across epoch lengths whenever sends do not collide to the microsecond
+// with a device-internal event (e.g. a sampler tick); campaigns that
+// must be epoch-length-portable should pick start/stagger values off the
+// sampling grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/device_context.h"
+#include "sim/time.h"
+
+namespace eandroid::fleet {
+
+/// One deterministic push schedule over the population. The sender and
+/// target are package names resolved per device (both must be installed
+/// there; devices missing either simply receive nothing).
+struct PushCampaign {
+  std::string sender_package;
+  std::string target_package;
+  /// First send lands at `start + device_index * device_stagger`, then
+  /// every `period`, for `pushes_per_device` sends total.
+  sim::TimePoint start;
+  sim::Duration period = sim::seconds(1);
+  int pushes_per_device = 1;
+  sim::Duration device_stagger = sim::Duration(0);
+  std::uint64_t bytes = 2048;
+  /// Population slice: device i participates iff
+  /// (i % device_stride) == device_phase.
+  int device_stride = 1;
+  int device_phase = 0;
+};
+
+class PushBroker {
+ public:
+  void add_campaign(PushCampaign campaign) {
+    campaigns_.push_back(std::move(campaign));
+  }
+  [[nodiscard]] const std::vector<PushCampaign>& campaigns() const {
+    return campaigns_;
+  }
+
+  /// Schedules every campaign send landing in [begin, end) onto `device`'s
+  /// simulator. Driver thread only, between epochs, with the device's
+  /// clock at or before `begin`. Returns the number of sends scheduled.
+  std::uint64_t inject(DeviceContext& device, int device_index,
+                       sim::TimePoint begin, sim::TimePoint end);
+
+  /// Total sends scheduled across all inject() calls (attempts, not
+  /// deliveries — deliveries are counted per device by its PushService).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_; }
+
+ private:
+  std::vector<PushCampaign> campaigns_;
+  std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace eandroid::fleet

@@ -39,14 +39,14 @@ ActivityManager::ActivityManager(sim::Simulator& sim, PackageManager& packages,
 
 void ActivityManager::boot(const std::string& launcher_package) {
   const PackageRecord* launcher = packages_.find(launcher_package);
-  assert(launcher != nullptr && launcher->manifest.root_activity() != nullptr);
+  assert(launcher != nullptr && launcher->manifest->root_activity() != nullptr);
   launcher_uid_ = launcher->uid;
   launcher_package_ = launcher_package;
   host_.ensure_process(launcher_uid_);
   Task task;
   task.id = next_task_++;
   tasks_.push_back(std::move(task));
-  push_record(tasks_.back(), *launcher, *launcher->manifest.root_activity());
+  push_record(tasks_.back(), *launcher, *launcher->manifest->root_activity());
   sync_stacks(launcher_uid_, /*by_user=*/false);
 }
 
@@ -72,7 +72,7 @@ ActivityRecord& ActivityManager::push_record(Task& task,
   ActivityRecord record;
   record.id = next_record_++;
   record.uid = pkg.uid;
-  record.package = pkg.manifest.package;
+  record.package = pkg.manifest->package;
   record.name = decl.name;
   record.transparent = decl.transparent;
   record.state = ActivityRecord::State::kStopped;
@@ -144,7 +144,7 @@ bool ActivityManager::start_activity(kernelsim::Uid caller,
   if (!ref) return false;
 
   const PackageRecord* pkg = packages_.find(ref->package);
-  const ActivityDecl* decl = pkg->manifest.find_activity(ref->component);
+  const ActivityDecl* decl = pkg->manifest->find_activity(ref->component);
   assert(pkg != nullptr && decl != nullptr);
 
   const kernelsim::Pid from = host_.pid_of(caller);
@@ -185,7 +185,7 @@ bool ActivityManager::start_activity(kernelsim::Uid caller,
 
 bool ActivityManager::user_launch(const std::string& package) {
   const PackageRecord* pkg = packages_.find(package);
-  if (pkg == nullptr || pkg->manifest.root_activity() == nullptr) return false;
+  if (pkg == nullptr || pkg->manifest->root_activity() == nullptr) return false;
   power_.user_activity();
   host_.ensure_process(pkg->uid);
 
@@ -194,17 +194,17 @@ bool ActivityManager::user_launch(const std::string& package) {
     Task fresh;
     fresh.id = next_task_++;
     tasks_.push_back(std::move(fresh));
-    push_record(tasks_.back(), *pkg, *pkg->manifest.root_activity());
+    push_record(tasks_.back(), *pkg, *pkg->manifest->root_activity());
   } else {
     auto it = std::find_if(tasks_.begin(), tasks_.end(),
                            [task](const Task& t) { return t.id == task->id; });
     std::rotate(it, it + 1, tasks_.end());
     if (top_of(tasks_.back()) == nullptr) {
-      push_record(tasks_.back(), *pkg, *pkg->manifest.root_activity());
+      push_record(tasks_.back(), *pkg, *pkg->manifest->root_activity());
     }
   }
   publish_start(launcher_uid_, pkg->uid,
-                pkg->manifest.root_activity()->name, /*by_user=*/true);
+                pkg->manifest->root_activity()->name, /*by_user=*/true);
   EA_LOG(kDebug, sim_.now(), "am") << "user launches " << package;
   sync_stacks(launcher_uid_, /*by_user=*/true);
   return true;

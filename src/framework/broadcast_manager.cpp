@@ -49,7 +49,7 @@ int BroadcastManager::send_broadcast(kernelsim::Uid sender,
     }
   };
   for (const PackageRecord* pkg : packages_.all_packages()) {
-    for (const auto& receiver : pkg->manifest.receivers) {
+    for (const auto& receiver : pkg->manifest->receivers) {
       if (std::find(receiver.actions.begin(), receiver.actions.end(),
                     action) != receiver.actions.end()) {
         add(pkg->uid);

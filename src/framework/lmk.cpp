@@ -49,7 +49,7 @@ int LowMemoryKiller::priority_of(kernelsim::Uid uid) const {
 int LowMemoryKiller::total_rss_mb() const {
   int total = 0;
   for (const PackageRecord* pkg : packages_.all_packages()) {
-    if (host_.pid_of(pkg->uid).valid()) total += pkg->manifest.memory_mb;
+    if (host_.pid_of(pkg->uid).valid()) total += pkg->manifest->memory_mb;
   }
   return total;
 }

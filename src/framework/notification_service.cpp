@@ -21,14 +21,14 @@ std::uint64_t NotificationService::post_full_screen(kernelsim::Uid poster,
                                                     std::string title,
                                                     std::string activity) {
   const PackageRecord* pkg = packages_.find(poster);
-  if (pkg == nullptr || pkg->manifest.find_activity(activity) == nullptr) {
+  if (pkg == nullptr || pkg->manifest->find_activity(activity) == nullptr) {
     return 0;
   }
   const std::uint64_t id = post(poster, std::move(title), activity);
   // The poster's activity takes the screen right now — app-driven, so the
   // previous foreground app is "interrupted" in the Fig 5b sense.
   activities_.start_activity(
-      poster, Intent::explicit_for(pkg->manifest.package, activity));
+      poster, Intent::explicit_for(pkg->manifest->package, activity));
   return id;
 }
 
@@ -41,7 +41,7 @@ bool NotificationService::user_tap_notification(std::uint64_t id) {
   const PackageRecord* pkg = packages_.find(notification.poster);
   if (pkg == nullptr) return false;
   // User-driven: launch-or-foreground the poster's task.
-  return activities_.user_launch(pkg->manifest.package);
+  return activities_.user_launch(pkg->manifest->package);
 }
 
 void NotificationService::cancel(std::uint64_t id) {

@@ -8,8 +8,15 @@ namespace eandroid::framework {
 kernelsim::Uid PackageManager::install(Manifest manifest,
                                        std::unique_ptr<AppCode> code,
                                        bool system_app) {
+  return install(std::make_shared<const Manifest>(std::move(manifest)),
+                 std::move(code), system_app);
+}
+
+kernelsim::Uid PackageManager::install(std::shared_ptr<const Manifest> manifest,
+                                       std::unique_ptr<AppCode> code,
+                                       bool system_app) {
   const kernelsim::Uid uid{next_app_uid_++};
-  const std::string package = manifest.package;
+  const std::string package = manifest->package;
   PackageRecord record{std::move(manifest), uid, system_app, std::move(code)};
   package_by_uid_[uid] = package;
   by_package_.emplace(package, std::move(record));
@@ -40,7 +47,7 @@ bool PackageManager::is_system_app(kernelsim::Uid uid) const {
 
 bool PackageManager::has_permission(kernelsim::Uid uid, Permission p) const {
   const PackageRecord* record = find(uid);
-  return record != nullptr && record->manifest.has_permission(p);
+  return record != nullptr && record->manifest->has_permission(p);
 }
 
 std::optional<ComponentRef> PackageManager::resolve_activity(
@@ -49,7 +56,7 @@ std::optional<ComponentRef> PackageManager::resolve_activity(
   const PackageRecord* record = find(intent.target->package);
   if (record == nullptr) return std::nullopt;
   const ActivityDecl* decl =
-      record->manifest.find_activity(intent.target->component);
+      record->manifest->find_activity(intent.target->component);
   if (decl == nullptr) return std::nullopt;
   const bool same_app = record->uid == caller;
   if (!decl->exported && !same_app) return std::nullopt;
@@ -60,7 +67,7 @@ std::vector<ComponentRef> PackageManager::query_implicit_activities(
     const std::string& action) const {
   std::vector<ComponentRef> out;
   for (const auto& [package, record] : by_package_) {
-    for (const auto& activity : record.manifest.activities) {
+    for (const auto& activity : record.manifest->activities) {
       if (!activity.exported) continue;
       for (const auto& a : activity.intent_actions) {
         if (a == action) {
@@ -84,7 +91,7 @@ std::optional<ComponentRef> PackageManager::resolve_service(
   const PackageRecord* record = find(intent.target->package);
   if (record == nullptr) return std::nullopt;
   const ServiceDecl* decl =
-      record->manifest.find_service(intent.target->component);
+      record->manifest->find_service(intent.target->component);
   if (decl == nullptr) return std::nullopt;
   const bool same_app = record->uid == caller;
   if (!decl->exported && !same_app) return std::nullopt;
@@ -96,7 +103,7 @@ std::vector<const PackageRecord*> PackageManager::all_packages() const {
   out.reserve(by_package_.size());
   for (const auto& [package, record] : by_package_) out.push_back(&record);
   std::sort(out.begin(), out.end(), [](const auto* a, const auto* b) {
-    return a->manifest.package < b->manifest.package;
+    return a->manifest->package < b->manifest->package;
   });
   return out;
 }

@@ -21,7 +21,10 @@
 namespace eandroid::framework {
 
 struct PackageRecord {
-  Manifest manifest;
+  /// Immutable once installed; a fleet installs the SAME manifest object
+  /// into every device (shared_ptr alias), so the bytes exist once per
+  /// fleet rather than once per device. Never null.
+  std::shared_ptr<const Manifest> manifest;
   kernelsim::Uid uid;
   bool system_app = false;
   std::unique_ptr<AppCode> code;
@@ -32,6 +35,11 @@ class PackageManager {
   /// Installs a package; returns its uid. `system_app` marks launcher /
   /// SystemUI / resolver — apps E-Android excludes from the attack list.
   kernelsim::Uid install(Manifest manifest, std::unique_ptr<AppCode> code,
+                         bool system_app = false);
+  /// Shared-manifest form (fleet install plans): `manifest` must be
+  /// non-null and is aliased, not copied.
+  kernelsim::Uid install(std::shared_ptr<const Manifest> manifest,
+                         std::unique_ptr<AppCode> code,
                          bool system_app = false);
 
   [[nodiscard]] const PackageRecord* find(const std::string& package) const;

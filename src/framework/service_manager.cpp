@@ -260,7 +260,7 @@ bool ServiceManager::stop_self(kernelsim::Uid caller,
                                const std::string& service) {
   const PackageRecord* pkg = packages_.find(caller);
   if (pkg == nullptr) return false;
-  auto it = records_.find(pkg->manifest.package + "/" + service);
+  auto it = records_.find(pkg->manifest->package + "/" + service);
   if (it == records_.end() || !it->second.alive) return false;
   ServiceRecord& record = it->second;
   record.started = false;
@@ -341,7 +341,7 @@ bool ServiceManager::start_foreground(kernelsim::Uid caller,
                                       const std::string& service) {
   const PackageRecord* pkg = packages_.find(caller);
   if (pkg == nullptr) return false;
-  auto it = records_.find(pkg->manifest.package + "/" + service);
+  auto it = records_.find(pkg->manifest->package + "/" + service);
   if (it == records_.end() || !it->second.alive) return false;
   it->second.foreground = true;
   return true;
@@ -351,7 +351,7 @@ bool ServiceManager::stop_foreground(kernelsim::Uid caller,
                                      const std::string& service) {
   const PackageRecord* pkg = packages_.find(caller);
   if (pkg == nullptr) return false;
-  auto it = records_.find(pkg->manifest.package + "/" + service);
+  auto it = records_.find(pkg->manifest->package + "/" + service);
   if (it == records_.end() || !it->second.foreground) return false;
   it->second.foreground = false;
   return true;

@@ -10,28 +10,35 @@ namespace eandroid::framework {
 namespace {
 /// Placeholder code object for system packages with no scripted behaviour.
 class NoopAppCode : public AppCode {};
+
+std::shared_ptr<const hw::PowerParams> checked_params(
+    std::shared_ptr<const hw::PowerParams> params) {
+  EANDROID_CHECK(params != nullptr, "SystemServer needs non-null PowerParams");
+  return params;
+}
 }  // namespace
 
-SystemServer::SystemServer(sim::Simulator& sim, const hw::PowerParams& params)
+SystemServer::SystemServer(sim::Simulator& sim,
+                           std::shared_ptr<const hw::PowerParams> params)
     : sim_(sim),
-      params_(params),
+      params_(checked_params(std::move(params))),
       processes_(),
       binder_(sim_, processes_),
-      cpu_(sim_, processes_, params.cpu_cores, &ids_),
-      screen_(params_),
-      camera_(sim_, "camera", params_.camera_active_mw, params_.camera_tail_mw,
-              params_.camera_tail),
-      gps_(sim_, "gps", params_.gps_active_mw, params_.gps_tail_mw,
-           params_.gps_tail),
-      wifi_(sim_, "wifi", params_.wifi_active_mw, params_.wifi_tail_mw,
-            params_.wifi_tail),
-      audio_(sim_, "audio", params_.audio_active_mw, params_.audio_tail_mw,
-             params_.audio_tail),
-      battery_(params_.battery_capacity_mwh),
+      cpu_(sim_, processes_, params_->cpu_cores, &ids_),
+      screen_(*params_),
+      camera_(sim_, "camera", params_->camera_active_mw,
+              params_->camera_tail_mw, params_->camera_tail),
+      gps_(sim_, "gps", params_->gps_active_mw, params_->gps_tail_mw,
+           params_->gps_tail),
+      wifi_(sim_, "wifi", params_->wifi_active_mw, params_->wifi_tail_mw,
+            params_->wifi_tail),
+      audio_(sim_, "audio", params_->audio_active_mw, params_->audio_tail_mw,
+             params_->audio_tail),
+      battery_(params_->battery_capacity_mwh),
       events_(),
       packages_(),
       settings_(sim_, screen_, packages_, events_),
-      power_(sim_, params_, screen_, processes_, binder_, cpu_, packages_,
+      power_(sim_, *params_, screen_, processes_, binder_, cpu_, packages_,
              events_),
       windows_(sim_),
       services_(sim_, packages_, processes_, binder_, *this, events_),
@@ -78,6 +85,12 @@ SystemServer::SystemServer(sim::Simulator& sim, const hw::PowerParams& params)
 }
 
 kernelsim::Uid SystemServer::install(Manifest manifest,
+                                     std::unique_ptr<AppCode> code) {
+  return packages_.install(std::move(manifest), std::move(code),
+                           /*system_app=*/false);
+}
+
+kernelsim::Uid SystemServer::install(std::shared_ptr<const Manifest> manifest,
                                      std::unique_ptr<AppCode> code) {
   return packages_.install(std::move(manifest), std::move(code),
                            /*system_app=*/false);
@@ -255,17 +268,17 @@ kernelsim::Pid SystemServer::ensure_process(kernelsim::Uid uid) {
   const PackageRecord* pkg = packages_.find(uid);
   EANDROID_CHECK(pkg != nullptr,
                  "ensure_process for unknown uid " << uid.value);
-  const kernelsim::Pid pid = processes_.spawn(uid, pkg->manifest.package);
+  const kernelsim::Pid pid = processes_.spawn(uid, pkg->manifest->package);
   process_of_[uid] = pid;
   if (!contexts_.contains(uid)) {
     contexts_[uid] =
-        std::make_unique<Context>(*this, uid, pkg->manifest.package);
+        std::make_unique<Context>(*this, uid, pkg->manifest->package);
   }
   if (pkg->code != nullptr) {
     pkg->code->on_process_start(*contexts_[uid]);
   }
   EA_LOG(kDebug, sim_.now(), "system")
-      << "spawned " << pkg->manifest.package << " pid " << pid.value;
+      << "spawned " << pkg->manifest->package << " pid " << pid.value;
   // Memory pressure: reclaim cached processes (never the one we just
   // brought up).
   lmk_.maybe_reclaim(uid);
@@ -292,7 +305,7 @@ Context& SystemServer::context_of(kernelsim::Uid uid) {
                    "context_of for unknown uid " << uid.value);
     it = contexts_
              .emplace(uid, std::make_unique<Context>(*this, uid,
-                                                     pkg->manifest.package))
+                                                     pkg->manifest->package))
              .first;
   }
   return *it->second;

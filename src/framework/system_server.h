@@ -53,8 +53,19 @@ class SystemServer : public AppHost {
   /// keeps the model simple.
   static constexpr sim::Duration kAnrTimeout = sim::seconds(10);
 
+  /// Primary form: the server aliases an immutable, possibly fleet-shared
+  /// parameter object (must be non-null). N devices built from the same
+  /// pointer hold ONE PowerParams between them.
+  SystemServer(sim::Simulator& sim,
+               std::shared_ptr<const hw::PowerParams> params);
+  /// One-device convenience: copies `params` into a private shared object
+  /// (the stock singleton is aliased, not copied).
   explicit SystemServer(sim::Simulator& sim,
-                        const hw::PowerParams& params = hw::nexus4_params());
+                        const hw::PowerParams& params = hw::nexus4_params())
+      : SystemServer(sim,
+                     &params == &hw::nexus4_params()
+                         ? hw::shared_nexus4_params()
+                         : std::make_shared<const hw::PowerParams>(params)) {}
   ~SystemServer() override = default;
 
   SystemServer(const SystemServer&) = delete;
@@ -62,6 +73,10 @@ class SystemServer : public AppHost {
 
   /// Installs a third-party app. Call before or after boot().
   kernelsim::Uid install(Manifest manifest, std::unique_ptr<AppCode> code);
+  /// Fleet form: the manifest is immutable and shared — every device in a
+  /// fleet installs the same Manifest object, not a copy.
+  kernelsim::Uid install(std::shared_ptr<const Manifest> manifest,
+                         std::unique_ptr<AppCode> code);
 
   /// Installs the launcher and SystemUI, then brings up the home screen.
   void boot();
@@ -117,7 +132,13 @@ class SystemServer : public AppHost {
   [[nodiscard]] NotificationService& notifications() {
     return notifications_;
   }
-  [[nodiscard]] const hw::PowerParams& params() const { return params_; }
+  [[nodiscard]] const hw::PowerParams& params() const { return *params_; }
+  /// The shared immutable parameter object itself (never null); devices
+  /// built from one fleet config return aliases of the same pointer.
+  [[nodiscard]] const std::shared_ptr<const hw::PowerParams>& params_ptr()
+      const {
+    return params_;
+  }
   [[nodiscard]] kernelsim::Uid launcher_uid() const { return launcher_uid_; }
   [[nodiscard]] kernelsim::Uid systemui_uid() const { return systemui_uid_; }
   [[nodiscard]] kernelsim::Uid phone_uid() const { return phone_uid_; }
@@ -157,7 +178,9 @@ class SystemServer : public AppHost {
   };
   void drain_main_queue(kernelsim::Uid uid);
   sim::Simulator& sim_;
-  hw::PowerParams params_;
+  /// Immutable and potentially shared across every device of a fleet;
+  /// declared before the hardware models, which hold references into it.
+  std::shared_ptr<const hw::PowerParams> params_;
 
   kernelsim::ProcessTable processes_;
   kernelsim::BinderDriver binder_;

@@ -9,6 +9,7 @@
 // linear, background CPU load is significant, deep sleep is ~nothing.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "sim/time.h"
@@ -79,6 +80,22 @@ inline const PowerParams& nexus4_dvfs_params() {
     p.cpu_freq_steps = {{384.0, 140.0}, {918.0, 450.0}, {1512.0, 1000.0}};
     return p;
   }();
+  return params;
+}
+
+/// The stock parameter set as a shared immutable object. A fleet of
+/// simulated devices holds ONE PowerParams through aliases of this
+/// pointer instead of one copy per device (fleet/device_spec.h).
+inline const std::shared_ptr<const PowerParams>& shared_nexus4_params() {
+  static const std::shared_ptr<const PowerParams> params =
+      std::make_shared<const PowerParams>();
+  return params;
+}
+
+/// Shared immutable DVFS variant, same sharing contract.
+inline const std::shared_ptr<const PowerParams>& shared_nexus4_dvfs_params() {
+  static const std::shared_ptr<const PowerParams> params =
+      std::make_shared<const PowerParams>(nexus4_dvfs_params());
   return params;
 }
 

@@ -84,7 +84,7 @@ std::string FaultPlan::describe() const {
 
 void FaultInjector::arm(const FaultPlan& plan) {
   for (const FaultSpec& spec : plan.faults) {
-    sim_.schedule_at(spec.at, [this, spec] { fire(spec); });
+    sim_.schedule_at_or_now(spec.at, [this, spec] { fire(spec); });
   }
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/check.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -31,8 +32,22 @@ class Simulator {
     return queue_.push(now_ + delay, std::move(cb));
   }
 
-  /// Schedules `cb` at an absolute instant (must not be in the past).
+  /// Schedules `cb` at an absolute instant. Scheduling in the past is a
+  /// checked error (it used to clamp to now_ silently, which let ordering
+  /// bugs masquerade as same-instant events — fleet lockstep epochs rely
+  /// on every injected instant being honest). Callers that legitimately
+  /// mean "this instant or as soon as possible" use schedule_at_or_now.
   EventHandle schedule_at(TimePoint when, EventQueue::Callback cb) {
+    EANDROID_CHECK(when >= now_, "schedule_at in the past: when="
+                                     << when.micros() << "us, now="
+                                     << now_.micros() << "us");
+    return queue_.push(when, std::move(cb));
+  }
+
+  /// Replay-style scheduling: an instant already in the past fires at the
+  /// current instant instead (insertion order preserved). Used by fault
+  /// plans, whose absolute schedules may start before they are armed.
+  EventHandle schedule_at_or_now(TimePoint when, EventQueue::Callback cb) {
     return queue_.push(when < now_ ? now_ : when, std::move(cb));
   }
 

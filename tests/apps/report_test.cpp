@@ -4,6 +4,7 @@
 
 #include "apps/demo_app.h"
 #include "apps/malware.h"
+#include "apps/testbed.h"
 #include "energy/eprof.h"
 #include "energy/power_signature.h"
 

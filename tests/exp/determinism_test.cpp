@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/testbed.h"
 #include "apps/workload.h"
 #include "exp/parallel_runner.h"
 #include "sim/log.h"

@@ -129,7 +129,7 @@ TEST_F(LmkTest, CustomMemorySizesRespected) {
   // to 80 MB; verify the accounting uses the manifest value.
   const PackageRecord* pkg = bed.server().packages().find("com.fat");
   ASSERT_NE(pkg, nullptr);
-  EXPECT_EQ(pkg->manifest.memory_mb, 80);
+  EXPECT_EQ(pkg->manifest->memory_mb, 80);
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ TEST(PackageManagerTest, FindByNameAndUid) {
   const kernelsim::Uid uid = pm.install(simple_manifest("com.x"), nullptr);
   ASSERT_NE(pm.find("com.x"), nullptr);
   ASSERT_NE(pm.find(uid), nullptr);
-  EXPECT_EQ(pm.find(uid)->manifest.package, "com.x");
+  EXPECT_EQ(pm.find(uid)->manifest->package, "com.x");
   EXPECT_EQ(pm.find("missing"), nullptr);
   EXPECT_EQ(pm.find(kernelsim::Uid{999}), nullptr);
 }
@@ -106,8 +106,8 @@ TEST(PackageManagerTest, AllPackagesSortedByName) {
   pm.install(simple_manifest("alpha"), nullptr);
   const auto all = pm.all_packages();
   ASSERT_EQ(all.size(), 2u);
-  EXPECT_EQ(all[0]->manifest.package, "alpha");
-  EXPECT_EQ(all[1]->manifest.package, "zeta");
+  EXPECT_EQ(all[0]->manifest->package, "alpha");
+  EXPECT_EQ(all[1]->manifest->package, "zeta");
 }
 
 TEST(ManifestTest, HasExportedComponentChecksServicesToo) {

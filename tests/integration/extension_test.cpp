@@ -3,6 +3,7 @@
 // incoming call, stealth auto-launch, and DVFS accounting.
 #include <gtest/gtest.h>
 
+#include "apps/testbed.h"
 #include "apps/demo_app.h"
 #include "apps/malware.h"
 #include "apps/scenarios.h"

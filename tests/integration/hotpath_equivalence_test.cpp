@@ -56,28 +56,33 @@ std::string scenario_digest(const ScenarioResult& result) {
   return out;
 }
 
-using ScenarioFn = ScenarioResult (*)(std::uint64_t);
+/// Every scenario entry point now threads TestbedOptions through, so the
+/// baseline leg is an explicit argument instead of the old
+/// ScopedBaselinePath process-global.
+using ScenarioFn = ScenarioResult (*)(std::uint64_t, const TestbedOptions&);
 
 TEST(HotpathEquivalenceTest, Fig09ScenariosMatchBitForBit) {
   const std::pair<const char*, ScenarioFn> scenarios[] = {
-      {"scene1", [](std::uint64_t s) { return run_scene1(s); }},
-      {"scene2", [](std::uint64_t s) { return run_scene2(s); }},
-      {"attack1", [](std::uint64_t s) { return run_attack1(s); }},
-      {"attack2", [](std::uint64_t s) { return run_attack2(s); }},
-      {"attack3", [](std::uint64_t s) { return run_attack3(s); }},
-      {"attack4", [](std::uint64_t s) { return run_attack4(s); }},
-      {"attack5", [](std::uint64_t s) { return run_attack5(s); }},
-      {"attack6", [](std::uint64_t s) { return run_attack6(s); }},
-      {"chain", [](std::uint64_t s) { return run_chain_attack(s); }},
-      {"multi", [](std::uint64_t s) { return run_multi_attack(s); }},
+      {"scene1", run_scene1},
+      {"scene2", run_scene2},
+      {"attack1", run_attack1},
+      {"attack2", run_attack2},
+      {"attack3", run_attack3},
+      {"attack4", run_attack4},
+      {"attack5",
+       [](std::uint64_t s, const TestbedOptions& base) {
+         return run_attack5(s, 255, base);
+       }},
+      {"attack6",
+       [](std::uint64_t s, const TestbedOptions& base) {
+         return run_attack6(s, false, base);
+       }},
+      {"chain", run_chain_attack},
+      {"multi", run_multi_attack},
   };
   for (const auto& [name, fn] : scenarios) {
-    const std::string hot = scenario_digest(fn(1));
-    std::string baseline;
-    {
-      ScopedBaselinePath force_baseline;
-      baseline = scenario_digest(fn(1));
-    }
+    const std::string hot = scenario_digest(fn(1, {.hot_path = true}));
+    const std::string baseline = scenario_digest(fn(1, {.hot_path = false}));
     EXPECT_EQ(hot, baseline) << name;
   }
 }
@@ -89,12 +94,10 @@ TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {
     options.workload_steps = 40;
     options.fault_count = 6;
     options.horizon = sim::seconds(30);
+    options.hot_path = true;
     const std::string hot = run_chaos(options).digest();
-    std::string baseline;
-    {
-      ScopedBaselinePath force_baseline;
-      baseline = run_chaos(options).digest();
-    }
+    options.hot_path = false;
+    const std::string baseline = run_chaos(options).digest();
     EXPECT_EQ(hot, baseline) << "seed " << seed;
   }
 }

@@ -5,6 +5,7 @@
 
 #include <tuple>
 
+#include "apps/testbed.h"
 #include "apps/workload.h"
 
 namespace eandroid::apps {

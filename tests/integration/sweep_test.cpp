@@ -19,13 +19,15 @@ namespace {
 
 // --- every scenario upholds the global invariants -------------------------
 
-using ScenarioFn = ScenarioResult (*)(std::uint64_t);
+using ScenarioFn = ScenarioResult (*)(std::uint64_t, const TestbedOptions&);
 
-ScenarioResult attack5_default(std::uint64_t seed) {
-  return run_attack5(seed, 255);
+ScenarioResult attack5_default(std::uint64_t seed,
+                               const TestbedOptions& base) {
+  return run_attack5(seed, 255, base);
 }
-ScenarioResult attack6_default(std::uint64_t seed) {
-  return run_attack6(seed, false);
+ScenarioResult attack6_default(std::uint64_t seed,
+                               const TestbedOptions& base) {
+  return run_attack6(seed, false, base);
 }
 
 struct NamedScenario {
@@ -55,7 +57,7 @@ const ScenarioResult& scenario_result(const char* name) {
   static const std::map<std::string, ScenarioResult> cache = [] {
     const auto results = exp::run_indexed<ScenarioResult>(
         kAllScenarios.size(),
-        [](std::size_t i) { return kAllScenarios[i].fn(1); });
+        [](std::size_t i) { return kAllScenarios[i].fn(1, {}); });
     std::map<std::string, ScenarioResult> by_name;
     for (std::size_t i = 0; i < kAllScenarios.size(); ++i) {
       by_name.emplace(kAllScenarios[i].name, results[i]);

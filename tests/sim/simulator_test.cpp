@@ -64,11 +64,24 @@ TEST(SimulatorTest, CancelStopsScheduledEvent) {
   EXPECT_FALSE(ran);
 }
 
-TEST(SimulatorTest, ScheduleAtClampsPastTimes) {
+TEST(SimulatorTest, ScheduleAtInThePastIsACheckedError) {
+  Simulator sim;
+  sim.run_for(seconds(5));
+  EXPECT_THROW(sim.schedule_at(TimePoint() + seconds(1), [] {}),
+               CheckFailure);
+  // The current instant is not "the past": it fires on the next run.
+  TimePoint fired;
+  sim.schedule_at(sim.now(), [&] { fired = sim.now(); });
+  sim.run_for(seconds(1));
+  EXPECT_EQ(fired, TimePoint() + seconds(5));
+}
+
+TEST(SimulatorTest, ScheduleAtOrNowClampsPastTimes) {
   Simulator sim;
   sim.run_for(seconds(5));
   TimePoint fired;
-  sim.schedule_at(TimePoint() + seconds(1), [&] { fired = sim.now(); });
+  sim.schedule_at_or_now(TimePoint() + seconds(1),
+                         [&] { fired = sim.now(); });
   sim.run_for(seconds(1));
   EXPECT_EQ(fired, TimePoint() + seconds(5));
 }
