@@ -51,7 +51,9 @@ std::string ChaosResult::digest() const {
 }
 
 ChaosResult run_chaos(const ChaosOptions& options) {
-  Testbed bed({.seed = options.seed, .hot_path = options.hot_path});
+  Testbed bed({.seed = options.seed,
+               .hot_path = options.hot_path,
+               .obs = options.obs});
   RandomWorkload workload(bed, {.seed = options.seed ^ kWorkloadSalt});
   bed.start();
 
@@ -92,6 +94,7 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   result.consumed_mj = server.battery().consumed_total_mj();
   result.ea_total_mj = bed.eandroid()->engine().true_total_mj();
   result.violations = report.violations;
+  result.trace_text = bed.trace_text();
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/time.h"
 
 namespace eandroid::apps {
@@ -34,6 +35,11 @@ struct ChaosOptions {
   /// False replays the identical schedule on the pre-optimization
   /// metering path (TestbedOptions::hot_path); digests must not change.
   bool hot_path = true;
+  /// Observability passthrough (TestbedOptions::obs). Tracing a chaos
+  /// run captures the fault/recovery event order; the trace text rides
+  /// on ChaosResult::trace_text and stays OUT of the digest, which must
+  /// not change when tracing is toggled.
+  obs::ObsOptions obs{};
 };
 
 struct ChaosResult {
@@ -56,6 +62,11 @@ struct ChaosResult {
   double ea_total_mj = 0.0;
 
   std::vector<std::string> violations;
+
+  /// Text export of the device trace when ChaosOptions::obs.trace was
+  /// set, empty otherwise. Deliberately excluded from digest(): tracing
+  /// must never change what the simulation computes.
+  std::string trace_text;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// Full-precision rendering of every field above; equal digests mean

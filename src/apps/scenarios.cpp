@@ -22,6 +22,8 @@ ScenarioResult collect(Testbed& bed, std::string name) {
     result.windows_closed = ea->tracker().closed_total();
   }
   result.battery_drained_mj = bed.server().battery().drained_mj();
+  result.trace_text = bed.trace_text();
+  result.trace_json = bed.chrome_trace();
   return result;
 }
 

@@ -32,6 +32,12 @@ struct ScenarioResult {
   /// Collateral windows opened/closed during the run.
   std::uint64_t windows_opened = 0;
   std::uint64_t windows_closed = 0;
+  /// Exports of the device trace when base.obs.trace was set, empty
+  /// otherwise. The golden-trace suite pins trace_text byte-for-byte;
+  /// trace_json is the Chrome trace_event form (Perfetto-loadable),
+  /// shipped as a CI artifact when a golden drifts.
+  std::string trace_text;
+  std::string trace_json;
 };
 
 /// Scene #1 (Fig 9a): open Message 30 s, then film a 30 s video through

@@ -33,6 +33,10 @@ struct TestbedOptions {
   /// are bit-for-bit equal — the hotpath bench and the golden-digest
   /// equivalence tests rely on that.
   bool hot_path = true;
+  /// Observability: off by default (zero per-tick cost beyond a null
+  /// check). Turn on `obs.trace` to capture a TraceRecorder ring the
+  /// golden-trace and differential suites can export.
+  obs::ObsOptions obs{};
 };
 
 class Testbed : public fleet::DeviceContext {
@@ -52,6 +56,7 @@ class Testbed : public fleet::DeviceContext {
     spec.eandroid_mode = options.eandroid_mode;
     spec.sample_period = options.sample_period;
     spec.hot_path = options.hot_path;
+    spec.obs = options.obs;
     spec.params = std::make_shared<const hw::PowerParams>(options.params);
     spec.engine_config =
         std::make_shared<const core::EngineConfig>(options.engine_config);

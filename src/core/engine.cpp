@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace eandroid::core {
 
@@ -20,7 +21,20 @@ EAndroidEngine::EAndroidEngine(framework::SystemServer& server,
     : server_(server),
       tracker_(tracker),
       config_(config),
-      ids_(server.ids()) {}
+      ids_(server.ids()) {
+  auto& sim = server_.simulator();
+  if (auto* tr = sim.trace())
+    coll_trace_name_ = tr->intern("engine.collateral");
+  if (auto* m = sim.metrics()) {
+    // Collateral mJ by edge kind (paper Fig 5's window taxonomy): screen
+    // energy claimed through leaked-wakelock windows, through brightness
+    // escalations, and app energy chained through app->app windows.
+    coll_wakelock_metric_ = m->gauge("engine.collateral_screen_wakelock_mj");
+    coll_brightness_metric_ =
+        m->gauge("engine.collateral_screen_brightness_mj");
+    coll_chained_metric_ = m->gauge("engine.collateral_chained_mj");
+  }
+}
 
 double EAndroidEngine::direct_mj(kernelsim::Uid uid) const {
   const AppIdx idx = ids_.find_app(uid);
@@ -239,6 +253,13 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
   }
   screen_row_mj_ += slice.screen_mj - claimed_screen;
   attributed_screen_mj_ += claimed_screen;
+  if (claimed_screen > 0.0) {
+    if (auto* m = server_.simulator().metrics()) {
+      m->observe(slice.screen_forced_by_wakelock ? coll_wakelock_metric_
+                                                 : coll_brightness_metric_,
+                 claimed_screen);
+    }
+  }
 
   // 3. Charge each driver's map: its own screen collateral plus, through
   // the closure, every reached app's direct energy and screen collateral.
@@ -249,6 +270,7 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
                  screen_coll_touched_.begin(), screen_coll_touched_.end(),
                  std::back_inserter(drivers_scratch_));
 
+  double chained_slice_mj = 0.0;
   for (const AppIdx driver : drivers_scratch_) {
     if (maps_.size() <= driver) {
       maps_.resize(driver + 1);
@@ -256,8 +278,8 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
     }
     has_map_[driver] = 1;
     DriverMap& map = maps_[driver];
-    const double own_screen = screen_coll_of(driver);
-    if (own_screen > 0.0) map.screen_mj += own_screen;
+    double driver_slice_mj = screen_coll_of(driver);
+    if (driver_slice_mj > 0.0) map.screen_mj += driver_slice_mj;
     for (const AppIdx reached : closure_of(driver)) {
       const energy::AppSliceEnergy* e = slice.find_at(reached);
       if (e != nullptr) {
@@ -268,10 +290,31 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
           }
           if (map.from_app[reached] == 0.0) map.from_touched.push_back(reached);
           map.from_app[reached] += mj;
+          driver_slice_mj += mj;
+          chained_slice_mj += mj;
         }
       }
       const double reached_screen = screen_coll_of(reached);
-      if (reached_screen > 0.0) map.screen_mj += reached_screen;
+      if (reached_screen > 0.0) {
+        map.screen_mj += reached_screen;
+        driver_slice_mj += reached_screen;
+      }
+    }
+    // Attribution breadcrumb: this driver was charged `driver_slice_mj`
+    // collateral for this slice (nanojoules in the arg). Drivers iterate
+    // in ascending index order, so trace bytes are canonical.
+    if (driver_slice_mj > 0.0) {
+      EANDROID_TRACE(server_.simulator().trace(),
+                     server_.simulator().now().micros(),
+                     obs::TraceCategory::kEnergy, coll_trace_name_,
+                     ids_.uid_of(driver).value,
+                     static_cast<std::int64_t>(
+                         std::llround(driver_slice_mj * 1e6)));
+    }
+  }
+  if (chained_slice_mj > 0.0) {
+    if (auto* m = server_.simulator().metrics()) {
+      m->observe(coll_chained_metric_, chained_slice_mj);
     }
   }
 }

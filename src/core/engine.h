@@ -154,6 +154,13 @@ class EAndroidEngine : public energy::AccountingSink {
   std::vector<kernelsim::AppIdx> drivers_scratch_;
   std::vector<kernelsim::AppIdx> bfs_stack_;
   std::vector<std::uint8_t> bfs_seen_;
+
+  // --- Observability ids, interned/registered at construction so the
+  // per-slice trace/metric calls stay allocation-free ---
+  std::uint32_t coll_trace_name_ = 0;
+  obs::MetricId coll_wakelock_metric_ = 0;
+  obs::MetricId coll_brightness_metric_ = 0;
+  obs::MetricId coll_chained_metric_ = 0;
 };
 
 }  // namespace eandroid::core

@@ -69,6 +69,12 @@ class EnergySampler {
   /// Persistent metering buffers (reset per tick, never reallocated).
   EnergySlice slice_;
   hw::PowerBreakdown breakdown_;
+
+  /// Pre-interned/registered observability ids (see constructor) so the
+  /// tick's trace/metrics calls stay allocation-free.
+  std::uint32_t slice_trace_name_ = 0;
+  obs::MetricId slices_metric_ = 0;
+  obs::MetricId slice_mj_metric_ = 0;
 };
 
 }  // namespace eandroid::energy

@@ -39,6 +39,9 @@ std::string FleetReport::digest() const {
   append_f64(out, battery_consumed_mj);
   append_u64(out, pushes_delivered);
   append_u64(out, alerts_total);
+  // The merged metrics table renders with %.17g sums, so folding it in
+  // extends the bitwise contract over the whole observability layer.
+  out += metrics.render();
   return out;
 }
 
@@ -66,6 +69,10 @@ std::string FleetReport::render() const {
                 screen_row_mj, system_row_mj, true_total_mj,
                 battery_consumed_mj);
   out += buf;
+  if (!metrics.rows.empty()) {
+    out += "fleet metrics:\n";
+    out += metrics.render();
+  }
   return out;
 }
 
@@ -91,6 +98,7 @@ FleetReport aggregate_fleet(Fleet& fleet,
     report.true_total_mj += device_report.true_total_mj;
     report.battery_consumed_mj += device_report.battery_consumed_mj;
     report.pushes_delivered += device.server().push().pushes_delivered();
+    report.metrics.merge(device.metrics_snapshot());
 
     core::CollateralAttackDetector detector(device.server(),
                                             *device.eandroid(),

@@ -42,6 +42,11 @@ struct FleetReport {
   double battery_consumed_mj = 0.0;
   std::uint64_t pushes_delivered = 0;
   std::uint64_t alerts_total = 0;
+  /// Population metrics: every device's registry snapshot folded in
+  /// device order (counters add; gauges merge min/max/sum/count). The
+  /// rows are name-sorted, so this table is as deterministic as the rest
+  /// of the report.
+  obs::MetricsSnapshot metrics;
 
   /// Full-precision rendering of every field, for bitwise comparison.
   [[nodiscard]] std::string digest() const;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
 #include "sim/check.h"
 
 namespace eandroid::fleet {
@@ -41,7 +42,7 @@ shared_default_engine_config() {
 DeviceContext::DeviceContext(DeviceSpec spec)
     : spec_(with_defaults(std::move(spec))),
       sim_(spec_.seed),
-      server_(sim_, spec_.params),
+      server_(sim_, spec_.params, spec_.obs),
       sampler_(server_, spec_.sample_period, spec_.hot_path),
       battery_stats_(server_.packages()),
       power_tutor_(server_.packages()) {
@@ -85,6 +86,17 @@ std::string DeviceContext::energy_digest() {
   append_u64(out, server_.push().pushes_delivered());
   append_u64(out, static_cast<std::uint64_t>(sim_.now().micros()));
   return out;
+}
+
+std::string DeviceContext::trace_text() const {
+  const obs::TraceRecorder* tr = server_.obs().trace();
+  return tr == nullptr ? std::string() : obs::text_trace(*tr);
+}
+
+std::string DeviceContext::chrome_trace() const {
+  const obs::TraceRecorder* tr = server_.obs().trace();
+  return tr == nullptr ? std::string()
+                       : obs::chrome_trace(*tr, spec_.device_index);
 }
 
 core::EngineReport DeviceContext::engine_report() {

@@ -102,6 +102,22 @@ class DeviceContext {
     return pkg == nullptr ? kernelsim::Uid{} : pkg->uid;
   }
 
+  /// The device's observability bundle (owned by the SystemServer).
+  [[nodiscard]] obs::Observability& obs() { return server_.obs(); }
+  [[nodiscard]] const obs::Observability& obs() const {
+    return server_.obs();
+  }
+  /// Deterministic text export of the device's trace ring; empty string
+  /// when the spec did not request tracing.
+  [[nodiscard]] std::string trace_text() const;
+  /// Chrome trace_event JSON (empty when tracing is off); pid = the
+  /// device_index so a fleet's traces merge into one multi-device view.
+  [[nodiscard]] std::string chrome_trace() const;
+  /// Name-sorted metrics snapshot; fleet::aggregate merges these.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return server_.obs().metrics().snapshot();
+  }
+
   /// Full-precision (%.17g) rendering of every per-uid total all three
   /// profilers hold, plus the device-level rows, battery ground truth,
   /// tracker counters, and push deliveries. Two runs of the same spec and

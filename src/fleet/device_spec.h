@@ -18,6 +18,7 @@
 
 #include "core/e_android.h"
 #include "hw/power_params.h"
+#include "obs/obs.h"
 #include "sim/time.h"
 
 namespace eandroid::fleet {
@@ -38,6 +39,13 @@ struct DeviceSpec {
   /// tick, no window-structure caches) — bit-identical results, used as
   /// the baseline leg of equivalence tests and benches.
   bool hot_path = true;
+
+  /// Observability knob. The options are tiny value config (copied per
+  /// device); the TraceRecorder/MetricsRegistry they describe are
+  /// per-device mutable state, never shared. Tracing defaults off, and
+  /// enabling it does not move a bit of any energy digest (the recorder
+  /// interns names into a private table, not the server's IdTable).
+  obs::ObsOptions obs{};
 
   /// Null = hw::shared_nexus4_params().
   std::shared_ptr<const hw::PowerParams> params;

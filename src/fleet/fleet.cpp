@@ -4,6 +4,8 @@
 #include <future>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace eandroid::fleet {
@@ -39,6 +41,7 @@ Fleet::Fleet(FleetOptions options)
     spec.eandroid_mode = options_.eandroid_mode;
     spec.sample_period = options_.sample_period;
     spec.hot_path = options_.hot_path;
+    spec.obs = options_.obs;
     spec.params = options_.params;
     spec.engine_config = options_.engine_config;
     spec.install_plan = options_.install_plan;
@@ -79,9 +82,24 @@ void Fleet::run_for(sim::Duration total) {
     const sim::TimePoint epoch_end =
         std::min(end, clock_ + options_.epoch);
     // 1. Injection: devices are quiescent; cross-device events land on
-    //    each device's own queue, on the driver thread.
+    //    each device's own queue, on the driver thread. The trace marks
+    //    (epoch boundary, sends injected) depend only on device_index
+    //    and the epoch boundaries — never on sharding — so traced fleets
+    //    keep the bitwise shard-invariance contract.
     for (std::size_t i = 0; i < devices_.size(); ++i) {
-      broker_.inject(*devices_[i], static_cast<int>(i), clock_, epoch_end);
+      DeviceContext& device = *devices_[i];
+      const std::uint64_t sends =
+          broker_.inject(device, static_cast<int>(i), clock_, epoch_end);
+      [[maybe_unused]] obs::TraceRecorder* tr = device.obs().trace();
+      EANDROID_TRACE_LIT(tr, clock_.micros(), obs::TraceCategory::kFleet,
+                         "fleet.epoch", -1, epoch_end.micros());
+      if (sends > 0) {
+        EANDROID_TRACE_LIT(tr, clock_.micros(), obs::TraceCategory::kFleet,
+                           "fleet.push_inject", -1,
+                           static_cast<std::int64_t>(sends));
+        if (auto* m = device.sim().metrics())
+          m->add(m->counter("fleet.pushes_injected"), sends);
+      }
     }
     // 2+3. Advance every shard to the epoch end, then barrier.
     for_each_device_sharded([epoch_end](DeviceContext& device, int) {

@@ -55,6 +55,12 @@ struct FleetOptions {
   core::Mode eandroid_mode = core::Mode::kComplete;
   sim::Duration sample_period = sim::millis(250);
   bool hot_path = true;
+  /// Per-device observability (each device gets its OWN recorder and
+  /// registry; only the options are fleet-wide). With tracing on, the
+  /// fleet marks epoch boundaries and push injections on every device's
+  /// trace — both depend only on (device_index, epoch boundaries), so
+  /// trace bytes stay invariant across shard counts.
+  obs::ObsOptions obs{};
 
   // Shared immutable configuration (one object per fleet). Null params /
   // engine_config fall back to the stock shared instances; a null plan

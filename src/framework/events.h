@@ -83,9 +83,13 @@ class EventBus {
   }
 
   void publish(const FwEvent& event) {
-    // Copy guards against listeners subscribing re-entrantly.
-    const auto snapshot = listeners_;
-    for (const auto& listener : snapshot) listener(event);
+    // Listeners are append-only, so a size snapshot guards against
+    // re-entrant subscription (new listeners miss the in-flight event,
+    // same semantics as the old vector copy) without the copy's per-
+    // publish allocation. Indexing re-reads listeners_[i] each step
+    // because a push_back may reallocate the storage mid-loop.
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) listeners_[i](event);
     ++published_;
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace eandroid::framework {
@@ -83,6 +85,12 @@ int LowMemoryKiller::maybe_reclaim(kernelsim::Uid exclude) {
     EA_LOG(kDebug, sim_.now(), "lmk")
         << "reclaiming uid " << victim.value << " (adj " << victim_priority
         << ")";
+    // Cold path (memory-pressure reclaim): literal interning is fine.
+    EANDROID_TRACE_LIT(sim_.trace(), sim_.now().micros(),
+                       obs::TraceCategory::kRecovery, "lmk.kill",
+                       victim.value,
+                       static_cast<std::int64_t>(victim_priority));
+    if (auto* m = sim_.metrics()) m->add(m->counter("fw.lmk_kills"));
     host_.kill_app(victim);
     ++kills_;
     ++killed;

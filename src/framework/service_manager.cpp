@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/check.h"
 #include "sim/log.h"
 
@@ -166,6 +168,13 @@ void ServiceManager::schedule_restart(ServiceRecord& record) {
   const std::string key = key_of(record.ref);
   record.restart_event =
       sim_.schedule(delay, [this, key] { restart_now(key); });
+  // Cold path (only crashed started-services land here): the backoff
+  // decision, with its chosen delay, is the recovery breadcrumb the
+  // golden traces and the backoff-reset test key on.
+  EANDROID_TRACE_LIT(sim_.trace(), now.micros(),
+                     obs::TraceCategory::kRecovery, "svc.backoff",
+                     record.uid.value, delay.micros());
+  if (auto* m = sim_.metrics()) m->add(m->counter("fw.service_backoffs"));
   EA_LOG(kDebug, now, "services")
       << key << " crashed (started); restart in " << delay.micros()
       << "us (crash #" << record.crashes << ")";
@@ -179,6 +188,11 @@ void ServiceManager::restart_now(const std::string& key) {
   record.restart_pending = false;
   record.restart_event = {};
   ++restarts_;
+  EANDROID_TRACE_LIT(sim_.trace(), sim_.now().micros(),
+                     obs::TraceCategory::kRecovery, "svc.restart",
+                     record.uid.value,
+                     static_cast<std::int64_t>(record.crashes));
+  if (auto* m = sim_.metrics()) m->add(m->counter("fw.service_restarts"));
   bring_up(record);
   record.started = true;
   // Attribution survives the crash: the restart is published with the

@@ -16,12 +16,31 @@ std::shared_ptr<const hw::PowerParams> checked_params(
   EANDROID_CHECK(params != nullptr, "SystemServer needs non-null PowerParams");
   return params;
 }
+
+obs::TraceCategory trace_category_of(FwEventType type) {
+  switch (type) {
+    case FwEventType::kBrightnessChange:
+    case FwEventType::kScreenModeChange:
+    case FwEventType::kScreenOn:
+    case FwEventType::kScreenOff:
+    case FwEventType::kWakelockAcquire:
+    case FwEventType::kWakelockRelease:
+      return obs::TraceCategory::kPower;
+    case FwEventType::kAnr:
+      return obs::TraceCategory::kRecovery;
+    default:
+      return obs::TraceCategory::kLifecycle;
+  }
+}
 }  // namespace
 
 SystemServer::SystemServer(sim::Simulator& sim,
-                           std::shared_ptr<const hw::PowerParams> params)
+                           std::shared_ptr<const hw::PowerParams> params,
+                           obs::ObsOptions obs)
     : sim_(sim),
       params_(checked_params(std::move(params))),
+      obs_(obs),
+      obs_binder_(sim_, obs_),
       processes_(),
       binder_(sim_, processes_),
       cpu_(sim_, processes_, params_->cpu_cores, &ids_),
@@ -50,6 +69,32 @@ SystemServer::SystemServer(sim::Simulator& sim,
       lmk_(sim_, processes_, packages_, activities_, services_, power_, *this,
            events_),
       notifications_(sim_, packages_, activities_) {
+  // Observability glue: one EventBus subscription mirrors every framework
+  // event into the trace (with the event type's interned name, uid =
+  // driven app, arg = driving app) and bumps the bus counter. Names are
+  // interned up front so the listener itself is allocation-free.
+  fw_bus_metric_ = obs_.metrics().counter("fw.bus_events");
+  anr_metric_ = obs_.metrics().counter("fw.anr_kills");
+  if (obs::TraceRecorder* tr = obs_.trace()) {
+    constexpr int kFwTypes = static_cast<int>(FwEventType::kAnr) + 1;
+    fw_trace_names_.reserve(kFwTypes);
+    std::string name;
+    for (int i = 0; i < kFwTypes; ++i) {
+      name = "fw.";
+      name += to_string(static_cast<FwEventType>(i));
+      fw_trace_names_.push_back(tr->intern(name));
+    }
+    events_.subscribe([this, tr](const FwEvent& event) {
+      tr->record(trace_category_of(event.type),
+                 fw_trace_names_[static_cast<int>(event.type)],
+                 event.driven.value, event.driving.value,
+                 event.when.micros());
+      obs_.metrics().add(fw_bus_metric_);
+    });
+  } else {
+    events_.subscribe(
+        [this](const FwEvent&) { obs_.metrics().add(fw_bus_metric_); });
+  }
   windows_.set_foreground_name_provider([this]() -> std::string {
     const ActivityRecord* fg = activities_.foreground_activity();
     return fg == nullptr ? std::string() : fg->package + "/" + fg->name;
@@ -82,6 +127,12 @@ SystemServer::SystemServer(sim::Simulator& sim,
     event.driven = info.uid;
     events_.publish(event);
   });
+}
+
+SystemServer::~SystemServer() {
+  // The Simulator may outlive this server (tests build several servers on
+  // one sim); its trace/metrics pointers alias obs_, which dies with us.
+  sim_.set_observability(nullptr, nullptr);
 }
 
 kernelsim::Uid SystemServer::install(Manifest manifest,
@@ -215,6 +266,7 @@ void SystemServer::post_to_main(kernelsim::Uid uid,
     if (it == main_queues_.end() || it->second.drained >= seq) return;
     if (!pid_of(uid).valid()) return;
     ++anr_kills_;
+    obs_.metrics().add(anr_metric_);
     EA_LOG(kInfo, sim_.now(), "system")
         << "ANR: uid " << uid.value << " (queue depth "
         << it->second.pending.size() << "), killing";

@@ -36,6 +36,7 @@
 #include "kernel/interner.h"
 #include "kernel/process_table.h"
 #include "kernel/types.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace eandroid::framework {
@@ -57,16 +58,19 @@ class SystemServer : public AppHost {
   /// parameter object (must be non-null). N devices built from the same
   /// pointer hold ONE PowerParams between them.
   SystemServer(sim::Simulator& sim,
-               std::shared_ptr<const hw::PowerParams> params);
+               std::shared_ptr<const hw::PowerParams> params,
+               obs::ObsOptions obs = {});
   /// One-device convenience: copies `params` into a private shared object
   /// (the stock singleton is aliased, not copied).
   explicit SystemServer(sim::Simulator& sim,
-                        const hw::PowerParams& params = hw::nexus4_params())
+                        const hw::PowerParams& params = hw::nexus4_params(),
+                        obs::ObsOptions obs = {})
       : SystemServer(sim,
                      &params == &hw::nexus4_params()
                          ? hw::shared_nexus4_params()
-                         : std::make_shared<const hw::PowerParams>(params)) {}
-  ~SystemServer() override = default;
+                         : std::make_shared<const hw::PowerParams>(params),
+                     obs) {}
+  ~SystemServer() override;
 
   SystemServer(const SystemServer&) = delete;
   SystemServer& operator=(const SystemServer&) = delete;
@@ -132,6 +136,10 @@ class SystemServer : public AppHost {
   [[nodiscard]] NotificationService& notifications() {
     return notifications_;
   }
+  /// Per-device observability (trace ring + metrics registry). The sim's
+  /// trace()/metrics() pointers alias this object while the server lives.
+  [[nodiscard]] obs::Observability& obs() { return obs_; }
+  [[nodiscard]] const obs::Observability& obs() const { return obs_; }
   [[nodiscard]] const hw::PowerParams& params() const { return *params_; }
   /// The shared immutable parameter object itself (never null); devices
   /// built from one fleet config return aliases of the same pointer.
@@ -182,6 +190,19 @@ class SystemServer : public AppHost {
   /// declared before the hardware models, which hold references into it.
   std::shared_ptr<const hw::PowerParams> params_;
 
+  /// Per-device observability. Declared before every kernel/hw/service
+  /// member and bound into sim_ by obs_binder_ (immediately below), so
+  /// any subsystem may intern trace names and register metrics from its
+  /// own constructor. The destructor detaches the sim's pointers again —
+  /// the Simulator outlives the server.
+  obs::Observability obs_;
+  struct ObsBinder {
+    ObsBinder(sim::Simulator& sim, obs::Observability& obs) {
+      sim.set_observability(obs.trace(), &obs.metrics());
+    }
+  };
+  ObsBinder obs_binder_;
+
   kernelsim::ProcessTable processes_;
   kernelsim::BinderDriver binder_;
   /// Shared identifier interner; declared before its consumers (cpu_ and,
@@ -208,6 +229,12 @@ class SystemServer : public AppHost {
   PushService push_;
   LowMemoryKiller lmk_;
   NotificationService notifications_;
+
+  /// Pre-interned trace names, indexed by FwEventType, for the EventBus
+  /// subscription that mirrors every framework event into the trace.
+  std::vector<std::uint32_t> fw_trace_names_;
+  obs::MetricId fw_bus_metric_ = 0;
+  obs::MetricId anr_metric_ = 0;
 
   std::unordered_map<kernelsim::Uid, kernelsim::Pid> process_of_;
   std::unordered_map<kernelsim::Uid, std::unique_ptr<Context>> contexts_;

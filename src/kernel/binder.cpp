@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace eandroid::kernelsim {
@@ -17,6 +19,14 @@ BinderDriver::BinderDriver(sim::Simulator& sim, ProcessTable& processes)
     : sim_(sim), processes_(processes) {
   processes_.add_death_observer(
       [this](const ProcessInfo& info) { on_process_death(info); });
+  // The SystemServer binds observability into the sim before constructing
+  // its kernel members, so interning/registering here keeps transact()
+  // allocation-free.
+  if (auto* tr = sim_.trace()) txn_trace_name_ = tr->intern("binder.txn");
+  if (auto* m = sim_.metrics()) {
+    txn_metric_ = m->counter("binder.txns");
+    fail_metric_ = m->counter("binder.txn_failures");
+  }
 }
 
 BinderToken BinderDriver::mint_token(Pid owner) {
@@ -53,6 +63,17 @@ sim::Duration BinderDriver::transact(Pid from, Pid to, std::uint64_t bytes) {
   to_stats.bytes += bytes;
   ++total_.count;
   total_.bytes += bytes;
+#if !defined(EANDROID_TRACE_COMPILED_OUT)
+  // Open-coded rather than the bare macro: the uid lookup should not run
+  // at all when no recorder is attached (or when tracing is compiled out).
+  if (obs::TraceRecorder* tr = sim_.trace(); tr != nullptr) {
+    const ProcessInfo* info = processes_.find(from);
+    tr->record(obs::TraceCategory::kBinder, txn_trace_name_,
+               info == nullptr ? -1 : info->uid.value,
+               static_cast<std::int64_t>(bytes), sim_.now().micros());
+  }
+#endif
+  if (auto* m = sim_.metrics()) m->add(txn_metric_);
   EA_LOG(kTrace, sim_.now(), "binder")
       << "txn " << from.value << " -> " << to.value << " (" << bytes << "B)";
   return cost;
@@ -63,6 +84,10 @@ bool BinderDriver::try_transact(Pid from, Pid to, std::uint64_t bytes,
   if (fail_budget_ > 0) {
     --fail_budget_;
     ++failed_;
+    EANDROID_TRACE_LIT(sim_.trace(), sim_.now().micros(),
+                       obs::TraceCategory::kBinder, "binder.txn_fail",
+                       /*uid=*/-1, static_cast<std::int64_t>(bytes));
+    if (auto* m = sim_.metrics()) m->add(fail_metric_);
     if (cost != nullptr) *cost = sim::Duration(0);
     EA_LOG(kDebug, sim_.now(), "binder")
         << "txn " << from.value << " -> " << to.value

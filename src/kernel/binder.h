@@ -99,6 +99,11 @@ class BinderDriver {
   std::uint64_t next_token_ = 1;
   std::uint64_t fail_budget_ = 0;
   std::uint64_t failed_ = 0;
+  /// Observability ids, interned/registered at construction (the server
+  /// binds obs into the sim before building its kernel members).
+  std::uint32_t txn_trace_name_ = 0;
+  std::uint32_t txn_metric_ = 0;
+  std::uint32_t fail_metric_ = 0;
 };
 
 }  // namespace eandroid::kernelsim

@@ -1,0 +1,88 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace eandroid::obs {
+namespace {
+
+// Track id for a uid: Chrome wants small positive tids and a stable
+// ordering; system events (uid < 0) take tid 1, app uids keep their value.
+int tid_of(std::int32_t uid) { return uid < 0 ? 1 : uid; }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string text_trace(const TraceRecorder& recorder) {
+  std::ostringstream out;
+  out << "# trace events=" << recorder.size()
+      << " dropped=" << recorder.dropped() << "\n";
+  char buf[64];
+  recorder.for_each([&](const TraceEvent& ev) {
+    std::snprintf(buf, sizeof buf, "@%lld ",
+                  static_cast<long long>(ev.t_us));
+    out << buf << to_string(ev.category) << ' '
+        << recorder.names().routine_name(ev.name);
+    std::snprintf(buf, sizeof buf, " uid=%d arg=%lld\n", ev.uid,
+                  static_cast<long long>(ev.arg));
+    out << buf;
+  });
+  return out.str();
+}
+
+std::string chrome_trace(const TraceRecorder& recorder, int pid) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+
+  // Track-name metadata: collect the uid universe in sorted order so the
+  // output is deterministic regardless of event order.
+  std::map<int, std::int32_t> tracks;  // tid -> representative uid
+  recorder.for_each(
+      [&](const TraceEvent& ev) { tracks.emplace(tid_of(ev.uid), ev.uid); });
+  for (const auto& [tid, uid] : tracks) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (uid < 0)
+      out << "system";
+    else
+      out << "uid " << uid;
+    out << "\"}}";
+  }
+
+  recorder.for_each([&](const TraceEvent& ev) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\""
+        << json_escape(recorder.names().routine_name(ev.name))
+        << "\",\"cat\":\"" << to_string(ev.category)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+        << ",\"tid\":" << tid_of(ev.uid) << ",\"ts\":" << ev.t_us
+        << ",\"args\":{\"uid\":" << ev.uid << ",\"arg\":" << ev.arg << "}}";
+  });
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace eandroid::obs

@@ -1,0 +1,185 @@
+// TraceRecorder: a per-device, fixed-capacity ring buffer of POD trace
+// events — the simulator's flight recorder.
+//
+// Every load-bearing seam (event dispatch, lifecycle transitions, binder
+// calls, wakelocks, sampler slices, engine collateral, fault injection,
+// service-manager backoff, fleet epochs) drops a 24-byte TraceEvent here
+// via the EANDROID_TRACE macros below. Design constraints, in order:
+//
+//   1. Allocation-free when recording. Events are PODs written into a
+//      pre-sized ring; names are interned through a *recorder-private*
+//      kernelsim::IdTable, so a steady-state record() is one branch, one
+//      hash probe avoided entirely (hot seams intern once and cache the
+//      NameIdx), and one store.
+//   2. Deterministic. The recorder never reads wall clocks and the name
+//      table is private precisely so tracing cannot perturb the shared
+//      SystemServer IdTable's first-seen index order — enabling tracing
+//      must not move a single bit of any energy digest.
+//   3. Zero-cost when compiled out. -DEANDROID_TRACE=OFF turns every
+//      EANDROID_TRACE(...) expansion into ((void)0); not even the null
+//      check survives.
+//
+// The ring keeps the newest `capacity` events; `dropped()` counts the
+// overwritten prefix so exporters can say what the window missed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "kernel/interner.h"
+
+namespace eandroid::obs {
+
+/// Coarse event taxonomy; one track colour per category in exporters.
+enum class TraceCategory : std::uint8_t {
+  kSim = 0,    // event-loop dispatch
+  kLifecycle,  // activity/service/process transitions
+  kBinder,     // IPC transactions
+  kPower,      // wakelocks, screen
+  kEnergy,     // sampler slices, engine attribution
+  kFault,      // injected faults
+  kRecovery,   // restarts, backoff, ANR/LMK kills
+  kFleet,      // epochs, push campaigns
+};
+inline constexpr int kTraceCategoryCount = 8;
+
+[[nodiscard]] inline const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSim: return "sim";
+    case TraceCategory::kLifecycle: return "lifecycle";
+    case TraceCategory::kBinder: return "binder";
+    case TraceCategory::kPower: return "power";
+    case TraceCategory::kEnergy: return "energy";
+    case TraceCategory::kFault: return "fault";
+    case TraceCategory::kRecovery: return "recovery";
+    case TraceCategory::kFleet: return "fleet";
+  }
+  return "?";
+}
+
+/// Dense index into the recorder's private name table.
+using NameIdx = kernelsim::RoutineIdx;
+
+/// One trace point. 24 bytes, trivially copyable, no destructor — the
+/// ring is a flat std::vector<TraceEvent> that is never resized after
+/// construction.
+struct TraceEvent {
+  std::int64_t t_us = 0;   // virtual time, microseconds
+  std::int64_t arg = 0;    // event-specific payload (µJ, delay, handle…)
+  NameIdx name = 0;        // index into TraceRecorder::names()
+  std::int32_t uid = -1;   // owning uid, -1 for system/device-wide
+  TraceCategory category = TraceCategory::kSim;
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1u << 16)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Interns `name` into the recorder-private table. Cold-path: hot
+  /// seams call this once at attach time and cache the index.
+  NameIdx intern(std::string_view name) { return names_.routine_of(name); }
+
+  [[nodiscard]] const kernelsim::IdTable& names() const { return names_; }
+
+  /// Master switch; record() is a no-op while false. Toggling does not
+  /// clear the ring.
+  void set_recording(bool on) { recording_ = on; }
+  [[nodiscard]] bool recording() const { return recording_; }
+
+  /// Appends one event. Allocation-free: a wrapped index store into the
+  /// pre-sized ring. Silently overwrites the oldest event when full.
+  void record(TraceCategory category, NameIdx name, std::int32_t uid,
+              std::int64_t arg, std::int64_t t_us) {
+    if (!recording_) return;
+    TraceEvent& slot = ring_[head_];
+    slot.t_us = t_us;
+    slot.arg = arg;
+    slot.name = name;
+    slot.uid = uid;
+    slot.category = category;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++total_;
+  }
+
+  /// Cold-path convenience: interns the literal on every call.
+  void record_lit(TraceCategory category, std::string_view name,
+                  std::int32_t uid, std::int64_t arg, std::int64_t t_us) {
+    if (!recording_) return;
+    record(category, intern(name), uid, arg, t_us);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (≤ capacity).
+  [[nodiscard]] std::size_t size() const {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+  /// Lifetime events recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events lost to ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ < ring_.size() ? 0 : total_ - ring_.size();
+  }
+
+  /// Visits held events oldest→newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    const std::size_t start =
+        total_ < ring_.size() ? 0 : head_;  // oldest surviving slot
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t at = start + i;
+      if (at >= ring_.size()) at -= ring_.size();
+      fn(ring_[at]);
+    }
+  }
+
+  /// Forgets all events (names stay interned; indices are stable).
+  void clear() {
+    head_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;       // next write position
+  std::uint64_t total_ = 0;    // lifetime count
+  bool recording_ = true;
+  kernelsim::IdTable names_;   // private: see header comment, point 2
+};
+
+// --- Instrumentation macros -----------------------------------------------
+//
+// EANDROID_TRACE(rec, t_us, cat, name_idx, uid, arg)   hot seams, cached idx
+// EANDROID_TRACE_LIT(rec, t_us, cat, "name", uid, arg) cold seams, literal
+//
+// `rec` is a TraceRecorder* that may be null (the common case: tracing not
+// requested). Configure with -DEANDROID_TRACE=OFF to compile every site
+// down to ((void)0).
+#if !defined(EANDROID_TRACE_COMPILED_OUT)
+#define EANDROID_TRACE(rec, t_us, cat, name_idx, uid, arg)            \
+  do {                                                                \
+    ::eandroid::obs::TraceRecorder* ea_tr_ = (rec);                   \
+    if (ea_tr_ != nullptr)                                            \
+      ea_tr_->record((cat), (name_idx), (uid), (arg), (t_us));        \
+  } while (0)
+#define EANDROID_TRACE_LIT(rec, t_us, cat, name, uid, arg)            \
+  do {                                                                \
+    ::eandroid::obs::TraceRecorder* ea_tr_ = (rec);                   \
+    if (ea_tr_ != nullptr)                                            \
+      ea_tr_->record_lit((cat), (name), (uid), (arg), (t_us));        \
+  } while (0)
+#else
+#define EANDROID_TRACE(rec, t_us, cat, name_idx, uid, arg) ((void)0)
+#define EANDROID_TRACE_LIT(rec, t_us, cat, name, uid, arg) ((void)0)
+#endif
+
+}  // namespace eandroid::obs

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/log.h"
 
 namespace eandroid::sim {
@@ -92,11 +94,19 @@ void FaultInjector::fire(const FaultSpec& spec) {
   const auto run = [&](auto& action, auto&&... args) {
     if (!action) {
       ++skipped_;
+      if (auto* m = sim_.metrics()) m->add(m->counter("fault.skipped"));
       return;
     }
     action(std::forward<decltype(args)>(args)...);
     ++injected_;
     ++by_kind_[static_cast<int>(spec.kind)];
+    // Cold path (a handful of faults per run): literal interning and
+    // by-name counter registration are fine here.
+    EANDROID_TRACE_LIT(sim_.trace(), sim_.now().micros(),
+                       obs::TraceCategory::kFault, to_string(spec.kind),
+                       /*uid=*/-1,
+                       static_cast<std::int64_t>(spec.magnitude));
+    if (auto* m = sim_.metrics()) m->add(m->counter("fault.injected"));
     EA_LOG(kDebug, sim_.now(), "fault")
         << to_string(spec.kind) << " target=" << spec.target
         << " magnitude=" << spec.magnitude;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace eandroid::sim {
 
 std::function<void()> Simulator::every(Duration period,
@@ -15,10 +18,29 @@ std::function<void()> Simulator::every(Duration period,
   return [this, h] { queue_.cancel(h); };
 }
 
+void Simulator::set_observability(obs::TraceRecorder* trace,
+                                  obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+  // Intern/register once at attach time so the dispatch loop below stays
+  // allocation-free.
+  if (trace_ != nullptr) dispatch_name_ = trace_->intern("sim.dispatch");
+  if (metrics_ != nullptr)
+    dispatch_metric_ = metrics_->counter("sim.events_dispatched");
+}
+
 void Simulator::run_until(TimePoint until) {
   while (!queue_.empty() && queue_.next_time() <= until) {
     now_ = queue_.next_time();
+    // Trace before firing: the callback may itself record events, and the
+    // dispatch marker should precede them in the ring. arg = queue depth
+    // at dispatch, a cheap congestion signal.
+    EANDROID_TRACE(trace_, now_.micros(), obs::TraceCategory::kSim,
+                   dispatch_name_, -1,
+                   static_cast<std::int64_t>(queue_.size()));
     queue_.fire_front();
+    ++events_dispatched_;
+    if (metrics_ != nullptr) metrics_->add(dispatch_metric_);
   }
   if (now_ < until) now_ = until;
 }
@@ -26,7 +48,12 @@ void Simulator::run_until(TimePoint until) {
 void Simulator::run_all() {
   while (!queue_.empty()) {
     now_ = queue_.next_time();
+    EANDROID_TRACE(trace_, now_.micros(), obs::TraceCategory::kSim,
+                   dispatch_name_, -1,
+                   static_cast<std::int64_t>(queue_.size()));
     queue_.fire_front();
+    ++events_dispatched_;
+    if (metrics_ != nullptr) metrics_->add(dispatch_metric_);
   }
 }
 

@@ -15,6 +15,11 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace eandroid::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace eandroid::obs
+
 namespace eandroid::sim {
 
 class Simulator {
@@ -72,10 +77,31 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches (or detaches, with nulls) the device's observability sinks.
+  /// Subsystems that hold a Simulator& reach tracing through trace() /
+  /// metrics() instead of growing constructor parameters; both pointers
+  /// default to null, so a bare Simulator pays one predicted branch per
+  /// instrumented seam and nothing else. The owner (SystemServer) detaches
+  /// in its destructor — the Simulator may outlive it.
+  void set_observability(obs::TraceRecorder* trace,
+                         obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::TraceRecorder* trace() const { return trace_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Events fired by run_until/run_all over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return events_dispatched_;
+  }
+
  private:
   TimePoint now_;
   EventQueue queue_;
   Rng rng_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t dispatch_name_ = 0;    // interned "sim.dispatch"
+  std::uint32_t dispatch_metric_ = 0;  // "sim.events_dispatched" counter id
+  std::uint64_t events_dispatched_ = 0;
 };
 
 }  // namespace eandroid::sim

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "apps/demo_app.h"
 #include "apps/testbed.h"
@@ -263,6 +266,82 @@ TEST_F(RecoveryTest, SetAppHungUnknownUidIsCheckedError) {
 TEST_F(RecoveryTest, HangingProcesslessAppIsNoOp) {
   server_.set_app_hung(uid("com.client"), true);
   EXPECT_FALSE(server_.app_hung(uid("com.client")));
+}
+
+// --- Backoff reset, pinned through the trace ---
+
+TEST(RecoveryTraceTest, BackoffDelayResetsAfterCleanWindowAndTracesInOrder) {
+  // Grow the backoff through three crashes (1 s, 2 s, 4 s), run one full
+  // clean reset window, crash again: the fourth restart must be back at
+  // the base delay, and the trace must show exactly that history —
+  // alternating svc.backoff (arg = delay µs) / svc.restart (arg = crash
+  // count) events in chronological order.
+#if defined(EANDROID_TRACE_COMPILED_OUT)
+  GTEST_SKIP() << "EANDROID_TRACE compiled out";
+#else
+  sim::Simulator sim;
+  SystemServer server(sim, hw::nexus4_params(),
+                      obs::ObsOptions{.trace = true});
+  Manifest m = testing::simple_manifest("com.victim");
+  m.services.push_back(ServiceDecl{"Work", /*exported=*/true, {}});
+  server.install(std::move(m), std::make_unique<RecordingApp>());
+  server.install(testing::simple_manifest("com.client"),
+                 std::make_unique<RecordingApp>());
+  server.boot();
+
+  const kernelsim::Uid victim = server.packages().find("com.victim")->uid;
+  const kernelsim::Uid client = server.packages().find("com.client")->uid;
+  const Intent work = Intent::explicit_for("com.victim", "Work");
+  ASSERT_TRUE(server.services().start_service(client, work));
+  sim.run_for(ServiceManager::kStartCommandDispatch);
+
+  sim::Duration delay = ServiceManager::kRestartBase;
+  for (int crash = 1; crash <= 3; ++crash) {
+    server.kill_app(victim);
+    sim.run_for(delay + sim::millis(10));
+    ASSERT_TRUE(server.services().running("com.victim", "Work"));
+    delay = delay * 2;
+  }
+  ASSERT_EQ(server.services().next_restart_delay("com.victim", "Work")
+                .micros(),
+            delay.micros());  // grown to 8 s
+
+  // One clean reset window, then the fourth crash restarts at base.
+  sim.run_for(ServiceManager::kRestartResetWindow);
+  server.kill_app(victim);
+  sim.run_for(ServiceManager::kRestartBase - sim::millis(10));
+  EXPECT_FALSE(server.services().running("com.victim", "Work"));
+  sim.run_for(sim::millis(20));
+  EXPECT_TRUE(server.services().running("com.victim", "Work"));
+  EXPECT_EQ(server.services().crash_count("com.victim", "Work"), 1);
+  EXPECT_EQ(server.services().restarts_total(), 4u);
+
+  const obs::TraceRecorder* rec = server.obs().trace();
+  ASSERT_NE(rec, nullptr);
+  std::vector<std::string> names;
+  std::vector<std::int64_t> args;
+  std::int64_t last_t = 0;
+  rec->for_each([&](const obs::TraceEvent& ev) {
+    const std::string_view name = rec->names().routine_name(ev.name);
+    if (name != "svc.backoff" && name != "svc.restart") return;
+    EXPECT_GE(ev.t_us, last_t);  // chronological
+    last_t = ev.t_us;
+    EXPECT_EQ(ev.uid, static_cast<std::int32_t>(victim.value));
+    names.emplace_back(name);
+    args.push_back(ev.arg);
+  });
+  const std::vector<std::string> expected_names{
+      "svc.backoff", "svc.restart", "svc.backoff", "svc.restart",
+      "svc.backoff", "svc.restart", "svc.backoff", "svc.restart"};
+  EXPECT_EQ(names, expected_names);
+  const std::int64_t s = sim::seconds(1).micros();
+  // Backoff delays 1 s → 2 s → 4 s, then back at 1 s after the clean
+  // window; restart args carry the crash count, reset to 1 at the end.
+  EXPECT_EQ(args, (std::vector<std::int64_t>{s, 1, 2 * s, 2, 4 * s, 3,
+                                             s, 1}));
+  EXPECT_EQ(server.obs().metrics().counter_value("fw.service_backoffs"), 4u);
+  EXPECT_EQ(server.obs().metrics().counter_value("fw.service_restarts"), 4u);
+#endif
 }
 
 // --- Energy conservation across the recovery boundaries ---

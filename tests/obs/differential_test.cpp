@@ -1,0 +1,199 @@
+// Differential contracts for the observability layer:
+//   * trace-derived energy re-summation — summing the nanojoule args of
+//     the sampler's `energy.slice` trace events reproduces the battery's
+//     consumed total within 1 mJ across 64 random chaos seeds (the
+//     trace is an independent record the meters can be validated
+//     against, in the spirit of arxiv 1701.07095);
+//   * trace bytes and metrics snapshots are bitwise identical across
+//     fleet shard counts {1, 4, 8} and across the hot-vs-baseline
+//     metering paths — observability output is a pure function of the
+//     simulated history, never of how it was executed;
+//   * tracing a chaos run moves no bit of its digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/chaos.h"
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+#include "fleet/aggregate.h"
+#include "fleet/fleet.h"
+#include "obs/export.h"
+
+namespace eandroid::obs {
+namespace {
+
+using apps::DemoApp;
+using apps::DemoAppSpec;
+
+// --- Trace re-summation vs the battery's ground truth -------------------
+
+struct ParsedTrace {
+  std::uint64_t dropped = 0;
+  double slice_sum_mj = 0.0;
+};
+
+/// Parses text_trace() output: the header's dropped count and the sum of
+/// every `energy.slice` arg (nanojoules → mJ).
+ParsedTrace parse_trace(const std::string& text) {
+  ParsedTrace parsed;
+  std::istringstream in(text);
+  std::string line;
+  std::int64_t slice_nj_sum = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("# trace", 0) == 0) {
+      const std::size_t at = line.find("dropped=");
+      if (at != std::string::npos) {
+        parsed.dropped = std::strtoull(line.c_str() + at + 8, nullptr, 10);
+      }
+      continue;
+    }
+    if (line.find(" energy energy.slice ") == std::string::npos) continue;
+    const std::size_t arg_at = line.find("arg=");
+    EXPECT_NE(arg_at, std::string::npos) << line;
+    if (arg_at == std::string::npos) continue;
+    slice_nj_sum += std::strtoll(line.c_str() + arg_at + 4, nullptr, 10);
+  }
+  parsed.slice_sum_mj = static_cast<double>(slice_nj_sum) * 1e-6;
+  return parsed;
+}
+
+apps::ChaosOptions chaos_options(std::uint64_t seed, bool traced) {
+  apps::ChaosOptions options;
+  options.seed = seed;
+  options.workload_steps = 40;
+  options.fault_count = 8;
+  options.horizon = sim::seconds(30);
+  if (traced) {
+    options.obs.trace = true;
+    // Big enough that no chaos seed wraps the ring: a wrapped trace
+    // would silently lose slices and the re-summation below with it.
+    options.obs.trace_capacity = 1u << 20;
+  }
+  return options;
+}
+
+TEST(TraceResummationTest, SliceArgsReproduceBatteryTotalAcross64Seeds) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const apps::ChaosResult result = run_chaos(chaos_options(seed, true));
+    ASSERT_FALSE(result.trace_text.empty()) << "seed " << seed;
+    const ParsedTrace parsed = parse_trace(result.trace_text);
+    ASSERT_EQ(parsed.dropped, 0u)
+        << "seed " << seed << ": ring wrapped; raise trace_capacity";
+    // llround error is ≤ 0.5 nJ per slice — the 1 mJ budget is five
+    // orders of magnitude of headroom even over thousands of slices.
+    EXPECT_NEAR(parsed.slice_sum_mj, result.consumed_mj, 1.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(TraceResummationTest, TracingMovesNoBitOfTheChaosDigest) {
+  for (std::uint64_t seed : {3u, 17u, 42u}) {
+    const apps::ChaosResult plain = run_chaos(chaos_options(seed, false));
+    const apps::ChaosResult traced = run_chaos(chaos_options(seed, true));
+    EXPECT_EQ(plain.digest(), traced.digest()) << "seed " << seed;
+    EXPECT_TRUE(plain.trace_text.empty());
+    EXPECT_FALSE(traced.trace_text.empty());
+  }
+}
+
+// --- Shard invariance ----------------------------------------------------
+
+/// The fleet_test campaign cast, traced.
+std::shared_ptr<const fleet::InstallPlan> campaign_plan() {
+  auto plan = std::make_shared<fleet::InstallPlan>();
+  DemoAppSpec sender;
+  sender.package = "com.fleet.weather";
+  sender.foreground_cpu = 0.02;
+  plan->add_app<DemoApp>(sender);
+  DemoAppSpec victim;
+  victim.package = "com.fleet.syncclient";
+  victim.push_endpoint = true;
+  plan->add_app<DemoApp>(victim);
+  return plan;
+}
+
+struct FleetObsOutput {
+  std::vector<std::string> traces;   // text_trace per device
+  std::vector<std::string> metrics;  // metrics render per device
+  std::string report_digest;         // includes the merged metrics table
+};
+
+FleetObsOutput run_traced_fleet(int shards) {
+  fleet::FleetOptions options;
+  options.device_count = 12;
+  options.shards = shards;
+  options.install_plan = campaign_plan();
+  options.epoch = sim::seconds(2);
+  options.obs.trace = true;
+  fleet::PushCampaign campaign;
+  campaign.sender_package = "com.fleet.weather";
+  campaign.target_package = "com.fleet.syncclient";
+  campaign.start = sim::TimePoint{} + sim::seconds(2);
+  campaign.period = sim::millis(750);
+  campaign.pushes_per_device = 6;
+  campaign.device_stagger = sim::millis(13);
+
+  fleet::Fleet fleet(options);
+  fleet.broker().add_campaign(campaign);
+  fleet.start();
+  fleet.run_for(sim::seconds(10));
+  fleet.finish();
+
+  FleetObsOutput out;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    out.traces.push_back(fleet.device(i).trace_text());
+    out.metrics.push_back(fleet.device(i).metrics_snapshot().render());
+  }
+  out.report_digest = aggregate_fleet(fleet).digest();
+  return out;
+}
+
+TEST(ShardInvarianceTest, TraceBytesAndMetricsIdenticalAcrossShardCounts) {
+  const FleetObsOutput one = run_traced_fleet(1);
+  const FleetObsOutput four = run_traced_fleet(4);
+  const FleetObsOutput eight = run_traced_fleet(8);
+  ASSERT_EQ(one.traces.size(), 12u);
+  EXPECT_FALSE(one.traces[0].empty());
+  EXPECT_EQ(one.traces, four.traces);
+  EXPECT_EQ(one.traces, eight.traces);
+  EXPECT_EQ(one.metrics, four.metrics);
+  EXPECT_EQ(one.metrics, eight.metrics);
+  // The fleet report digest folds the merged metrics table, so this one
+  // comparison covers the population-level render too.
+  EXPECT_EQ(one.report_digest, four.report_digest);
+  EXPECT_EQ(one.report_digest, eight.report_digest);
+}
+
+// --- Hot-vs-baseline invariance -----------------------------------------
+
+TEST(HotBaselineTest, TraceBytesAndMetricsIdenticalAcrossMeteringPaths) {
+  const auto run = [](bool hot_path) {
+    apps::TestbedOptions options;
+    options.seed = 9;
+    options.hot_path = hot_path;
+    options.obs.trace = true;
+    options.obs.trace_capacity = 1u << 18;
+    apps::Testbed bed(options);
+    bed.install<DemoApp>(apps::victim_spec());
+    bed.start();
+    bed.server().user_launch(apps::victim_spec().package);
+    bed.sim().run_for(sim::seconds(10));
+    bed.server().simulate_incoming_call(sim::seconds(5));
+    bed.run_for(sim::seconds(25));
+    return std::make_pair(bed.trace_text(),
+                          bed.metrics_snapshot().render());
+  };
+  const auto hot = run(true);
+  const auto baseline = run(false);
+  EXPECT_FALSE(hot.first.empty());
+  EXPECT_EQ(hot.first, baseline.first);
+  EXPECT_EQ(hot.second, baseline.second);
+}
+
+}  // namespace
+}  // namespace eandroid::obs
