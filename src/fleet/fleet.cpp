@@ -4,7 +4,6 @@
 #include <future>
 #include <utility>
 
-#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/check.h"
 
@@ -19,7 +18,18 @@ FleetOptions normalized(FleetOptions options) {
                  "Fleet needs at least one shard, got " << options.shards);
   EANDROID_CHECK(options.epoch > sim::Duration(0),
                  "Fleet epoch must be positive");
+  EANDROID_CHECK(options.max_resident_devices >= 0,
+                 "max_resident_devices must be >= 0");
+  EANDROID_CHECK(options.max_resident_devices == 0 ||
+                     options.scheduler == Scheduler::kWorkStealing,
+                 "hibernation (max_resident_devices > 0) requires the "
+                 "work-stealing scheduler");
+  EANDROID_CHECK(options.advance_grain_windows >= 1,
+                 "advance_grain_windows must be >= 1");
   options.shards = std::min(options.shards, options.device_count);
+  if (options.workers == 0) {
+    options.workers = static_cast<unsigned>(options.shards);
+  }
   if (options.params == nullptr) options.params = hw::shared_nexus4_params();
   if (options.engine_config == nullptr) {
     options.engine_config = shared_default_engine_config();
@@ -28,28 +38,42 @@ FleetOptions normalized(FleetOptions options) {
 }
 }  // namespace
 
-Fleet::Fleet(FleetOptions options)
-    : options_(normalized(std::move(options))),
-      pool_(static_cast<unsigned>(options_.shards)) {
-  devices_.reserve(static_cast<std::size_t>(options_.device_count));
-  for (int i = 0; i < options_.device_count; ++i) {
-    DeviceSpec spec;
-    spec.seed = options_.base_seed +
-                static_cast<std::uint64_t>(i) * options_.seed_stride;
-    spec.device_index = i;
-    spec.with_eandroid = options_.with_eandroid;
-    spec.eandroid_mode = options_.eandroid_mode;
-    spec.sample_period = options_.sample_period;
-    spec.hot_path = options_.hot_path;
-    spec.obs = options_.obs;
-    spec.params = options_.params;
-    spec.engine_config = options_.engine_config;
-    spec.install_plan = options_.install_plan;
-    devices_.push_back(std::make_unique<DeviceContext>(std::move(spec)));
+Fleet::Fleet(FleetOptions options) : options_(normalized(std::move(options))) {
+  if (options_.scheduler == Scheduler::kLockstep) {
+    pool_ = std::make_unique<exp::ThreadPool>(
+        static_cast<unsigned>(options_.shards));
+  } else {
+    exec_ = std::make_unique<exp::WorkStealingExecutor>(options_.workers);
+  }
+  slots_.resize(static_cast<std::size_t>(options_.device_count));
+  if (!hibernating()) {
+    // Eager population: every device exists for the fleet's lifetime, the
+    // shape the lockstep baseline always had. Hibernating fleets build
+    // devices lazily — finish() materializes each exactly once.
+    for (int i = 0; i < options_.device_count; ++i) {
+      slots_[static_cast<std::size_t>(i)].ctx =
+          std::make_unique<DeviceContext>(make_spec(i));
+    }
   }
 }
 
 Fleet::~Fleet() = default;
+
+DeviceSpec Fleet::make_spec(int i) const {
+  DeviceSpec spec;
+  spec.seed = options_.base_seed +
+              static_cast<std::uint64_t>(i) * options_.seed_stride;
+  spec.device_index = i;
+  spec.with_eandroid = options_.with_eandroid;
+  spec.eandroid_mode = options_.eandroid_mode;
+  spec.sample_period = options_.sample_period;
+  spec.hot_path = options_.hot_path;
+  spec.obs = options_.obs;
+  spec.params = options_.params;
+  spec.engine_config = options_.engine_config;
+  spec.install_plan = options_.install_plan;
+  return spec;
+}
 
 template <typename Fn>
 void Fleet::for_each_device_sharded(Fn&& fn) {
@@ -57,10 +81,10 @@ void Fleet::for_each_device_sharded(Fn&& fn) {
   std::vector<std::future<void>> done;
   done.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
-    done.push_back(pool_.submit([this, s, shards, &fn] {
-      for (std::size_t i = static_cast<std::size_t>(s); i < devices_.size();
+    done.push_back(pool_->submit([this, s, shards, &fn] {
+      for (std::size_t i = static_cast<std::size_t>(s); i < slots_.size();
            i += static_cast<std::size_t>(shards)) {
-        fn(*devices_[i], static_cast<int>(i));
+        fn(*slots_[i].ctx, static_cast<int>(i));
       }
     }));
   }
@@ -68,57 +92,322 @@ void Fleet::for_each_device_sharded(Fn&& fn) {
   for (std::future<void>& f : done) f.get();
 }
 
+template <typename Fn>
+void Fleet::for_each_slot_async(Fn&& fn) {
+  std::vector<exp::WorkStealingExecutor::Task> tasks;
+  tasks.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    tasks.push_back([&fn, i] { fn(i); });
+  }
+  exec_->submit_bulk(std::move(tasks));
+  // The aggregation cut: the ONLY cross-device barrier in async mode.
+  exec_->wait_idle();
+}
+
 void Fleet::start() {
   EANDROID_CHECK(!started_, "Fleet::start called twice");
   started_ = true;
-  for_each_device_sharded(
-      [](DeviceContext& device, int) { device.start(); });
+  if (options_.scheduler == Scheduler::kLockstep) {
+    for_each_device_sharded([](DeviceContext& device, int) { device.start(); });
+    return;
+  }
+  // Workers read the campaign list concurrently from here on.
+  broker_.freeze();
+  if (hibernating()) {
+    // Lazy population: nothing to boot yet, except devices a caller
+    // already materialized (and thereby pinned) before start.
+    for (DeviceSlot& slot : slots_) {
+      if (slot.ctx != nullptr && !slot.booted) {
+        slot.ctx->start();
+        slot.booted = true;
+      }
+    }
+    return;
+  }
+  for_each_slot_async([this](std::size_t i) {
+    slots_[i].ctx->start();
+    slots_[i].booted = true;
+  });
+}
+
+void Fleet::advance_windows(DeviceContext& device, int index,
+                            std::size_t w_begin, std::size_t w_end) {
+  if (w_begin >= w_end) return;
+  obs::TraceRecorder* tr = device.obs().trace();
+  std::size_t w = w_begin;
+  while (w < w_end) {
+    const sim::TimePoint begin = window_begin(w);
+    const sim::TimePoint end = windows_[w];
+    if (tr == nullptr) {
+      // Consolidation fast path: fold a maximal run of sendless windows
+      // into ONE run_until. Splitting run_until at instants where
+      // nothing is injected is an identity on the event stream, and the
+      // per-window observables — the fleet.epoch trace mark and the
+      // pushes_injected metric — are respectively off (no recorder) and
+      // zero on such windows, so digests are unchanged.
+      std::size_t run = w;
+      while (run < w_end &&
+             !broker_.may_send_in(index, window_begin(run), windows_[run])) {
+        ++run;
+      }
+      if (run > w) {
+        device.advance_to(windows_[run - 1]);
+        windows_advanced_.fetch_add(run - w, std::memory_order_relaxed);
+        windows_consolidated_.fetch_add(run - w - 1,
+                                        std::memory_order_relaxed);
+        w = run;
+        continue;
+      }
+    }
+    const std::uint64_t sends = broker_.inject(device, index, begin, end);
+    EANDROID_TRACE_LIT(tr, begin.micros(), obs::TraceCategory::kFleet,
+                       "fleet.epoch", -1, end.micros());
+    if (sends > 0) {
+      EANDROID_TRACE_LIT(tr, begin.micros(), obs::TraceCategory::kFleet,
+                         "fleet.push_inject", -1,
+                         static_cast<std::int64_t>(sends));
+      if (auto* m = device.sim().metrics())
+        m->add(m->counter("fleet.pushes_injected"), sends);
+    }
+    device.advance_to(end);
+    windows_advanced_.fetch_add(1, std::memory_order_relaxed);
+    ++w;
+  }
+}
+
+void Fleet::advance_task(std::size_t i, std::size_t target) {
+  DeviceSlot& slot = slots_[i];
+  const std::size_t stop =
+      std::min(target, slot.next_window + static_cast<std::size_t>(
+                                              options_.advance_grain_windows));
+  advance_windows(*slot.ctx, static_cast<int>(i), slot.next_window, stop);
+  slot.next_window = stop;
+  if (stop < target) {
+    // Requeue on the worker's own deque (LIFO, stealable): the device
+    // keeps running ahead unless a thief rebalances it away.
+    exec_->submit([this, i, target] { advance_task(i, target); });
+  }
 }
 
 void Fleet::run_for(sim::Duration total) {
   EANDROID_CHECK(started_, "Fleet::run_for before start()");
+  EANDROID_CHECK(!finished_, "Fleet::run_for after finish()");
+  const std::size_t first_new = windows_.size();
   const sim::TimePoint end = clock_ + total;
   while (clock_ < end) {
-    const sim::TimePoint epoch_end =
-        std::min(end, clock_ + options_.epoch);
-    // 1. Injection: devices are quiescent; cross-device events land on
-    //    each device's own queue, on the driver thread. The trace marks
-    //    (epoch boundary, sends injected) depend only on device_index
-    //    and the epoch boundaries — never on sharding — so traced fleets
-    //    keep the bitwise shard-invariance contract.
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
-      DeviceContext& device = *devices_[i];
-      const std::uint64_t sends =
-          broker_.inject(device, static_cast<int>(i), clock_, epoch_end);
-      [[maybe_unused]] obs::TraceRecorder* tr = device.obs().trace();
-      EANDROID_TRACE_LIT(tr, clock_.micros(), obs::TraceCategory::kFleet,
-                         "fleet.epoch", -1, epoch_end.micros());
-      if (sends > 0) {
-        EANDROID_TRACE_LIT(tr, clock_.micros(), obs::TraceCategory::kFleet,
-                           "fleet.push_inject", -1,
-                           static_cast<std::int64_t>(sends));
-        if (auto* m = device.sim().metrics())
-          m->add(m->counter("fleet.pushes_injected"), sends);
+    const sim::TimePoint window_end = std::min(end, clock_ + options_.epoch);
+    windows_.push_back(window_end);
+    clock_ = window_end;
+  }
+  if (options_.scheduler == Scheduler::kLockstep) {
+    // The retained baseline: inject/advance/barrier per window.
+    for (std::size_t w = first_new; w < windows_.size(); ++w) {
+      const sim::TimePoint begin = window_begin(w);
+      const sim::TimePoint window_end = windows_[w];
+      // 1. Injection: devices are quiescent; cross-device events land on
+      //    each device's own queue, on the driver thread. The trace marks
+      //    (window boundary, sends injected) depend only on device_index
+      //    and the window boundaries — never on sharding — so traced
+      //    fleets keep the bitwise shard-invariance contract.
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        DeviceContext& device = *slots_[i].ctx;
+        const std::uint64_t sends =
+            broker_.inject(device, static_cast<int>(i), begin, window_end);
+        [[maybe_unused]] obs::TraceRecorder* tr = device.obs().trace();
+        EANDROID_TRACE_LIT(tr, begin.micros(), obs::TraceCategory::kFleet,
+                           "fleet.epoch", -1, window_end.micros());
+        if (sends > 0) {
+          EANDROID_TRACE_LIT(tr, begin.micros(), obs::TraceCategory::kFleet,
+                             "fleet.push_inject", -1,
+                             static_cast<std::int64_t>(sends));
+          if (auto* m = device.sim().metrics())
+            m->add(m->counter("fleet.pushes_injected"), sends);
+        }
       }
+      // 2+3. Advance every shard to the window end, then barrier.
+      for_each_device_sharded([window_end](DeviceContext& device, int) {
+        device.advance_to(window_end);
+      });
+      windows_advanced_.fetch_add(slots_.size(), std::memory_order_relaxed);
     }
-    // 2+3. Advance every shard to the epoch end, then barrier.
-    for_each_device_sharded([epoch_end](DeviceContext& device, int) {
-      device.advance_to(epoch_end);
-    });
-    clock_ = epoch_end;
+    for (DeviceSlot& slot : slots_) slot.next_window = windows_.size();
+    return;
+  }
+  if (hibernating()) {
+    // Lazy: windows recorded, devices untouched — except pinned ones,
+    // which a caller may inspect between runs and so must track the
+    // fleet clock the way every live device does.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      DeviceSlot& slot = slots_[i];
+      if (slot.ctx != nullptr && slot.pinned) materialize(slot, i);
+    }
+    return;
+  }
+  // Work-stealing dispatch: one task per device; each walks its own
+  // device through the new windows in grains, requeueing until caught
+  // up. No per-window barrier — the wait inside is the aggregation cut.
+  const std::size_t target = windows_.size();
+  for_each_slot_async([this, target](std::size_t i) {
+    advance_task(i, target);
+  });
+}
+
+void Fleet::materialize(DeviceSlot& slot, std::size_t i) {
+  if (slot.ctx == nullptr) {
+    if (slot.has_snap) restores_.fetch_add(1, std::memory_order_relaxed);
+    slot.ctx = std::make_unique<DeviceContext>(make_spec(static_cast<int>(i)));
+    slot.next_window = 0;
+    slot.booted = false;
+    slot.flushed = false;
+  }
+  if (started_ && !slot.booted) {
+    slot.ctx->start();
+    slot.booted = true;
+  }
+  advance_windows(*slot.ctx, static_cast<int>(i), slot.next_window,
+                  windows_.size());
+  slot.next_window = windows_.size();
+}
+
+void Fleet::take_snapshot(DeviceSlot& slot) {
+  DeviceSnapshot snap;
+  snap.energy_digest = slot.ctx->energy_digest();
+  snap.pushes_delivered = slot.ctx->server().push().pushes_delivered();
+  snap.sim_end_us = slot.ctx->sim().now().micros();
+  snap.windows_done = slot.next_window;
+  snapshot_bytes_.fetch_add(snap.energy_digest.size() + sizeof(DeviceSnapshot),
+                            std::memory_order_relaxed);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  slot.snap = std::move(snap);
+  slot.has_snap = true;
+}
+
+void Fleet::evict(DeviceSlot& slot) {
+  slot.ctx.reset();
+  slot.next_window = 0;
+  slot.booted = false;
+  slot.flushed = false;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Fleet::hibernate_task(std::size_t i) {
+  DeviceSlot& slot = slots_[i];
+  materialize(slot, i);
+  if (!slot.flushed) {
+    slot.ctx->finish();
+    slot.flushed = true;
+  }
+  take_snapshot(slot);
+  std::lock_guard<std::mutex> lock(hib_mu_);
+  if (slot.pinned) return;
+  lru_.push_back(i);
+  const auto cap = static_cast<std::size_t>(options_.max_resident_devices);
+  while (lru_.size() > cap) {
+    const std::size_t victim = lru_.front();
+    lru_.pop_front();
+    evict(slots_[victim]);
   }
 }
 
 void Fleet::finish() {
-  for_each_device_sharded([](DeviceContext& device, int) { device.finish(); });
+  if (options_.scheduler == Scheduler::kLockstep) {
+    for_each_device_sharded(
+        [](DeviceContext& device, int) { device.finish(); });
+    finished_ = true;
+    return;
+  }
+  if (hibernating()) {
+    EANDROID_CHECK(!finished_, "Fleet::finish called twice");
+    // The materialization pass: every device runs its whole timeline in
+    // one visit — construct, boot, windows, flush, snapshot, park. Peak
+    // residency is the LRU cap plus the devices in flight on workers.
+    for_each_slot_async([this](std::size_t i) { hibernate_task(i); });
+    finished_ = true;
+    return;
+  }
+  for_each_slot_async([this](std::size_t i) {
+    slots_[i].ctx->finish();
+    slots_[i].flushed = true;
+  });
+  finished_ = true;
 }
 
 std::vector<std::string> Fleet::energy_digests() {
-  std::vector<std::string> digests(devices_.size());
-  for_each_device_sharded([&digests](DeviceContext& device, int i) {
-    digests[static_cast<std::size_t>(i)] = device.energy_digest();
+  std::vector<std::string> digests(slots_.size());
+  if (options_.scheduler == Scheduler::kLockstep) {
+    for_each_device_sharded([&digests](DeviceContext& device, int i) {
+      digests[static_cast<std::size_t>(i)] = device.energy_digest();
+    });
+    return digests;
+  }
+  if (hibernating()) {
+    EANDROID_CHECK(finished_,
+                   "energy_digests on a hibernating fleet requires finish() "
+                   "(digests are served from snapshots)");
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      DeviceSlot& slot = slots_[i];
+      // Pinned devices may have been mutated after their snapshot; read
+      // them live. Everyone else answers from the parked form.
+      digests[i] = (slot.pinned && slot.ctx != nullptr)
+                       ? slot.ctx->energy_digest()
+                       : slot.snap.energy_digest;
+    }
+    return digests;
+  }
+  for_each_slot_async([this, &digests](std::size_t i) {
+    digests[i] = slots_[i].ctx->energy_digest();
   });
   return digests;
+}
+
+DeviceContext& Fleet::device(std::size_t i) {
+  DeviceSlot& slot = slots_[i];
+  if (hibernating()) {
+    if (slot.ctx == nullptr) {
+      materialize(slot, i);
+      if (finished_ && !slot.flushed) {
+        slot.ctx->finish();
+        slot.flushed = true;
+      }
+    }
+    if (!slot.pinned) {
+      std::lock_guard<std::mutex> lock(hib_mu_);
+      slot.pinned = true;
+      lru_.erase(std::remove(lru_.begin(), lru_.end(), i), lru_.end());
+    }
+  }
+  return *slot.ctx;
+}
+
+std::size_t Fleet::resident_devices() const {
+  std::size_t live = 0;
+  for (const DeviceSlot& slot : slots_) {
+    if (slot.ctx != nullptr) ++live;
+  }
+  return live;
+}
+
+obs::MetricsSnapshot Fleet::scheduler_metrics() const {
+  std::vector<std::pair<std::string, std::uint64_t>> counters = {
+      {"fleet.sched.windows_advanced",
+       windows_advanced_.load(std::memory_order_relaxed)},
+      {"fleet.sched.windows_consolidated",
+       windows_consolidated_.load(std::memory_order_relaxed)},
+      {"fleet.hib.snapshots", snapshots_.load(std::memory_order_relaxed)},
+      {"fleet.hib.evictions", evictions_.load(std::memory_order_relaxed)},
+      {"fleet.hib.restores", restores_.load(std::memory_order_relaxed)},
+      {"fleet.hib.snapshot_bytes",
+       snapshot_bytes_.load(std::memory_order_relaxed)},
+  };
+  if (exec_ != nullptr) {
+    const exp::WorkStealingExecutor::Stats s = exec_->stats();
+    counters.emplace_back("fleet.sched.tasks_executed", s.executed);
+    counters.emplace_back("fleet.sched.steals", s.steals);
+    counters.emplace_back("fleet.sched.injection_refills",
+                          s.injection_refills);
+    counters.emplace_back("fleet.sched.parks", s.parks);
+  }
+  return obs::MetricsSnapshot::of_counters(std::move(counters));
 }
 
 }  // namespace eandroid::fleet

@@ -3,27 +3,30 @@
 // The first cross-device workload: campaigns describe deterministic push
 // schedules (an FCM-style broker blasting a sync topic, or a flooder
 // attacking a victim app across the whole population), and the broker
-// translates them into device-local events during the fleet's epoch
-// injection phase. Nothing is shared at delivery time — each send is
-// scheduled on the target device's own simulator and executes on
-// whichever worker advances that device, so fleet results stay bitwise
-// independent of sharding.
+// translates them into device-local events at causal-window boundaries.
+// Nothing is shared at delivery time — each send is scheduled on the
+// target device's own simulator and executes on whichever worker advances
+// that device, so fleet results stay bitwise independent of sharding.
 //
-// Determinism contract: the events injected into device i for epoch
+// Determinism contract: the events injected into device i for window
 // [begin, end) are a pure function of (campaigns, i, begin, end). The
 // broker keeps no per-delivery state; delivery counts live on each
-// device's PushService.
+// device's PushService. The work-stealing scheduler leans on this from
+// many threads at once, so the broker is immutable while a fleet runs:
+// freeze() (called at async start()) makes add_campaign a checked error,
+// and the only mutable member is an atomic counter.
 //
 // Same-instant ties: a send landing at sim time t fires at t, but its
 // order among OTHER device events at exactly t follows insertion order —
-// and insertion happens at the start of the epoch containing t. Digests
+// and insertion happens at the start of the window containing t. Digests
 // are therefore invariant across shard counts and repeats always, and
-// across epoch lengths whenever sends do not collide to the microsecond
+// across window lengths whenever sends do not collide to the microsecond
 // with a device-internal event (e.g. a sampler tick); campaigns that
-// must be epoch-length-portable should pick start/stagger values off the
+// must be window-length-portable should pick start/stagger values off the
 // sampling grid.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,26 +57,47 @@ struct PushCampaign {
 
 class PushBroker {
  public:
-  void add_campaign(PushCampaign campaign) {
-    campaigns_.push_back(std::move(campaign));
-  }
+  void add_campaign(PushCampaign campaign);
   [[nodiscard]] const std::vector<PushCampaign>& campaigns() const {
     return campaigns_;
   }
 
+  /// Seals the campaign list. Called by the async fleet before its first
+  /// dispatch: workers read campaigns_ concurrently, so mutating it after
+  /// freeze() is a checked error. Lockstep fleets never freeze — their
+  /// injection runs on the driver thread between epochs.
+  void freeze() { frozen_ = true; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
   /// Schedules every campaign send landing in [begin, end) onto `device`'s
-  /// simulator. Driver thread only, between epochs, with the device's
-  /// clock at or before `begin`. Returns the number of sends scheduled.
+  /// simulator, with the device's clock at or before `begin`. Called by
+  /// the lockstep driver between epochs, or by the worker that owns the
+  /// device in async mode. Returns the number of sends scheduled.
+  /// Send instants are enumerated in closed form (the k-range of
+  /// start + stagger*i + period*k intersecting the window), so cost is
+  /// O(campaigns + sends-in-window), not O(pushes_per_device).
   std::uint64_t inject(DeviceContext& device, int device_index,
                        sim::TimePoint begin, sim::TimePoint end);
 
+  /// True if some campaign MAY schedule a send on device `device_index`
+  /// in [begin, end). Over-approximates: package resolution is ignored
+  /// (a device missing the sender or target still reads true), so a
+  /// false return guarantees inject() would be a no-op — which is what
+  /// the scheduler's window-consolidation fast path needs.
+  [[nodiscard]] bool may_send_in(int device_index, sim::TimePoint begin,
+                                 sim::TimePoint end) const;
+
   /// Total sends scheduled across all inject() calls (attempts, not
   /// deliveries — deliveries are counted per device by its PushService).
-  [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t scheduled_total() const {
+    return scheduled_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<PushCampaign> campaigns_;
-  std::uint64_t scheduled_ = 0;
+  bool frozen_ = false;
+  /// Atomic: async workers inject concurrently for different devices.
+  std::atomic<std::uint64_t> scheduled_{0};
 };
 
 }  // namespace eandroid::fleet

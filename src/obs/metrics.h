@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace eandroid::obs {
@@ -51,6 +52,13 @@ struct MetricsSnapshot {
 
   /// Row for `name`, or nullptr.
   [[nodiscard]] const MetricRow* find(std::string_view name) const;
+
+  /// Builds a counters-only snapshot from (name, value) pairs — the shape
+  /// subsystems that keep their hot counters in plain atomics (e.g. the
+  /// fleet scheduler) use to export them in mergeable, renderable form.
+  /// Input order is irrelevant; rows come out name-sorted like snapshot().
+  [[nodiscard]] static MetricsSnapshot of_counters(
+      std::vector<std::pair<std::string, std::uint64_t>> counters);
 };
 
 class MetricsRegistry {
@@ -169,6 +177,24 @@ inline void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     }
   }
   rows = std::move(merged);
+}
+
+inline MetricsSnapshot MetricsSnapshot::of_counters(
+    std::vector<std::pair<std::string, std::uint64_t>> counters) {
+  MetricsSnapshot snap;
+  snap.rows.reserve(counters.size());
+  for (auto& [name, value] : counters) {
+    MetricRow row;
+    row.name = std::move(name);
+    row.is_counter = true;
+    row.count = value;
+    snap.rows.push_back(std::move(row));
+  }
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return snap;
 }
 
 inline const MetricRow* MetricsSnapshot::find(std::string_view name) const {

@@ -77,6 +77,19 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// True when at least one event is pending.
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+
+  /// Instant of the earliest pending event. Precondition: has_pending().
+  /// Schedulers peek this to park a quiescent device: a device whose next
+  /// event lies beyond a causal window can skip the window in one
+  /// run_until without dispatching anything.
+  [[nodiscard]] TimePoint next_event_time() const {
+    EANDROID_CHECK(!queue_.empty(),
+                   "next_event_time on an empty event queue");
+    return queue_.next_time();
+  }
+
   /// Attaches (or detaches, with nulls) the device's observability sinks.
   /// Subsystems that hold a Simulator& reach tracing through trace() /
   /// metrics() instead of growing constructor parameters; both pointers

@@ -242,6 +242,55 @@ TEST(PushBrokerTest, StrideTargetsOnlyTheSelectedSlice) {
   }
 }
 
+TEST(PushBrokerTest, ClosedFormWindowingMatchesBruteForce) {
+  // inject() enumerates send instants in closed form (a k-range, not an
+  // O(pushes_per_device) scan); may_send_in exposes the same range test.
+  // Check it against the brute-force definition across awkward
+  // geometries: windows before the first send, straddling the last one,
+  // a degenerate zero period, stagger pushing sends across windows.
+  PushBroker broker;
+  PushCampaign drip = flood_campaign(9);
+  drip.period = sim::millis(700);
+  drip.device_stagger = sim::millis(333);
+  broker.add_campaign(drip);
+  PushCampaign burst = flood_campaign(4);
+  burst.period = sim::Duration(0);  // all four sends at one instant
+  burst.start = sim::TimePoint{} + sim::millis(4500);
+  broker.add_campaign(burst);
+  PushCampaign sliced = flood_campaign(6);
+  sliced.device_stride = 2;
+  sliced.device_phase = 1;
+  broker.add_campaign(sliced);
+
+  for (int device = 0; device < 4; ++device) {
+    for (const std::int64_t begin_ms : {0, 1000, 2000, 4500, 7000, 60000}) {
+      for (const std::int64_t len_ms : {1, 500, 2000, 10000}) {
+        const sim::TimePoint begin =
+            sim::TimePoint{} + sim::millis(begin_ms);
+        const sim::TimePoint end = begin + sim::millis(len_ms);
+        int expected = 0;
+        for (const PushCampaign& c : broker.campaigns()) {
+          if (c.device_stride > 1 &&
+              device % c.device_stride != c.device_phase) {
+            continue;
+          }
+          const sim::TimePoint first = c.start + c.device_stagger * device;
+          for (int k = 0; k < c.pushes_per_device; ++k) {
+            const sim::TimePoint at = first + c.period * k;
+            if (at >= begin && at < end) ++expected;
+          }
+        }
+        EXPECT_EQ(broker.may_send_in(device, begin, end), expected > 0)
+            << "device " << device << " window [" << begin_ms << "ms, +"
+            << len_ms << "ms)";
+      }
+    }
+    // An empty window never sends.
+    const sim::TimePoint t = sim::TimePoint{} + sim::seconds(3);
+    EXPECT_FALSE(broker.may_send_in(device, t, t));
+  }
+}
+
 TEST(AggregateTest, SumsMatchTheDevicesAndAreDeterministic) {
   const auto build = [] {
     auto fleet = std::make_unique<Fleet>(
