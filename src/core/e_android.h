@@ -38,8 +38,11 @@ enum class Mode {
 
 class EAndroid : public energy::AccountingSink {
  public:
+  /// `scratch_arena` is forwarded to the engine's per-slice scratch (the
+  /// batched fleet core passes its shard group arena; null = heap).
   explicit EAndroid(framework::SystemServer& server,
-                    Mode mode = Mode::kComplete, EngineConfig config = {});
+                    Mode mode = Mode::kComplete, EngineConfig config = {},
+                    sim::MonotonicArena* scratch_arena = nullptr);
 
   void on_slice(const energy::EnergySlice& slice) override {
     engine_.on_slice(slice);

@@ -17,11 +17,22 @@ void sort_unique(std::vector<AppIdx>& v) {
 }  // namespace
 
 EAndroidEngine::EAndroidEngine(framework::SystemServer& server,
-                               WindowTracker& tracker, EngineConfig config)
+                               WindowTracker& tracker, EngineConfig config,
+                               sim::MonotonicArena* scratch_arena)
     : server_(server),
       tracker_(tracker),
       config_(config),
-      ids_(server.ids()) {
+      ids_(server.ids()),
+      screen_coll_(sim::ArenaFallbackAlloc<double>(scratch_arena)),
+      screen_coll_touched_(
+          sim::ArenaFallbackAlloc<kernelsim::AppIdx>(scratch_arena)),
+      delta_scratch_(sim::ArenaFallbackAlloc<double>(scratch_arena)),
+      delta_touched_(
+          sim::ArenaFallbackAlloc<kernelsim::AppIdx>(scratch_arena)),
+      drivers_scratch_(
+          sim::ArenaFallbackAlloc<kernelsim::AppIdx>(scratch_arena)),
+      bfs_stack_(sim::ArenaFallbackAlloc<kernelsim::AppIdx>(scratch_arena)),
+      bfs_seen_(sim::ArenaFallbackAlloc<std::uint8_t>(scratch_arena)) {
   auto& sim = server_.simulator();
   if (auto* tr = sim.trace())
     coll_trace_name_ = tr->intern("engine.collateral");
@@ -176,15 +187,14 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
   // 1. Direct ("original") energy, component by component.
   for (const AppIdx idx : slice.active()) {
     if (direct_.size() <= idx) direct_.resize(idx + 1);
-    const energy::AppSliceEnergy& e = slice.at(idx);
     energy::AppSliceEnergy& acc = direct_[idx];
-    acc.cpu_mj += e.cpu_mj;
-    acc.camera_mj += e.camera_mj;
-    acc.gps_mj += e.gps_mj;
-    acc.wifi_mj += e.wifi_mj;
-    acc.audio_mj += e.audio_mj;
-    for (const kernelsim::RoutineIdx r : e.routines) {
-      acc.add_routine(r, e.routine_mj[r]);
+    acc.cpu_mj += slice.cpu_mj(idx);
+    acc.camera_mj += slice.camera_mj(idx);
+    acc.gps_mj += slice.gps_mj(idx);
+    acc.wifi_mj += slice.wifi_mj(idx);
+    acc.audio_mj += slice.audio_mj(idx);
+    for (const kernelsim::RoutineIdx r : slice.routines_at(idx)) {
+      acc.add_routine(r, slice.routine_mj_at(idx, r));
     }
   }
 
@@ -281,9 +291,8 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
     double driver_slice_mj = screen_coll_of(driver);
     if (driver_slice_mj > 0.0) map.screen_mj += driver_slice_mj;
     for (const AppIdx reached : closure_of(driver)) {
-      const energy::AppSliceEnergy* e = slice.find_at(reached);
-      if (e != nullptr) {
-        const double mj = e->sum();
+      if (slice.active_at(reached)) {
+        const double mj = slice.sum_at(reached);
         if (mj > 0.0) {
           if (map.from_app.size() <= reached) {
             map.from_app.resize(reached + 1, 0.0);

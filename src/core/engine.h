@@ -37,6 +37,7 @@
 #include "energy/slice.h"
 #include "framework/system_server.h"
 #include "kernel/interner.h"
+#include "sim/arena.h"
 
 namespace eandroid::core {
 
@@ -54,8 +55,13 @@ struct EngineConfig {
 
 class EAndroidEngine : public energy::AccountingSink {
  public:
+  /// `scratch_arena` (optional) backs the per-slice scratch buffers; the
+  /// batched fleet core passes the shard group's arena so engine scratch
+  /// shares the group's contiguous working set. Null keeps the global
+  /// heap (identical behaviour — capacity retention does the real work).
   EAndroidEngine(framework::SystemServer& server, WindowTracker& tracker,
-                 EngineConfig config = {});
+                 EngineConfig config = {},
+                 sim::MonotonicArena* scratch_arena = nullptr);
 
   void on_slice(const energy::EnergySlice& slice) override;
 
@@ -146,14 +152,15 @@ class EAndroidEngine : public energy::AccountingSink {
   std::vector<std::vector<kernelsim::AppIdx>> closure_;
   std::vector<std::uint8_t> closure_valid_;
 
-  // --- Per-slice scratch (cleared in O(touched), never freed) ---
-  std::vector<double> screen_coll_;
-  std::vector<kernelsim::AppIdx> screen_coll_touched_;
-  std::vector<double> delta_scratch_;
-  std::vector<kernelsim::AppIdx> delta_touched_;
-  std::vector<kernelsim::AppIdx> drivers_scratch_;
-  std::vector<kernelsim::AppIdx> bfs_stack_;
-  std::vector<std::uint8_t> bfs_seen_;
+  // --- Per-slice scratch (cleared in O(touched), never freed); backed
+  // by the shard arena when one was supplied at construction ---
+  sim::ScratchVector<double> screen_coll_;
+  sim::ScratchVector<kernelsim::AppIdx> screen_coll_touched_;
+  sim::ScratchVector<double> delta_scratch_;
+  sim::ScratchVector<kernelsim::AppIdx> delta_touched_;
+  sim::ScratchVector<kernelsim::AppIdx> drivers_scratch_;
+  sim::ScratchVector<kernelsim::AppIdx> bfs_stack_;
+  sim::ScratchVector<std::uint8_t> bfs_seen_;
 
   // --- Observability ids, interned/registered at construction so the
   // per-slice trace/metric calls stay allocation-free ---

@@ -10,7 +10,7 @@ void BatteryStats::on_slice(const EnergySlice& slice) {
   ids_ = &slice.ids();
   for (const kernelsim::AppIdx idx : slice.active()) {
     if (app_mj_.size() <= idx) app_mj_.resize(idx + 1, 0.0);
-    app_mj_[idx] += slice.at(idx).sum();
+    app_mj_[idx] += slice.sum_at(idx);
   }
   screen_mj_ += slice.screen_mj;
   system_mj_ += slice.system_mj;

@@ -10,13 +10,13 @@ void Eprof::on_slice(const EnergySlice& slice) {
   assert(ids_ == nullptr || ids_ == &slice.ids());
   ids_ = &slice.ids();
   for (const kernelsim::AppIdx idx : slice.active()) {
-    const AppSliceEnergy& energy = slice.at(idx);
-    if (energy.routines.empty()) continue;
+    const std::vector<kernelsim::RoutineIdx>& touched = slice.routines_at(idx);
+    if (touched.empty()) continue;
     if (routines_.size() <= idx) routines_.resize(idx + 1);
     std::vector<double>& row = routines_[idx];
-    for (const kernelsim::RoutineIdx r : energy.routines) {
+    for (const kernelsim::RoutineIdx r : touched) {
       if (row.size() <= r) row.resize(r + 1, 0.0);
-      row[r] += energy.routine_mj[r];
+      row[r] += slice.routine_mj_at(idx, r);
     }
   }
 }

@@ -10,7 +10,7 @@ void PowerSignatureDetector::on_slice(const EnergySlice& slice) {
   observed_s_ += seconds;
   for (const kernelsim::AppIdx idx : slice.active()) {
     Profile& profile = profiles_[slice.uid_at(idx)];
-    const double mj = slice.at(idx).sum();
+    const double mj = slice.sum_at(idx);
     profile.energy_mj += mj;
     profile.peak_mw = std::max(profile.peak_mw, mj / seconds);
   }

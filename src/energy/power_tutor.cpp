@@ -10,13 +10,12 @@ void PowerTutor::on_slice(const EnergySlice& slice) {
   ids_ = &slice.ids();
   for (const kernelsim::AppIdx idx : slice.active()) {
     if (apps_.size() <= idx) apps_.resize(idx + 1);
-    const AppSliceEnergy& e = slice.at(idx);
     PerApp& app = apps_[idx];
-    app.cpu += e.cpu_mj;
-    app.camera += e.camera_mj;
-    app.gps += e.gps_mj;
-    app.wifi += e.wifi_mj;
-    app.audio += e.audio_mj;
+    app.cpu += slice.cpu_mj(idx);
+    app.camera += slice.camera_mj(idx);
+    app.gps += slice.gps_mj(idx);
+    app.wifi += slice.wifi_mj(idx);
+    app.audio += slice.audio_mj(idx);
   }
   // Screen policy: the foreground app pays. Kept in a small sorted-by-uid
   // vector; the insert is one-time per app, the steady state is a binary

@@ -64,8 +64,13 @@ void EnergySampler::tick() {
   if (!reuse_buffers_) {
     // Baseline mode: pay the pre-optimization churn — every buffer is
     // rebuilt from scratch each tick. The arithmetic below is identical
-    // either way, so both modes produce bit-identical slices.
+    // either way, so both modes produce bit-identical slices. Slab-backed
+    // cells persist across slices, so the outgoing slice must zero them
+    // before the fresh one re-binds the same rows; fresh owned buffers
+    // start at zero for free.
+    if (slab_ != nullptr) slice_.reset(window_begin_, now);
     slice_ = EnergySlice(server_.ids());
+    if (slab_ != nullptr) slice_.bind_slab(slab_, slab_slot_);
     breakdown_ = hw::PowerBreakdown{};
   }
   slice_.reset(window_begin_, now);
@@ -83,30 +88,29 @@ void EnergySampler::tick() {
         model_.operating_point(cpu.total_utilization).active_mw;
     const double mw_per_share = active_mw / cpu.total_utilization;
     for (const kernelsim::CpuWindow::Share& s : cpu.shares) {
-      slice_.app_at(s.app).cpu_mj += mj_of(mw_per_share * s.share);
+      slice_.part_at(s.app, HwPart::kCpu) += mj_of(mw_per_share * s.share);
     }
     for (const kernelsim::CpuWindow::RoutineShare& rs : cpu.routine_shares) {
-      slice_.app_at(rs.app).add_routine(rs.routine,
-                                        mj_of(mw_per_share * rs.share));
+      slice_.add_routine_at(rs.app, rs.routine,
+                            mj_of(mw_per_share * rs.share));
     }
   }
 
   // --- Session components ---
-  const auto charge = [&](const hw::SessionComponent& component,
-                          double AppSliceEnergy::*field) {
+  const auto charge = [&](const hw::SessionComponent& component, HwPart p) {
     component.breakdown_into(breakdown_);
     double attributed = 0.0;
     // by_uid is sorted ascending: canonical accumulation order.
     for (const auto& [uid, mw] : breakdown_.by_uid) {
-      slice_.app(uid).*field += mj_of(mw);
+      slice_.part(uid, p) += mj_of(mw);
       attributed += mw;
     }
     slice_.system_mj += mj_of(breakdown_.total_mw - attributed);
   };
-  charge(server_.camera(), &AppSliceEnergy::camera_mj);
-  charge(server_.gps(), &AppSliceEnergy::gps_mj);
-  charge(server_.wifi(), &AppSliceEnergy::wifi_mj);
-  charge(server_.audio(), &AppSliceEnergy::audio_mj);
+  charge(server_.camera(), HwPart::kCamera);
+  charge(server_.gps(), HwPart::kGps);
+  charge(server_.wifi(), HwPart::kWifi);
+  charge(server_.audio(), HwPart::kAudio);
 
   // --- Screen (policy applied by sinks) ---
   slice_.screen_on = server_.screen().on();

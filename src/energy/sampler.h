@@ -39,6 +39,14 @@ class EnergySampler {
 
   void add_sink(AccountingSink* sink) { sinks_.push_back(sink); }
 
+  /// Routes the metering slice's per-app cells into a shard-shared
+  /// EnergySlab (batched fleet core). Call before the first tick.
+  void bind_slab(EnergySlab* slab, std::uint32_t slot) {
+    slab_ = slab;
+    slab_slot_ = slot;
+    slice_.bind_slab(slab, slot);
+  }
+
   /// Starts the periodic loop on the simulator.
   void start();
   void stop();
@@ -69,6 +77,9 @@ class EnergySampler {
   /// Persistent metering buffers (reset per tick, never reallocated).
   EnergySlice slice_;
   hw::PowerBreakdown breakdown_;
+  /// Slab binding, kept so the !reuse_buffers_ rebuild re-binds too.
+  EnergySlab* slab_ = nullptr;
+  std::uint32_t slab_slot_ = 0;
 
   /// Pre-interned/registered observability ids (see constructor) so the
   /// tick's trace/metrics calls stay allocation-free.

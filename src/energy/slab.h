@@ -1,0 +1,79 @@
+// EnergySlab: one contiguous structure-of-arrays store for the per-app
+// energy cells of a whole shard group of devices.
+//
+// The batched fleet core binds every co-sharded device's EnergySlice to
+// one of these: cell (part, device-slot, AppIdx) lives at a computed
+// offset inside five flat double arrays, so a group's sampling windows
+// write into a handful of cache-resident rows instead of N scattered
+// per-device vectors. Columns are carved from the group's MonotonicArena.
+//
+// Capacity is shared: the app-index capacity is the max over all member
+// devices, and growth re-carves all five columns (old storage leaks into
+// the arena — growth is geometric, so the waste is bounded). Slices
+// compute cell pointers per access rather than caching bases, which makes
+// growth by one member transparently visible to all of them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/arena.h"
+
+namespace eandroid::energy {
+
+class EnergySlab {
+ public:
+  /// The five per-app hardware parts: cpu, camera, gps, wifi, audio
+  /// (screen is policy, not a per-app cell — see slice.h).
+  static constexpr int kParts = 5;
+
+  EnergySlab(std::uint32_t slots, sim::MonotonicArena& arena)
+      : arena_(arena), slots_(slots) {}
+
+  EnergySlab(const EnergySlab&) = delete;
+  EnergySlab& operator=(const EnergySlab&) = delete;
+
+  [[nodiscard]] double* cell_ptr(int part, std::uint32_t slot,
+                                 std::size_t idx) {
+    return cols_[part] + static_cast<std::size_t>(slot) * cap_ + idx;
+  }
+  [[nodiscard]] const double* cell_ptr(int part, std::uint32_t slot,
+                                       std::size_t idx) const {
+    return cols_[part] + static_cast<std::size_t>(slot) * cap_ + idx;
+  }
+
+  /// Ensures every device row holds at least `need` app cells; new cells
+  /// are zero. O(1) when capacity suffices (the steady state).
+  void ensure_app_capacity(std::size_t need) {
+    if (need <= cap_) return;
+    std::size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    while (new_cap < need) new_cap *= 2;
+    for (int part = 0; part < kParts; ++part) {
+      double* fresh = arena_.alloc_array<double>(new_cap * slots_);
+      if (cap_ > 0) {
+        for (std::uint32_t slot = 0; slot < slots_; ++slot) {
+          std::memcpy(fresh + slot * new_cap, cols_[part] + slot * cap_,
+                      cap_ * sizeof(double));
+        }
+      }
+      cols_[part] = fresh;
+    }
+    cap_ = new_cap;
+  }
+
+  [[nodiscard]] std::size_t app_capacity() const { return cap_; }
+  [[nodiscard]] std::uint32_t slots() const { return slots_; }
+  /// Current live column footprint in bytes (the fleet.core metric).
+  [[nodiscard]] std::size_t bytes() const {
+    return kParts * sizeof(double) * cap_ * slots_;
+  }
+
+ private:
+  sim::MonotonicArena& arena_;
+  std::uint32_t slots_;
+  std::size_t cap_ = 0;  ///< app cells per device row
+  double* cols_[kParts] = {};
+};
+
+}  // namespace eandroid::energy

@@ -7,20 +7,26 @@
 // screen energy to its initiator — so the slice carries the raw screen
 // energy plus the state needed by each policy, and the sinks decide.
 //
-// Storage is dense and reusable: per-app cells live in a flat vector
-// indexed by interned AppIdx (kernel/interner.h) with an active-app list,
-// so the sampler keeps ONE slice alive for the whole run and reset()
-// clears it in O(active) without freeing anything. Sinks iterate
-// active() — ascending index order after seal(), which pins the
-// canonical floating-point summation order everywhere.
+// Storage is structure-of-arrays: the five per-app part columns (cpu,
+// camera, gps, wifi, audio) are flat double arrays indexed by interned
+// AppIdx (kernel/interner.h), with an active-app list for O(active)
+// iteration and reset. A standalone slice owns its columns; a slice bound
+// to an EnergySlab (bind_slab, the batched fleet core) addresses its
+// device row inside the shard-shared slab instead — same cells, same
+// arithmetic, contiguous across co-sharded devices. The eprof-style
+// routine breakdown stays per-slice (it is sparse and per-device).
+// Sinks iterate active() — ascending index order after seal(), which
+// pins the canonical floating-point summation order everywhere.
 #pragma once
 
 #include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "energy/slab.h"
 #include "kernel/interner.h"
 #include "kernel/types.h"
+#include "sim/check.h"
 #include "sim/time.h"
 
 namespace eandroid::energy {
@@ -29,7 +35,9 @@ enum class HwPart { kCpu, kScreen, kCamera, kGps, kWifi, kAudio };
 
 const char* to_string(HwPart part);
 
-/// Per-app energy within one slice, split by hardware part (mJ).
+/// Per-app energy accumulator, split by hardware part (mJ). No longer the
+/// slice's storage (that is SoA now) — the engine uses it to integrate an
+/// app's direct energy across slices, where AoS is the natural shape.
 struct AppSliceEnergy {
   double cpu_mj = 0.0;
   double camera_mj = 0.0;
@@ -90,33 +98,91 @@ class EnergySlice {
   /// only while the screen is forced on (reused buffer).
   std::vector<kernelsim::Uid> screen_wakelock_owners;
 
-  // --- Per-app cells (everything but screen) ---
+  /// Column index of a per-app part; kScreen is not a per-app cell.
+  [[nodiscard]] static int col_of(HwPart part) {
+    switch (part) {
+      case HwPart::kCpu:
+        return 0;
+      case HwPart::kCamera:
+        return 1;
+      case HwPart::kGps:
+        return 2;
+      case HwPart::kWifi:
+        return 3;
+      case HwPart::kAudio:
+        return 4;
+      case HwPart::kScreen:
+        break;
+    }
+    EANDROID_CHECK(false, "screen energy is policy, not a per-app cell");
+    return -1;
+  }
+
+  /// Routes this slice's per-app cells into a shard-shared slab (batched
+  /// fleet core). Must happen before any cell is touched.
+  void bind_slab(EnergySlab* slab, std::uint32_t slot) {
+    EANDROID_CHECK(active_.empty(), "bind_slab on a slice with live cells");
+    slab_ = slab;
+    slab_slot_ = slot;
+  }
+
+  // --- Per-app cells, write side (touch-tracking) ---
   /// Cell for `uid`, interning it on first sight.
-  AppSliceEnergy& app(kernelsim::Uid uid) { return app_at(ids_->app_of(uid)); }
+  double& part(kernelsim::Uid uid, HwPart p) {
+    return part_at(ids_->app_of(uid), p);
+  }
   /// Cell for an already-interned app (the metering hot path).
-  AppSliceEnergy& app_at(kernelsim::AppIdx idx) {
-    if (by_app_.size() <= idx) {
-      by_app_.resize(idx + 1);
-      in_slice_.resize(idx + 1, 0);
-    }
-    if (!in_slice_[idx]) {
-      in_slice_[idx] = 1;
-      active_.push_back(idx);
-    }
-    return by_app_[idx];
+  double& part_at(kernelsim::AppIdx idx, HwPart p) {
+    touch(idx);
+    return cell(col_of(p), idx);
   }
-  /// Cell of an app known to be active (no touch-tracking).
-  [[nodiscard]] const AppSliceEnergy& at(kernelsim::AppIdx idx) const {
-    return by_app_[idx];
+  /// Adds to an app's routine breakdown (touches the app).
+  void add_routine_at(kernelsim::AppIdx idx, kernelsim::RoutineIdx r,
+                      double mj) {
+    touch(idx);
+    RoutineCells& rc = routines_[idx];
+    if (rc.mj.size() <= r) rc.mj.resize(r + 1, 0.0);
+    if (mj == 0.0) return;
+    if (rc.mj[r] == 0.0) rc.touched.push_back(r);
+    rc.mj[r] += mj;
   }
-  /// Cell for `uid` if it is active this slice, nullptr otherwise.
-  [[nodiscard]] const AppSliceEnergy* find(kernelsim::Uid uid) const {
-    return find_at(ids_->find_app(uid));
+
+  // --- Per-app cells, read side (active apps only) ---
+  [[nodiscard]] double cpu_mj(kernelsim::AppIdx idx) const {
+    return cell(0, idx);
   }
-  /// Same, for an already-interned index (the engine's closure walk).
-  [[nodiscard]] const AppSliceEnergy* find_at(kernelsim::AppIdx idx) const {
-    if (idx >= in_slice_.size() || !in_slice_[idx]) return nullptr;
-    return &by_app_[idx];
+  [[nodiscard]] double camera_mj(kernelsim::AppIdx idx) const {
+    return cell(1, idx);
+  }
+  [[nodiscard]] double gps_mj(kernelsim::AppIdx idx) const {
+    return cell(2, idx);
+  }
+  [[nodiscard]] double wifi_mj(kernelsim::AppIdx idx) const {
+    return cell(3, idx);
+  }
+  [[nodiscard]] double audio_mj(kernelsim::AppIdx idx) const {
+    return cell(4, idx);
+  }
+  /// Canonical part-order sum — the summation order every sink and the
+  /// old AoS cell used, so totals stay bit-identical.
+  [[nodiscard]] double sum_at(kernelsim::AppIdx idx) const {
+    return cpu_mj(idx) + camera_mj(idx) + gps_mj(idx) + wifi_mj(idx) +
+           audio_mj(idx);
+  }
+  /// True when `idx` has cells this slice (the find_at(...) != nullptr
+  /// of the AoS era).
+  [[nodiscard]] bool active_at(kernelsim::AppIdx idx) const {
+    return idx < in_slice_.size() && in_slice_[idx] != 0;
+  }
+  /// Routine tags `idx` touched this slice (ascending after seal()).
+  [[nodiscard]] const std::vector<kernelsim::RoutineIdx>& routines_at(
+      kernelsim::AppIdx idx) const {
+    return routines_[idx].touched;
+  }
+  [[nodiscard]] double routine_mj_at(kernelsim::AppIdx idx,
+                                     kernelsim::RoutineIdx r) const {
+    const RoutineCells& rc = routines_[idx];
+    return r < rc.mj.size() ? rc.mj[r] : 0.0;
   }
   /// Apps with energy this slice; ascending index order after seal().
   [[nodiscard]] const std::vector<kernelsim::AppIdx>& active() const {
@@ -140,7 +206,10 @@ class EnergySlice {
     screen_forced_by_wakelock = false;
     screen_wakelock_owners.clear();
     for (const kernelsim::AppIdx idx : active_) {
-      by_app_[idx].reset();
+      for (int col = 0; col < EnergySlab::kParts; ++col) cell(col, idx) = 0.0;
+      RoutineCells& rc = routines_[idx];
+      for (const kernelsim::RoutineIdx r : rc.touched) rc.mj[r] = 0.0;
+      rc.touched.clear();
       in_slice_[idx] = 0;
     }
     active_.clear();
@@ -151,21 +220,57 @@ class EnergySlice {
   void seal() {
     std::sort(active_.begin(), active_.end());
     for (const kernelsim::AppIdx idx : active_) {
-      std::sort(by_app_[idx].routines.begin(), by_app_[idx].routines.end());
+      std::sort(routines_[idx].touched.begin(), routines_[idx].touched.end());
     }
   }
 
   [[nodiscard]] sim::Duration length() const { return end - begin; }
   [[nodiscard]] double total_mj() const {
     double total = system_mj + screen_mj;
-    for (const kernelsim::AppIdx idx : active_) total += by_app_[idx].sum();
+    for (const kernelsim::AppIdx idx : active_) total += sum_at(idx);
     return total;
   }
 
  private:
+  /// Per-app routine breakdown cells; dense by RoutineIdx with a touched
+  /// list, exactly the AppSliceEnergy scheme.
+  struct RoutineCells {
+    std::vector<double> mj;
+    std::vector<kernelsim::RoutineIdx> touched;
+  };
+
+  double& cell(int col, kernelsim::AppIdx idx) {
+    if (slab_ != nullptr) return *slab_->cell_ptr(col, slab_slot_, idx);
+    return own_[col][idx];
+  }
+  [[nodiscard]] double cell(int col, kernelsim::AppIdx idx) const {
+    if (slab_ != nullptr) return *slab_->cell_ptr(col, slab_slot_, idx);
+    return own_[col][idx];
+  }
+
+  void touch(kernelsim::AppIdx idx) {
+    if (in_slice_.size() <= idx) {
+      in_slice_.resize(idx + 1, 0);
+      routines_.resize(idx + 1);
+    }
+    if (slab_ != nullptr) {
+      slab_->ensure_app_capacity(idx + 1);
+    } else if (own_[0].size() <= idx) {
+      for (auto& col : own_) col.resize(idx + 1, 0.0);
+    }
+    if (!in_slice_[idx]) {
+      in_slice_[idx] = 1;
+      active_.push_back(idx);
+    }
+  }
+
   std::shared_ptr<kernelsim::IdTable> owned_;  // standalone slices only
   kernelsim::IdTable* ids_;
-  std::vector<AppSliceEnergy> by_app_;  // dense by AppIdx
+  /// Owned SoA columns (standalone / baseline mode), dense by AppIdx.
+  std::vector<double> own_[EnergySlab::kParts];
+  EnergySlab* slab_ = nullptr;  // slab-backed mode (batched fleet)
+  std::uint32_t slab_slot_ = 0;
+  std::vector<RoutineCells> routines_;  // dense by AppIdx
   std::vector<std::uint8_t> in_slice_;  // cell touched this slice?
   std::vector<kernelsim::AppIdx> active_;
 };

@@ -29,7 +29,7 @@ void TimelineRecorder::on_slice(const EnergySlice& slice) {
     row.apps.emplace_back(pkg != nullptr
                               ? pkg->manifest->package
                               : "uid:" + std::to_string(uid.value),
-                          slice.at(idx).sum());
+                          slice.sum_at(idx));
   }
   std::sort(row.apps.begin(), row.apps.end());
   rows_.push_back(std::move(row));

@@ -41,16 +41,19 @@ shared_default_engine_config() {
 
 DeviceContext::DeviceContext(DeviceSpec spec)
     : spec_(with_defaults(std::move(spec))),
-      sim_(spec_.seed),
+      sim_(spec_.seed, spec_.time_wheel),
       server_(sim_, spec_.params, spec_.obs),
       sampler_(server_, spec_.sample_period, spec_.hot_path),
       battery_stats_(server_.packages()),
       power_tutor_(server_.packages()) {
+  if (spec_.energy_slab != nullptr) {
+    sampler_.bind_slab(spec_.energy_slab, spec_.slab_slot);
+  }
   if (spec_.with_eandroid) {
     core::EngineConfig config = *spec_.engine_config;
     if (!spec_.hot_path) config.cache_window_structures = false;
     eandroid_ = std::make_unique<core::EAndroid>(
-        server_, spec_.eandroid_mode, config);
+        server_, spec_.eandroid_mode, config, spec_.arena);
     sampler_.add_sink(eandroid_.get());
   }
   sampler_.add_sink(&battery_stats_);

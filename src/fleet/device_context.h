@@ -14,9 +14,11 @@
 // locks — the epoch barrier is the synchronization.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/e_android.h"
 #include "core/engine_report.h"
@@ -129,6 +131,51 @@ class DeviceContext {
   /// otherwise). fleet/aggregate.h merges these across devices.
   [[nodiscard]] core::EngineReport engine_report();
 
+  // --- Prepared sends (PushBroker fast path) ------------------------------
+  // The broker resolves a campaign's sender/target packages on this device
+  // once, caches the resolution in a slot here, and schedules each delivery
+  // as a 12-byte closure [device*, slot] — small enough for std::function's
+  // SBO, so steady-state injection allocates nothing. Slots are touched
+  // only by the worker that owns the device (the injection discipline), so
+  // no locks. Campaign uids are stable once resolved (the package manager
+  // assigns a uid at install and never reassigns it), so a cached slot
+  // stays valid for the device's lifetime; unresolvable campaigns are NOT
+  // cached — the broker retries, matching the baseline's per-window lookup
+  // for devices whose packages arrive late.
+
+  /// One campaign's resolved delivery recipe on this device.
+  struct PreparedSend {
+    kernelsim::Uid sender;
+    kernelsim::Uid target;
+    std::string target_package;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Cached slot for campaign `ci`, or -1 if not yet resolved here.
+  [[nodiscard]] std::int32_t prepared_send_slot(std::size_t ci) const {
+    return ci < prepared_of_campaign_.size() ? prepared_of_campaign_[ci] : -1;
+  }
+  /// Records the resolution for campaign `ci`; returns its slot.
+  std::int32_t cache_prepared_send(std::size_t ci, PreparedSend send) {
+    if (prepared_of_campaign_.size() <= ci) {
+      prepared_of_campaign_.resize(ci + 1, -1);
+    }
+    const auto slot = static_cast<std::int32_t>(prepared_sends_.size());
+    prepared_sends_.push_back(std::move(send));
+    prepared_of_campaign_[ci] = slot;
+    return slot;
+  }
+  /// Executes the delivery recipe in `slot` at the device's current time.
+  void deliver_prepared(std::uint32_t slot) {
+    const PreparedSend& send = prepared_sends_[slot];
+    // The cloud end keeps both parties alive: the sender process must
+    // exist to own the send, and the target must have run once to
+    // register its endpoint (FCM token issuance).
+    server_.ensure_process(send.sender);
+    server_.ensure_process(send.target);
+    server_.push().send_push(send.sender, send.target_package, send.bytes);
+  }
+
  private:
   DeviceSpec spec_;
   sim::Simulator sim_;
@@ -137,6 +184,11 @@ class DeviceContext {
   energy::BatteryStats battery_stats_;
   energy::PowerTutor power_tutor_;
   std::unique_ptr<core::EAndroid> eandroid_;
+
+  // Prepared-send registry (see section above): campaign index -> slot,
+  // and the slots themselves.
+  std::vector<std::int32_t> prepared_of_campaign_;
+  std::vector<PreparedSend> prepared_sends_;
 };
 
 }  // namespace eandroid::fleet

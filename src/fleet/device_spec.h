@@ -21,6 +21,15 @@
 #include "obs/obs.h"
 #include "sim/time.h"
 
+namespace eandroid::sim {
+class TimeWheel;
+class MonotonicArena;
+}  // namespace eandroid::sim
+
+namespace eandroid::energy {
+class EnergySlab;
+}  // namespace eandroid::energy
+
 namespace eandroid::fleet {
 
 class InstallPlan;
@@ -46,6 +55,24 @@ struct DeviceSpec {
   /// enabling it does not move a bit of any energy digest (the recorder
   /// interns names into a private table, not the server's IdTable).
   obs::ObsOptions obs{};
+
+  // --- Batched-core wiring (FleetOptions::core = kBatched) ---------------
+  // All four default to null/zero: a standalone device (or a baseline
+  // fleet) owns its event queue and energy buffers as before. A batched
+  // fleet points every co-sharded device at the shard group's shared
+  // structures; the group must outlive the device.
+
+  /// Non-null binds the device's simulator to this shared wheel: events
+  /// are filed group-wide and the device advances only through
+  /// TimeWheel::run_until (Simulator::run_until becomes a checked error).
+  sim::TimeWheel* time_wheel = nullptr;
+  /// Non-null binds the sampler's slice to row `slab_slot` of this
+  /// structure-of-arrays energy store.
+  energy::EnergySlab* energy_slab = nullptr;
+  std::uint32_t slab_slot = 0;
+  /// Non-null backs the E-Android engine's per-slice scratch (and, via
+  /// obs.arena, the trace ring) with the group's monotonic arena.
+  sim::MonotonicArena* arena = nullptr;
 
   /// Null = hw::shared_nexus4_params().
   std::shared_ptr<const hw::PowerParams> params;

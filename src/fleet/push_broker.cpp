@@ -68,30 +68,35 @@ std::uint64_t PushBroker::inject(DeviceContext& device, int device_index,
                      << "us");
   framework::SystemServer& server = device.server();
   std::uint64_t scheduled_here = 0;
-  for (const PushCampaign& campaign : campaigns_) {
+  for (std::size_t ci = 0; ci < campaigns_.size(); ++ci) {
+    const PushCampaign& campaign = campaigns_[ci];
     const SendRange range = send_range(campaign, device_index, begin, end);
     if (range.k_lo >= range.k_hi) continue;
-    const framework::PackageRecord* sender =
-        server.packages().find(campaign.sender_package);
-    const framework::PackageRecord* target =
-        server.packages().find(campaign.target_package);
-    if (sender == nullptr || target == nullptr) continue;
-    const kernelsim::Uid sender_uid = sender->uid;
-    const kernelsim::Uid target_uid = target->uid;
+    // Resolve the campaign's packages on this device once and cache the
+    // recipe; each delivery is then a two-word closure (device pointer +
+    // slot index) that fits std::function's small-buffer optimisation, so
+    // steady-state injection performs no heap allocation. Unresolvable
+    // campaigns are retried every window, matching the old per-window
+    // lookup for devices whose packages are installed mid-run.
+    std::int32_t slot = device.prepared_send_slot(ci);
+    if (slot < 0) {
+      const framework::PackageRecord* sender =
+          server.packages().find(campaign.sender_package);
+      const framework::PackageRecord* target =
+          server.packages().find(campaign.target_package);
+      if (sender == nullptr || target == nullptr) continue;
+      slot = device.cache_prepared_send(
+          ci, DeviceContext::PreparedSend{sender->uid, target->uid,
+                                          campaign.target_package,
+                                          campaign.bytes});
+    }
     const sim::TimePoint first =
         campaign.start + campaign.device_stagger * device_index;
     for (std::int64_t k = range.k_lo; k < range.k_hi; ++k) {
       const sim::TimePoint at = first + campaign.period * k;
-      const std::string target_package = campaign.target_package;
-      const std::uint64_t bytes = campaign.bytes;
       server.simulator().schedule_at(
-          at, [&server, sender_uid, target_uid, target_package, bytes] {
-            // The cloud end keeps both parties alive: the sender process
-            // must exist to own the send, and the target must have run
-            // once to register its endpoint (FCM token issuance).
-            server.ensure_process(sender_uid);
-            server.ensure_process(target_uid);
-            server.push().send_push(sender_uid, target_package, bytes);
+          at, [dev = &device, s = static_cast<std::uint32_t>(slot)] {
+            dev->deliver_prepared(s);
           });
       ++scheduled_here;
     }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "kernel/interner.h"
+#include "sim/arena.h"
 
 namespace eandroid::obs {
 
@@ -77,8 +78,19 @@ static_assert(std::is_trivially_copyable_v<TraceEvent>);
 
 class TraceRecorder {
  public:
-  explicit TraceRecorder(std::size_t capacity = 1u << 16)
-      : ring_(capacity == 0 ? 1 : capacity) {}
+  /// With an arena, the ring is carved from it (the batched fleet core
+  /// co-locates a shard group's rings in the group arena); otherwise the
+  /// recorder owns a heap vector. Behaviour is identical either way.
+  explicit TraceRecorder(std::size_t capacity = 1u << 16,
+                         sim::MonotonicArena* arena = nullptr) {
+    cap_ = capacity == 0 ? 1 : capacity;
+    if (arena != nullptr) {
+      ring_ = arena->alloc_array<TraceEvent>(cap_);
+    } else {
+      owned_.resize(cap_);
+      ring_ = owned_.data();
+    }
+  }
 
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
@@ -105,7 +117,7 @@ class TraceRecorder {
     slot.name = name;
     slot.uid = uid;
     slot.category = category;
-    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    head_ = head_ + 1 == cap_ ? 0 : head_ + 1;
     ++total_;
   }
 
@@ -116,28 +128,26 @@ class TraceRecorder {
     record(category, intern(name), uid, arg, t_us);
   }
 
-  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
   /// Events currently held (≤ capacity).
   [[nodiscard]] std::size_t size() const {
-    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
-                                 : ring_.size();
+    return total_ < cap_ ? static_cast<std::size_t>(total_) : cap_;
   }
   /// Lifetime events recorded, including overwritten ones.
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
   /// Events lost to ring wrap-around.
   [[nodiscard]] std::uint64_t dropped() const {
-    return total_ < ring_.size() ? 0 : total_ - ring_.size();
+    return total_ < cap_ ? 0 : total_ - cap_;
   }
 
   /// Visits held events oldest→newest.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     const std::size_t n = size();
-    const std::size_t start =
-        total_ < ring_.size() ? 0 : head_;  // oldest surviving slot
+    const std::size_t start = total_ < cap_ ? 0 : head_;  // oldest slot
     for (std::size_t i = 0; i < n; ++i) {
       std::size_t at = start + i;
-      if (at >= ring_.size()) at -= ring_.size();
+      if (at >= cap_) at -= cap_;
       fn(ring_[at]);
     }
   }
@@ -149,11 +159,13 @@ class TraceRecorder {
   }
 
  private:
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;       // next write position
-  std::uint64_t total_ = 0;    // lifetime count
+  TraceEvent* ring_ = nullptr;  // arena- or owned_-backed, cap_ slots
+  std::size_t cap_ = 0;
+  std::vector<TraceEvent> owned_;  // backing store when no arena given
+  std::size_t head_ = 0;           // next write position
+  std::uint64_t total_ = 0;        // lifetime count
   bool recording_ = true;
-  kernelsim::IdTable names_;   // private: see header comment, point 2
+  kernelsim::IdTable names_;  // private: see header comment, point 2
 };
 
 // --- Instrumentation macros -----------------------------------------------

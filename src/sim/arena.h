@@ -1,0 +1,170 @@
+// Monotonic bump arena plus a std-allocator shim over it.
+//
+// The batched fleet core carves all long-lived per-shard storage — energy
+// slabs, trace rings, engine scratch — out of one MonotonicArena per shard
+// group, so a group's working set is a handful of contiguous blocks instead
+// of thousands of small heap objects. Allocation is a pointer bump;
+// deallocation is a no-op (reset() recycles whole blocks). The arena is
+// single-owner and NOT thread-safe: exactly one worker advances a shard
+// group at a time, which is the same discipline the rest of the fleet
+// layer already relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "sim/check.h"
+
+namespace eandroid::sim {
+
+/// Chained-block bump allocator. Blocks are geometric (doubling, capped)
+/// and retained across reset(), so steady state allocates nothing from
+/// the system heap.
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t first_block_bytes = 1 << 16)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    EANDROID_CHECK(align != 0 && (align & (align - 1)) == 0,
+                   "arena alignment must be a power of two, got " << align);
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~std::uintptr_t(align - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~std::uintptr_t(align - 1);
+    }
+    cursor_ = p + bytes;
+    allocated_bytes_ += bytes;
+    if (allocated_bytes_ > high_water_bytes_) {
+      high_water_bytes_ = allocated_bytes_;
+    }
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Allocates and value-initialises an array of `n` trivially
+  /// destructible Ts (no destructor ever runs on arena storage).
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    void* p = allocate(n * sizeof(T), alignof(T));
+    return new (p) T[n]();
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void reset() {
+    block_cursor_ = 0;
+    allocated_bytes_ = 0;
+    if (!blocks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(blocks_[0].data.get());
+      limit_ = cursor_ + blocks_[0].bytes;
+      block_cursor_ = 1;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+  }
+
+  /// Live bytes handed out since the last reset (padding excluded).
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return allocated_bytes_;
+  }
+  /// Peak of allocated_bytes() over the arena's lifetime.
+  [[nodiscard]] std::size_t high_water_bytes() const {
+    return high_water_bytes_;
+  }
+  /// Total system-heap bytes held in blocks.
+  [[nodiscard]] std::size_t block_bytes() const { return block_bytes_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    // Reuse a retained block if the reset() cursor has not consumed them
+    // all; otherwise chain a new one.
+    while (block_cursor_ < blocks_.size()) {
+      Block& b = blocks_[block_cursor_++];
+      if (b.bytes >= at_least) {
+        cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+        limit_ = cursor_ + b.bytes;
+        return;
+      }
+    }
+    std::size_t bytes = next_block_bytes_;
+    while (bytes < at_least) bytes *= 2;
+    next_block_bytes_ = bytes < (std::size_t{1} << 24) ? bytes * 2 : bytes;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(bytes);
+    b.bytes = bytes;
+    cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+    limit_ = cursor_ + bytes;
+    block_bytes_ += bytes;
+    blocks_.push_back(std::move(b));
+    block_cursor_ = blocks_.size();
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_cursor_ = 0;  ///< next retained block reset() serves
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t allocated_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::size_t block_bytes_ = 0;
+};
+
+/// std allocator that serves from a MonotonicArena when one is attached
+/// and falls back to the global heap otherwise — so a container type can
+/// be shared between arena-backed (batched fleet) and plain (single
+/// device) call sites without templating every owner.
+template <typename T>
+class ArenaFallbackAlloc {
+ public:
+  using value_type = T;
+
+  ArenaFallbackAlloc() = default;
+  explicit ArenaFallbackAlloc(MonotonicArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaFallbackAlloc(const ArenaFallbackAlloc<U>& other)  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  [[nodiscard]] MonotonicArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaFallbackAlloc& a,
+                         const ArenaFallbackAlloc& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaFallbackAlloc& a,
+                         const ArenaFallbackAlloc& b) {
+    return !(a == b);
+  }
+
+ private:
+  MonotonicArena* arena_ = nullptr;
+};
+
+/// Vector whose backing store lives in an arena when one is supplied.
+/// Capacity-retaining clear() + arena backing means growth settles after
+/// warmup and steady state allocates nothing.
+template <typename T>
+using ScratchVector = std::vector<T, ArenaFallbackAlloc<T>>;
+
+}  // namespace eandroid::sim

@@ -1,0 +1,422 @@
+#include "sim/time_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "sim/check.h"
+#include "sim/simulator.h"
+
+namespace eandroid::sim {
+
+// ---------------------------------------------------------------- EventIdSet
+
+bool EventIdSet::insert(std::uint64_t id) {
+  if (used_ * 4 >= table_.size() * 3) {
+    rehash(size_ * 4 >= table_.size() ? table_.size() * 2 : table_.size());
+  }
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix(id) & mask;
+  std::size_t first_tomb = table_.size();
+  for (;;) {
+    const std::uint64_t v = table_[i];
+    if (v == id) return false;
+    if (v == kEmpty) break;
+    if (v == kTombstone && first_tomb == table_.size()) first_tomb = i;
+    i = (i + 1) & mask;
+  }
+  if (first_tomb != table_.size()) {
+    table_[first_tomb] = id;
+  } else {
+    table_[i] = id;
+    ++used_;
+  }
+  ++size_;
+  return true;
+}
+
+bool EventIdSet::erase(std::uint64_t id) {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix(id) & mask;
+  for (;;) {
+    const std::uint64_t v = table_[i];
+    if (v == id) {
+      table_[i] = kTombstone;
+      --size_;
+      return true;
+    }
+    if (v == kEmpty) return false;
+    i = (i + 1) & mask;
+  }
+}
+
+bool EventIdSet::contains(std::uint64_t id) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix(id) & mask;
+  for (;;) {
+    const std::uint64_t v = table_[i];
+    if (v == id) return true;
+    if (v == kEmpty) return false;
+    i = (i + 1) & mask;
+  }
+}
+
+void EventIdSet::rehash(std::size_t new_cap) {
+  // assign() on the retained scratch vector reuses its capacity once it
+  // has grown to the working-set size — no steady-state allocation.
+  scratch_.assign(new_cap, kEmpty);
+  const std::size_t mask = new_cap - 1;
+  for (const std::uint64_t id : table_) {
+    if (id == kEmpty || id == kTombstone) continue;
+    std::size_t i = mix(id) & mask;
+    while (scratch_[i] != kEmpty) i = (i + 1) & mask;
+    scratch_[i] = id;
+  }
+  table_.swap(scratch_);
+  used_ = size_;
+}
+
+// ----------------------------------------------------------------- TimeWheel
+
+std::uint32_t TimeWheel::attach(Simulator& sim) {
+  devices_.push_back(Device{&sim});
+  return static_cast<std::uint32_t>(devices_.size() - 1);
+}
+
+EventHandle TimeWheel::push(std::uint32_t dev, TimePoint when, Callback cb) {
+  return push_entry(dev, when, Duration(0), std::move(cb));
+}
+
+EventHandle TimeWheel::push_periodic(std::uint32_t dev, TimePoint first,
+                                     Duration period, Callback cb) {
+  EANDROID_CHECK(period > Duration(0), "periodic event needs period > 0");
+  return push_entry(dev, first, period, std::move(cb));
+}
+
+EventHandle TimeWheel::push_entry(std::uint32_t dev, TimePoint when,
+                                  Duration period, Callback cb) {
+  EANDROID_CHECK(dev < devices_.size(), "push on unattached device " << dev);
+  const std::uint64_t id = next_id_++;
+  pending_.insert(id);
+  ++devices_[dev].live;
+  ++pushed_;
+  if (pending_.size() > max_live_) max_live_ = pending_.size();
+  file_entry(Entry{when, next_seq_++, id, dev, period, std::move(cb)});
+  return EventHandle{id};
+}
+
+bool TimeWheel::cancel(std::uint32_t dev, EventHandle h) {
+  if (!h.valid()) return false;
+  if (!pending_.erase(h.id)) return false;
+  --devices_[dev].live;
+  // The entry stays buried wherever it was filed; it is dropped lazily
+  // when its tick is drained or cascaded, or eagerly by compact() once
+  // dead entries outnumber live ones (same policy as EventQueue). A
+  // periodic entry cancelled from inside its own callback is parked
+  // outside the wheel — dispatch() corrects dead_ when it skips the
+  // reschedule.
+  ++dead_;
+  if (dead_ > 64 && dead_ > pending_.size()) compact();
+  return true;
+}
+
+void TimeWheel::file_entry(Entry&& e) {
+  const std::uint64_t tick = tick_of(e.when);
+  if (firing_ && tick <= firing_tick_) {
+    // Scheduled into the tick being drained: splice into the unconsumed
+    // tail of the dispatch schedule so it fires this pass, in
+    // (when, device, seq) order. Rare (same-instant reentry only), so
+    // the vector insert's memmove of POD keys is fine.
+    const FireKey key{e.when, e.seq, e.dev,
+                      static_cast<std::uint32_t>(fire_.size())};
+    fire_.push_back(std::move(e));
+    fire_keys_.insert(
+        std::upper_bound(fire_keys_.begin() +
+                             static_cast<std::ptrdiff_t>(fire_cursor_),
+                         fire_keys_.end(), key, fires_before),
+        key);
+    return;
+  }
+  EANDROID_CHECK(tick >= current_tick_,
+                 "event filed behind the wheel: tick=" << tick << " current="
+                                                       << current_tick_);
+  const std::uint64_t delta = tick - current_tick_;
+  if (delta < kSlots) {
+    const std::size_t idx = tick & (kSlots - 1);
+    slots_[0][idx].push_back(std::move(e));
+    set_l0_bit(idx);
+  } else if (delta < (std::uint64_t{1} << (2 * kLevelBits))) {
+    slots_[1][(tick >> kLevelBits) & (kSlots - 1)].push_back(std::move(e));
+  } else if (delta < (std::uint64_t{1} << (3 * kLevelBits))) {
+    slots_[2][(tick >> (2 * kLevelBits)) & (kSlots - 1)].push_back(
+        std::move(e));
+  } else if (delta < (std::uint64_t{1} << (4 * kLevelBits))) {
+    slots_[3][(tick >> (3 * kLevelBits)) & (kSlots - 1)].push_back(
+        std::move(e));
+  } else {
+    overflow_.push_back(std::move(e));
+  }
+  ++entries_;
+}
+
+TimePoint TimeWheel::next_time_of(std::uint32_t dev) const {
+  EANDROID_CHECK(has_pending(dev),
+                 "next_time_of on a device with no pending events");
+  bool found = false;
+  TimePoint best;
+  const auto consider = [&](const Entry& e) {
+    if (e.dev != dev || !pending_.contains(e.id)) return;
+    if (!found || e.when < best) {
+      best = e.when;
+      found = true;
+    }
+  };
+  for (const auto& level : slots_) {
+    for (const auto& slot : level) {
+      for (const Entry& e : slot) consider(e);
+    }
+  }
+  for (const Entry& e : overflow_) consider(e);
+  // Only the unconsumed batch tail: consumed periodic husks keep their
+  // pending id but a stale `when` (non-empty only if called from inside
+  // a callback; between runs the batch is empty).
+  for (std::size_t k = fire_cursor_; k < fire_keys_.size(); ++k) {
+    consider(fire_[fire_keys_[k].idx]);
+  }
+  EANDROID_CHECK(found, "live count disagrees with stored entries");
+  return best;
+}
+
+void TimeWheel::run_until(TimePoint until) {
+  EANDROID_CHECK(!firing_, "TimeWheel::run_until re-entered from a callback");
+  const std::uint64_t target = tick_of(until);
+  refile_overflow();
+  for (;;) {
+    process_tick(until);
+    if (current_tick_ >= target) break;
+    if (entries_ == 0 && fire_.empty()) {
+      // Nothing scheduled anywhere: warp straight to the target tick.
+      current_tick_ = target;
+      continue;
+    }
+    const std::uint64_t base = current_tick_ & ~std::uint64_t{kSlots - 1};
+    const std::uint64_t boundary = base + kSlots;
+    const std::size_t idx = next_l0_after(current_tick_ & (kSlots - 1));
+    if (idx < kSlots) {
+      // Occupied slot later in this revolution; jump to it (or stop at
+      // the target if it comes first). Occupied slots at or before the
+      // current index belong to the NEXT revolution — they are reached
+      // after the boundary cascade below.
+      const std::uint64_t tick = base + idx;
+      current_tick_ = tick <= target ? tick : target;
+      continue;
+    }
+    if (boundary > target) {
+      current_tick_ = target;
+      continue;
+    }
+    current_tick_ = boundary;
+    cascade_at(boundary);
+  }
+  for (Device& d : devices_) d.sim->wheel_catch_up(until);
+}
+
+void TimeWheel::process_tick(TimePoint until) {
+  const std::size_t idx = current_tick_ & (kSlots - 1);
+  if ((l0_bits_[idx >> 6] >> (idx & 63)) & 1) {
+    std::vector<Entry>& slot = slots_[0][idx];
+    for (Entry& e : slot) {
+      --entries_;
+      if (!pending_.contains(e.id)) {
+        if (dead_ > 0) --dead_;
+        continue;
+      }
+      fire_keys_.push_back(FireKey{e.when, e.seq, e.dev,
+                                   static_cast<std::uint32_t>(fire_.size())});
+      fire_.push_back(std::move(e));
+    }
+    slot.clear();
+    clear_l0_bit(idx);
+  }
+  if (fire_keys_.empty()) return;
+  // One sort imposes the whole tick's dispatch order; consuming the keys
+  // by cursor afterwards moves nothing. A heap here costs O(log n)
+  // 72-byte Entry moves — each an std::function manager call — per event.
+  std::sort(fire_keys_.begin(), fire_keys_.end(), fires_before);
+  firing_ = true;
+  firing_tick_ = current_tick_;
+  fire_cursor_ = 0;
+  try {
+    while (fire_cursor_ < fire_keys_.size()) {
+      // Entries past `until` are only possible at the target tick; they
+      // stay parked for the next run_until on the same tick.
+      const FireKey key = fire_keys_[fire_cursor_];
+      if (key.when > until) break;
+      ++fire_cursor_;  // consume before dispatch: a throw still consumes
+      dispatch(fire_[key.idx]);
+    }
+  } catch (...) {
+    park_leftovers();
+    throw;
+  }
+  park_leftovers();
+}
+
+void TimeWheel::dispatch(Entry& slot_entry) {
+  if (!pending_.contains(slot_entry.id)) {
+    // Cancelled while waiting in the drained batch.
+    if (dead_ > 0) --dead_;
+    return;
+  }
+  Device& d = devices_[slot_entry.dev];
+  // Trace depth = the device's pending count INCLUDING this event,
+  // captured before consumption — exactly queue_.size() at the top of
+  // the baseline dispatch loop.
+  const std::size_t depth = d.live;
+  if (slot_entry.period <= Duration(0)) {
+    // One-shot: consume before running, so a callback cancelling its own
+    // handle stays a no-op.
+    Callback cb = std::move(slot_entry.cb);
+    pending_.erase(slot_entry.id);
+    --d.live;
+    d.sim->wheel_dispatch(slot_entry.when, depth, cb);
+    return;
+  }
+  // Periodic: park the entry OUTSIDE the batch before running it — the
+  // callback may schedule into the live tick and reallocate fire_, so
+  // slot_entry (a reference into fire_) cannot outlive the call. Its id
+  // stays pending throughout — cancel() from inside the callback is how
+  // a periodic timer stops itself.
+  Entry e = std::move(slot_entry);
+  try {
+    d.sim->wheel_dispatch(e.when, depth, e.cb);
+  } catch (...) {
+    // Propagating an exception consumes the event like a one-shot would.
+    if (pending_.erase(e.id)) {
+      --d.live;
+    } else if (dead_ > 0) {
+      --dead_;
+    }
+    throw;
+  }
+  if (pending_.contains(e.id)) {
+    e.when = e.when + e.period;
+    e.seq = next_seq_++;
+    file_entry(std::move(e));
+  } else if (dead_ > 0) {
+    // cancel() assumed the entry was buried in the wheel and counted it
+    // dead; it was parked here instead and is now gone for real.
+    --dead_;
+  }
+}
+
+void TimeWheel::park_leftovers() {
+  firing_ = false;
+  // Keys past the cursor are the not-yet-dispatched remainder (entries
+  // before it are consumed husks); put them back in the L0 slot for the
+  // next run_until on the same tick.
+  if (fire_cursor_ < fire_keys_.size()) {
+    const std::size_t idx = firing_tick_ & (kSlots - 1);
+    for (std::size_t k = fire_cursor_; k < fire_keys_.size(); ++k) {
+      slots_[0][idx].push_back(std::move(fire_[fire_keys_[k].idx]));
+      ++entries_;
+    }
+    set_l0_bit(idx);
+  }
+  fire_.clear();
+  fire_keys_.clear();
+  fire_cursor_ = 0;
+}
+
+void TimeWheel::cascade_at(std::uint64_t boundary) {
+  // Highest level first: at a multiple of 256^3 the L3 slot must land in
+  // L2/L1/L0 before the L2 slot for the same span is drained, and so on.
+  if ((boundary & ((std::uint64_t{1} << (4 * kLevelBits)) - 1)) == 0) {
+    refile_overflow();
+  }
+  if ((boundary & ((std::uint64_t{1} << (3 * kLevelBits)) - 1)) == 0) {
+    cascade_slot(3, (boundary >> (3 * kLevelBits)) & (kSlots - 1));
+  }
+  if ((boundary & ((std::uint64_t{1} << (2 * kLevelBits)) - 1)) == 0) {
+    cascade_slot(2, (boundary >> (2 * kLevelBits)) & (kSlots - 1));
+  }
+  cascade_slot(1, (boundary >> kLevelBits) & (kSlots - 1));
+}
+
+void TimeWheel::cascade_slot(unsigned level, std::size_t idx) {
+  std::vector<Entry>& slot = slots_[level][idx];
+  if (slot.empty()) return;
+  // Drain through scratch: an entry whose tick wraps a whole level
+  // revolution refiles into the very slot being drained.
+  cascade_scratch_.swap(slot);
+  for (Entry& e : cascade_scratch_) {
+    --entries_;
+    if (!pending_.contains(e.id)) {
+      if (dead_ > 0) --dead_;
+      continue;
+    }
+    ++cascades_;
+    file_entry(std::move(e));
+  }
+  cascade_scratch_.clear();
+}
+
+void TimeWheel::refile_overflow() {
+  if (overflow_.empty()) return;
+  std::size_t w = 0;
+  for (Entry& e : overflow_) {
+    if (!pending_.contains(e.id)) {
+      if (dead_ > 0) --dead_;
+      --entries_;
+      continue;
+    }
+    const std::uint64_t tick = tick_of(e.when);
+    if (tick - current_tick_ < (std::uint64_t{1} << (4 * kLevelBits))) {
+      --entries_;
+      ++cascades_;
+      file_entry(std::move(e));
+    } else {
+      overflow_[w++] = std::move(e);
+    }
+  }
+  overflow_.resize(w);
+}
+
+void TimeWheel::compact() {
+  const auto dead = [this](const Entry& e) {
+    return !pending_.contains(e.id);
+  };
+  entries_ = 0;
+  for (unsigned level = 0; level < kLevels; ++level) {
+    for (std::size_t idx = 0; idx < kSlots; ++idx) {
+      std::vector<Entry>& slot = slots_[level][idx];
+      std::erase_if(slot, dead);
+      entries_ += slot.size();
+      if (level == 0 && slot.empty()) clear_l0_bit(idx);
+    }
+  }
+  std::erase_if(overflow_, dead);
+  entries_ += overflow_.size();
+  // fire_ is deliberately left alone: cancel storms can land mid-
+  // dispatch, and erasing from the batch would invalidate fire_keys_'
+  // indices. Dead batch entries are bounded by one tick's drain and are
+  // dropped at dispatch (or at park) anyway; dispatch's guarded
+  // `if (dead_ > 0)` absorbs the count we zero here.
+  dead_ = 0;
+}
+
+std::size_t TimeWheel::next_l0_after(std::size_t idx) const {
+  if (idx >= kSlots - 1) return kSlots;
+  std::size_t word = (idx + 1) >> 6;
+  std::uint64_t bits = l0_bits_[word] &
+                       (~std::uint64_t{0} << ((idx + 1) & 63));
+  for (;;) {
+    if (bits != 0) {
+      return word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+    }
+    if (++word >= l0_bits_.size()) return kSlots;
+    bits = l0_bits_[word];
+  }
+}
+
+}  // namespace eandroid::sim

@@ -1,0 +1,227 @@
+// Shared hierarchical time wheel: one event structure for a whole group
+// of co-scheduled simulators.
+//
+// The batched fleet core (FleetOptions::core = kBatched) fuses the event
+// queues of all devices in a shard group into ONE of these. Instead of N
+// 4-ary heaps dispatched device-by-device, the group advances through a
+// classic hashed-and-hierarchical timing wheel: 4 levels of 256 slots over
+// 1024 µs ticks (~262 ms of L0 span, ~51 days total; anything further sits
+// in an overflow list and is refiled as the horizon approaches). Events
+// due in the current tick are drained into a batch sorted once by
+// (when, device, seq) — so cross-device firing order is a fixed,
+// documented total order, and the per-device projection (when, seq) is
+// exactly the (when, seq) order of the per-device 4-ary heap. That is the
+// whole determinism argument: each device observes the same event sequence
+// it would have observed alone, so digests and trace bytes are
+// bit-identical to the baseline core (DESIGN.md §12).
+//
+// Dispatch semantics mirror EventQueue::fire_front() precisely — one-shot
+// entries are consumed before the callback (self-cancel is a no-op),
+// periodic entries stay pending while parked outside the wheel during
+// their callback (cancel-from-inside suppresses the reschedule), an
+// exception consumes the event like a one-shot — because equivalence
+// suites compare against that exact behaviour.
+//
+// Single-owner, not thread-safe: exactly one worker advances a shard
+// group at a time (the same discipline DeviceContext already has).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace eandroid::sim {
+
+class Simulator;
+
+/// Open-addressing set of event ids (0 = empty, ~0 = tombstone). A
+/// std::unordered_set allocates a node per insert, which would put one
+/// heap allocation back into every one-shot schedule; this table only
+/// allocates on growth, and rehashes into a RETAINED scratch buffer, so
+/// steady state touches the system heap not at all.
+class EventIdSet {
+ public:
+  EventIdSet() : table_(16, 0) {}
+
+  /// True if `id` was not present. Ids 0 and ~0 are reserved.
+  bool insert(std::uint64_t id);
+  /// True if `id` was present.
+  bool erase(std::uint64_t id);
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kTombstone = ~std::uint64_t{0};
+
+  [[nodiscard]] static std::size_t mix(std::uint64_t id) {
+    return static_cast<std::size_t>(id * 0x9E3779B97F4A7C15ull);
+  }
+  void rehash(std::size_t new_cap);
+
+  std::vector<std::uint64_t> table_;
+  std::vector<std::uint64_t> scratch_;  ///< retained rehash target
+  std::size_t size_ = 0;
+  std::size_t used_ = 0;  ///< live + tombstones
+};
+
+class TimeWheel {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Tick granularity: 2^10 µs. The 250 ms sampler period spans ~244
+  /// ticks, so steady-state periodic work lives entirely in level 0.
+  static constexpr unsigned kTickShift = 10;
+  static constexpr unsigned kLevelBits = 8;
+  static constexpr std::size_t kSlots = std::size_t{1} << kLevelBits;  // 256
+  static constexpr unsigned kLevels = 4;
+
+  TimeWheel() = default;
+  TimeWheel(const TimeWheel&) = delete;
+  TimeWheel& operator=(const TimeWheel&) = delete;
+
+  /// Registers a simulator with the wheel and returns its device slot.
+  /// Call order defines the cross-device tie-break order at equal
+  /// instants, so attach devices in a deterministic order.
+  std::uint32_t attach(Simulator& sim);
+
+  // Per-device scheduling API; `dev` is the slot attach() returned.
+  // Handles share one wheel-wide id space.
+  EventHandle push(std::uint32_t dev, TimePoint when, Callback cb);
+  EventHandle push_periodic(std::uint32_t dev, TimePoint first,
+                            Duration period, Callback cb);
+  /// Cancels a pending event of device `dev`. Returns false if it
+  /// already fired or was cancelled before.
+  bool cancel(std::uint32_t dev, EventHandle h);
+
+  /// Live (scheduled and not cancelled) events of one device — the
+  /// wheel-core equivalent of EventQueue::size().
+  [[nodiscard]] std::size_t pending_of(std::uint32_t dev) const {
+    return devices_[dev].live;
+  }
+  [[nodiscard]] bool has_pending(std::uint32_t dev) const {
+    return devices_[dev].live > 0;
+  }
+  /// Instant of device `dev`'s earliest live event. Cold (full scan) —
+  /// schedulers peek it between runs, never per event. Precondition:
+  /// has_pending(dev).
+  [[nodiscard]] TimePoint next_time_of(std::uint32_t dev) const;
+
+  /// Advances every attached simulator to `until`, dispatching all due
+  /// events across the group in (when, device, seq) order. Events at
+  /// exactly `until` still run; afterwards every device clock reads
+  /// `until` (the run_until contract, applied group-wide).
+  void run_until(TimePoint until);
+
+  // Stats for fleet.core.* metrics.
+  [[nodiscard]] std::uint64_t cascades() const { return cascades_; }
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  [[nodiscard]] std::size_t live() const { return pending_.size(); }
+  [[nodiscard]] std::size_t max_live() const { return max_live_; }
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::uint32_t dev;
+    /// Zero for one-shot; the reschedule interval for periodic.
+    Duration period{0};
+    Callback cb;
+  };
+
+  struct Device {
+    Simulator* sim;
+    std::size_t live = 0;  ///< scheduled-and-not-cancelled events
+  };
+
+  /// Ordering handle for one drained entry: the (when, device, seq) sort
+  /// key plus the entry's index in fire_. The dispatch order is imposed
+  /// by sorting THESE — 24-byte PODs that sort via memmove — instead of
+  /// heap-sifting whole Entries, whose std::function member makes every
+  /// move an indirect manager call.
+  struct FireKey {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint32_t dev;
+    std::uint32_t idx;
+  };
+
+  /// Strict-weak order of the documented dispatch order.
+  [[nodiscard]] static bool fires_before(const FireKey& a, const FireKey& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.dev != b.dev) return a.dev < b.dev;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] static std::uint64_t tick_of(TimePoint t) {
+    return static_cast<std::uint64_t>(t.micros()) >> kTickShift;
+  }
+
+  EventHandle push_entry(std::uint32_t dev, TimePoint when, Duration period,
+                         Callback cb);
+  /// Routes an entry to its level/slot (or the fire heap, while firing at
+  /// or past its tick; or overflow, beyond the L3 horizon).
+  void file_entry(Entry&& e);
+  /// Drains and dispatches everything due at current_tick_ (clamped to
+  /// `until`); parks not-yet-due leftovers back into the L0 slot.
+  void process_tick(TimePoint until);
+  void dispatch(Entry& e);
+  void park_leftovers();
+  /// Moves the upper-level slots feeding tick `boundary` down one level.
+  void cascade_at(std::uint64_t boundary);
+  void cascade_slot(unsigned level, std::size_t idx);
+  /// Refiles overflow entries that now fit under the L3 horizon.
+  void refile_overflow();
+  /// Rebuilds all storage keeping only live entries (EventQueue::compact
+  /// analogue; runs when dead entries dominate).
+  void compact();
+
+  /// First occupied L0 index in (idx, 255], or kSlots if none.
+  [[nodiscard]] std::size_t next_l0_after(std::size_t idx) const;
+  void set_l0_bit(std::size_t idx) {
+    l0_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  void clear_l0_bit(std::size_t idx) {
+    l0_bits_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+
+  std::vector<Device> devices_;
+  std::array<std::array<std::vector<Entry>, kSlots>, kLevels> slots_;
+  /// Occupancy bitmap over slots_[0] for O(1) next-occupied-tick jumps.
+  std::array<std::uint64_t, kSlots / 64> l0_bits_{};
+  /// Events beyond the L3 horizon (> ~51 simulated days out).
+  std::vector<Entry> overflow_;
+  /// Entries drained for the tick in progress, in slot order; stable for
+  /// the whole firing pass (dispatched entries leave moved-from husks so
+  /// fire_keys_ indices stay valid). Empty between ticks.
+  std::vector<Entry> fire_;
+  /// Dispatch schedule over fire_: sorted by (when, device, seq) and
+  /// consumed front-to-back through fire_cursor_. A callback scheduling
+  /// into the live tick splices its key into the unconsumed tail.
+  std::vector<FireKey> fire_keys_;
+  std::size_t fire_cursor_ = 0;
+  /// Scratch for cascades (a cascading entry may refile into the slot
+  /// being drained when its tick wraps a whole level revolution).
+  std::vector<Entry> cascade_scratch_;
+
+  EventIdSet pending_;
+  std::size_t dead_ = 0;     ///< cancelled entries still stored somewhere
+  std::size_t entries_ = 0;  ///< physical entries in slots_ + overflow_
+  std::uint64_t current_tick_ = 0;
+  bool firing_ = false;
+  std::uint64_t firing_tick_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+
+  std::uint64_t cascades_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::size_t max_live_ = 0;
+};
+
+}  // namespace eandroid::sim

@@ -61,7 +61,7 @@ class EngineTest : public ::testing::Test {
     slice.begin = sim_.now();
     slice.end = sim_.now() + sim::millis(250);
     for (const auto& [package, mj] : cpu) {
-      slice.app(uid(package)).cpu_mj = mj;
+      slice.part(uid(package), energy::HwPart::kCpu) = mj;
     }
     slice.screen_mj = screen_mj;
     slice.screen_on = screen_mj > 0.0;

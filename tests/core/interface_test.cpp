@@ -40,8 +40,8 @@ class InterfaceTest : public ::testing::Test {
     energy::EnergySlice s(server_.ids());
     s.begin = sim_.now();
     s.end = sim_.now() + sim::millis(250);
-    if (a_mj > 0) s.app(uid("com.a")).cpu_mj = a_mj;
-    if (b_mj > 0) s.app(uid("com.b")).cpu_mj = b_mj;
+    if (a_mj > 0) s.part(uid("com.a"), energy::HwPart::kCpu) = a_mj;
+    if (b_mj > 0) s.part(uid("com.b"), energy::HwPart::kCpu) = b_mj;
     s.screen_mj = screen;
     s.screen_on = screen > 0;
     s.brightness = server_.screen().brightness();
@@ -120,8 +120,9 @@ TEST_F(InterfaceTest, RevisedPowerTutorBreakdownSplitsComponents) {
   server_.user_launch("com.a");
   ctx("com.a").start_activity(Intent::explicit_for("com.b", "Main"));
   energy::EnergySlice s = slice(10.0, 100.0);
-  s.app(uid("com.a")).camera_mj = 33.0;
-  s.app(uid("com.a")).add_routine(s.ids().routine_of("main"), 10.0);
+  s.part(uid("com.a"), energy::HwPart::kCamera) = 33.0;
+  s.add_routine_at(s.ids().app_of(uid("com.a")),
+                   s.ids().routine_of("main"), 10.0);
   s.seal();
   ea_->on_slice(s);
   const auto* direct = ea_->engine().direct_breakdown(uid("com.a"));

@@ -28,8 +28,8 @@ class ProfilersTest : public ::testing::Test {
     EnergySlice slice(ids_);
     slice.begin = sim::TimePoint(0);
     slice.end = sim::TimePoint(250'000);
-    if (a_cpu > 0) slice.app(uid_a_).cpu_mj = a_cpu;
-    if (b_cpu > 0) slice.app(uid_b_).cpu_mj = b_cpu;
+    if (a_cpu > 0) slice.part(uid_a_, HwPart::kCpu) = a_cpu;
+    if (b_cpu > 0) slice.part(uid_b_, HwPart::kCpu) = b_cpu;
     slice.screen_mj = screen;
     slice.screen_on = screen > 0;
     slice.foreground = foreground;
@@ -99,10 +99,10 @@ TEST_F(ProfilersTest, PowerTutorUnattributedScreenWithoutForeground) {
 
 TEST_F(ProfilersTest, PowerTutorComponentBreakdown) {
   EnergySlice slice = make_slice(0, 0, 0, uid_a_);
-  slice.app(uid_a_).camera_mj = 30;
-  slice.app(uid_a_).gps_mj = 20;
-  slice.app(uid_a_).wifi_mj = 10;
-  slice.app(uid_a_).audio_mj = 5;
+  slice.part(uid_a_, HwPart::kCamera) = 30;
+  slice.part(uid_a_, HwPart::kGps) = 20;
+  slice.part(uid_a_, HwPart::kWifi) = 10;
+  slice.part(uid_a_, HwPart::kAudio) = 5;
   slice.seal();
   tutor_.on_slice(slice);
   EXPECT_DOUBLE_EQ(tutor_.component_energy_mj(uid_a_, HwPart::kCamera), 30.0);

@@ -89,9 +89,10 @@ TEST_F(SamplerTest, CpuLoadAttributedToApp) {
   ASSERT_FALSE(sink_.slices.empty());
   const EnergySlice& slice = sink_.slices.back();
   const double expected = server_.params().cpu_active_mw * 0.4 * 0.25;
-  const AppSliceEnergy* app = slice.find(uid());
-  ASSERT_NE(app, nullptr);
-  EXPECT_NEAR(app->cpu_mj, expected, 1e-6);
+  const kernelsim::AppIdx idx = slice.ids().find_app(uid());
+  ASSERT_NE(idx, kernelsim::kNoIdx);
+  ASSERT_TRUE(slice.active_at(idx));
+  EXPECT_NEAR(slice.cpu_mj(idx), expected, 1e-6);
 }
 
 TEST_F(SamplerTest, CameraSessionAttributedToApp) {
@@ -99,9 +100,11 @@ TEST_F(SamplerTest, CameraSessionAttributedToApp) {
   sink_.slices.clear();
   sim_.run_for(sim::millis(250));
   const EnergySlice& slice = sink_.slices.back();
-  const AppSliceEnergy* app = slice.find(uid());
-  ASSERT_NE(app, nullptr);
-  EXPECT_NEAR(app->camera_mj, server_.params().camera_active_mw * 0.25, 1e-6);
+  const kernelsim::AppIdx idx = slice.ids().find_app(uid());
+  ASSERT_NE(idx, kernelsim::kNoIdx);
+  ASSERT_TRUE(slice.active_at(idx));
+  EXPECT_NEAR(slice.camera_mj(idx), server_.params().camera_active_mw * 0.25,
+              1e-6);
   ctx().camera_end(session);
 }
 

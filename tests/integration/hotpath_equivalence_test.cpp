@@ -10,8 +10,10 @@
 #include <utility>
 
 #include "apps/chaos.h"
+#include "apps/demo_app.h"
 #include "apps/scenarios.h"
 #include "apps/testbed.h"
+#include "fleet/fleet.h"
 
 namespace eandroid::apps {
 namespace {
@@ -85,6 +87,48 @@ TEST(HotpathEquivalenceTest, Fig09ScenariosMatchBitForBit) {
     const std::string baseline = scenario_digest(fn(1, {.hot_path = false}));
     EXPECT_EQ(hot, baseline) << name;
   }
+}
+
+TEST(HotpathEquivalenceTest, FleetCoresAndMeteringPathsMatchBitForBit) {
+  // The two metering paths (hot / baseline buffers) crossed with the two
+  // fleet cores (per-device heaps / shared wheel + slab) are four routes
+  // to the same observable run; all four digest sets must agree.
+  const auto digests = [](bool hot, fleet::FleetCore core) {
+    auto plan = std::make_shared<fleet::InstallPlan>();
+    DemoAppSpec sender;
+    sender.package = "com.fleet.weather";
+    sender.foreground_cpu = 0.02;
+    plan->add_app<DemoApp>(sender);
+    DemoAppSpec victim;
+    victim.package = "com.fleet.syncclient";
+    victim.push_endpoint = true;
+    plan->add_app<DemoApp>(victim);
+
+    fleet::FleetOptions options;
+    options.device_count = 6;
+    options.shards = 2;
+    options.epoch = sim::seconds(2);
+    options.install_plan = std::move(plan);
+    options.hot_path = hot;
+    options.core = core;
+    fleet::Fleet f(std::move(options));
+    fleet::PushCampaign campaign;
+    campaign.sender_package = "com.fleet.weather";
+    campaign.target_package = "com.fleet.syncclient";
+    campaign.start = sim::TimePoint{} + sim::seconds(2) + sim::millis(1);
+    campaign.period = sim::millis(750);
+    campaign.pushes_per_device = 6;
+    campaign.device_stagger = sim::millis(13);
+    f.broker().add_campaign(campaign);
+    f.start();
+    f.run_for(sim::seconds(8));
+    f.finish();
+    return f.energy_digests();
+  };
+  const auto reference = digests(true, fleet::FleetCore::kBaseline);
+  EXPECT_EQ(digests(false, fleet::FleetCore::kBaseline), reference);
+  EXPECT_EQ(digests(true, fleet::FleetCore::kBatched), reference);
+  EXPECT_EQ(digests(false, fleet::FleetCore::kBatched), reference);
 }
 
 TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {

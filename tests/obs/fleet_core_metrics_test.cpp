@@ -1,0 +1,98 @@
+// fleet.core.* metrics: the batched core's health counters — wheel
+// occupancy and cascade counts, arena high-water marks, slab footprint —
+// must surface through Fleet::scheduler_metrics() on batched runs and
+// stay absent on baseline runs (where none of those structures exist).
+// Metrics are independent of EANDROID_TRACE, so this suite runs in every
+// build flavor.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "apps/demo_app.h"
+#include "fleet/fleet.h"
+
+namespace eandroid::fleet {
+namespace {
+
+using apps::DemoApp;
+using apps::DemoAppSpec;
+
+std::shared_ptr<const InstallPlan> plan() {
+  auto p = std::make_shared<InstallPlan>();
+  DemoAppSpec sender;
+  sender.package = "com.fleet.weather";
+  sender.foreground_cpu = 0.02;
+  p->add_app<DemoApp>(sender);
+  DemoAppSpec victim;
+  victim.package = "com.fleet.syncclient";
+  victim.push_endpoint = true;
+  p->add_app<DemoApp>(victim);
+  return p;
+}
+
+FleetOptions options_for(FleetCore core) {
+  FleetOptions options;
+  options.device_count = 6;
+  options.shards = 2;
+  options.epoch = sim::seconds(2);
+  options.install_plan = plan();
+  options.core = core;
+  return options;
+}
+
+PushCampaign campaign() {
+  PushCampaign c;
+  c.sender_package = "com.fleet.weather";
+  c.target_package = "com.fleet.syncclient";
+  c.start = sim::TimePoint{} + sim::seconds(2) + sim::millis(1);
+  c.period = sim::millis(750);
+  c.pushes_per_device = 8;
+  c.device_stagger = sim::millis(13);
+  return c;
+}
+
+obs::MetricsSnapshot run_and_snapshot(FleetCore core) {
+  Fleet fleet(options_for(core));
+  fleet.broker().add_campaign(campaign());
+  fleet.start();
+  // Long enough that wheel entries climb past level 0 (the 750 ms push
+  // cadence alone outruns the 262 ms L0 span) and cascade back down.
+  fleet.run_for(sim::seconds(20));
+  fleet.finish();
+  return fleet.scheduler_metrics();
+}
+
+TEST(FleetCoreMetricsTest, BatchedRunsExposeWheelSlabAndArenaCounters) {
+  const obs::MetricsSnapshot metrics = run_and_snapshot(FleetCore::kBatched);
+
+  const auto* cascades = metrics.find("fleet.core.wheel_cascades");
+  ASSERT_NE(cascades, nullptr);
+  EXPECT_GT(cascades->count, 0u);
+
+  const auto* occupancy = metrics.find("fleet.core.wheel_occupancy_peak");
+  ASSERT_NE(occupancy, nullptr);
+  // Each of the 6 devices keeps at least its sampler timer live, split
+  // over 2 shard-group wheels: the busier wheel holds ≥ 3 events.
+  EXPECT_GE(occupancy->count, 3u);
+
+  const auto* arena = metrics.find("fleet.core.arena_high_water_bytes");
+  ASSERT_NE(arena, nullptr);
+  EXPECT_GT(arena->count, 0u);
+
+  const auto* slab = metrics.find("fleet.core.slab_bytes_per_device");
+  ASSERT_NE(slab, nullptr);
+  // At least one app row of five 8-byte cells per device.
+  EXPECT_GE(slab->count, 40u);
+}
+
+TEST(FleetCoreMetricsTest, BaselineRunsCarryNoCoreCounters) {
+  const obs::MetricsSnapshot metrics = run_and_snapshot(FleetCore::kBaseline);
+  EXPECT_EQ(metrics.find("fleet.core.wheel_cascades"), nullptr);
+  EXPECT_EQ(metrics.find("fleet.core.wheel_occupancy_peak"), nullptr);
+  EXPECT_EQ(metrics.find("fleet.core.arena_high_water_bytes"), nullptr);
+  EXPECT_EQ(metrics.find("fleet.core.slab_bytes_per_device"), nullptr);
+}
+
+}  // namespace
+}  // namespace eandroid::fleet

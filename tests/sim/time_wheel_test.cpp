@@ -1,0 +1,355 @@
+// TimeWheel differentials: a wheel-bound Simulator must be observably
+// indistinguishable from a plain one — same fire instants, same order,
+// same cancel/periodic/exception semantics — because the batched fleet
+// core's bit-identity claim rests on exactly this equivalence. Each test
+// runs one schedule through both cores and compares the (instant, tag)
+// fire logs, then adds wheel-specific assertions (cascades, overflow,
+// cross-device interleaving) where the plain simulator has no analogue.
+#include "sim/time_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/check.h"
+#include "sim/simulator.h"
+
+namespace eandroid::sim {
+namespace {
+
+/// The observable order of a run: (fire instant in µs, caller's tag).
+using FireLog = std::vector<std::pair<std::int64_t, int>>;
+
+/// Plants the same schedule into a plain and a wheel-bound simulator,
+/// advances both through the same stop list, and requires identical
+/// logs. Returns the (shared) log for content assertions.
+FireLog differential(
+    const std::function<void(Simulator&, FireLog&)>& plant,
+    const std::vector<TimePoint>& stops) {
+  FireLog plain_log;
+  {
+    Simulator plain(1);
+    plant(plain, plain_log);
+    for (const TimePoint stop : stops) plain.run_until(stop);
+  }
+  FireLog wheel_log;
+  {
+    TimeWheel wheel;
+    Simulator sim(1, &wheel);
+    plant(sim, wheel_log);
+    for (const TimePoint stop : stops) wheel.run_until(stop);
+  }
+  EXPECT_EQ(wheel_log, plain_log);
+  return plain_log;
+}
+
+/// Logging callback factory bound to one simulator + log.
+std::function<void()> tag(Simulator& sim, FireLog& log, int t) {
+  return [&sim, &log, t] { log.emplace_back(sim.now().micros(), t); };
+}
+
+TEST(TimeWheelTest, OneShotOrderAndSameInstantTiesMatchPlainCore) {
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        sim.schedule(millis(5), tag(sim, out, 1));
+        sim.schedule(millis(2), tag(sim, out, 2));
+        sim.schedule(millis(2), tag(sim, out, 3));  // tie: insertion order
+        sim.schedule_at(TimePoint(2'000), tag(sim, out, 4));  // third tie
+        sim.schedule(micros(2'500), tag(sim, out, 5));  // same wheel tick
+        sim.schedule(millis(9), tag(sim, out, 6));
+      },
+      {TimePoint(3'000), TimePoint(20'000)});
+  const FireLog expect = {{2'000, 2}, {2'000, 3}, {2'000, 4},
+                          {2'500, 5}, {5'000, 1}, {9'000, 6}};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(TimeWheelTest, EventsAtTheStopInstantStillRun) {
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        sim.schedule(millis(10), tag(sim, out, 1));
+        sim.schedule(micros(10'001), tag(sim, out, 2));  // just past the stop
+      },
+      {TimePoint(10'000)});
+  const FireLog expect = {{10'000, 1}};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(TimeWheelTest, NestedSameInstantSchedulingFiresInTheSamePass) {
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        sim.schedule(millis(1), [&sim, &out] {
+          out.emplace_back(sim.now().micros(), 1);
+          // Same instant, scheduled during firing: joins this pass.
+          sim.schedule(Duration(0), [&sim, &out] {
+            out.emplace_back(sim.now().micros(), 2);
+            sim.schedule(Duration(0), tag(sim, out, 3));  // nested again
+          });
+          // A hair later, same wheel tick.
+          sim.schedule(micros(200), tag(sim, out, 4));
+        });
+        sim.schedule(millis(2), tag(sim, out, 5));
+      },
+      {TimePoint(5'000)});
+  const FireLog expect = {
+      {1'000, 1}, {1'000, 2}, {1'000, 3}, {1'200, 4}, {2'000, 5}};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(TimeWheelTest, PeriodicTaskMatchesIncludingExternalCancel) {
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        auto stop = std::make_shared<std::function<void()>>();
+        *stop = sim.every(millis(3), tag(sim, out, 1));
+        // Cancel from a one-shot at 10 ms: fires at 3, 6, 9 and no more.
+        sim.schedule(millis(10), [stop] { (*stop)(); });
+      },
+      {TimePoint(7'000), TimePoint(30'000)});
+  const FireLog expect = {{3'000, 1}, {6'000, 1}, {9'000, 1}};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(TimeWheelTest, PeriodicTaskCancellingItselfFromInsideStops) {
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        auto count = std::make_shared<int>(0);
+        auto stop = std::make_shared<std::function<void()>>();
+        *stop = sim.every(millis(2), [&sim, &out, count, stop] {
+          out.emplace_back(sim.now().micros(), ++*count);
+          if (*count == 3) (*stop)();
+        });
+      },
+      {TimePoint(20'000)});
+  const FireLog expect = {{2'000, 1}, {4'000, 2}, {6'000, 3}};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(TimeWheelTest, OneShotSelfCancelIsANoOp) {
+  // The entry is consumed before the callback runs, so cancelling the
+  // handle from inside reports false on both cores.
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        auto h = std::make_shared<EventHandle>();
+        *h = sim.schedule(millis(1), [&sim, &out, h] {
+          out.emplace_back(sim.now().micros(), sim.cancel(*h) ? 1 : 0);
+        });
+      },
+      {TimePoint(5'000)});
+  const FireLog expect = {{1'000, 0}};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(TimeWheelTest, MassCancelMatchesAndCompactionKeepsSurvivors) {
+  // 200 one-shots, 190 cancelled — enough dead entries to trip the
+  // wheel's compact() — and the 10 survivors still fire in order.
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        std::vector<EventHandle> handles;
+        for (int i = 0; i < 200; ++i) {
+          handles.push_back(sim.schedule(millis(1 + i), tag(sim, out, i)));
+        }
+        for (int i = 0; i < 200; ++i) {
+          if (i % 20 != 0) {
+            EXPECT_TRUE(sim.cancel(handles[i]));
+          }
+        }
+        EXPECT_FALSE(sim.cancel(handles[1]));  // double cancel
+        EXPECT_EQ(sim.pending_events(), 10u);
+        EXPECT_EQ(sim.next_event_time(), TimePoint(1'000));
+      },
+      {TimePoint(300'000)});
+  ASSERT_EQ(log.size(), 10u);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(log[k], (std::pair<std::int64_t, int>{
+                          1'000 * (1 + 20 * k), 20 * k}));
+  }
+}
+
+TEST(TimeWheelTest, PendingCountAndNextTimeAgreeWithPlainCore) {
+  Simulator plain(1);
+  TimeWheel wheel;
+  Simulator bound(1, &wheel);
+  for (Simulator* sim : {&plain, &bound}) {
+    sim->schedule(millis(7), [] {});
+    sim->schedule(seconds(2), [] {});
+    sim->schedule(hours(1), [] {});
+  }
+  EXPECT_EQ(bound.pending_events(), plain.pending_events());
+  EXPECT_EQ(bound.next_event_time(), plain.next_event_time());
+  plain.run_until(TimePoint(millis(10).micros()));
+  wheel.run_until(TimePoint(millis(10).micros()));
+  EXPECT_EQ(bound.pending_events(), plain.pending_events());
+  EXPECT_EQ(bound.next_event_time(), plain.next_event_time());
+  EXPECT_EQ(bound.now(), plain.now());
+  EXPECT_EQ(bound.events_dispatched(), plain.events_dispatched());
+}
+
+TEST(TimeWheelTest, CrossDeviceOrderIsAttachOrderAndProjectionsMatch) {
+  // Two simulators on one wheel: at equal instants the earlier-attached
+  // device fires first, and each device's own projection is exactly what
+  // it would have seen running alone.
+  struct Fire {
+    std::int64_t us;
+    int dev;
+    int tag;
+    bool operator==(const Fire&) const = default;
+  };
+  std::vector<Fire> fires;
+  const auto plant = [&fires](Simulator& sim, int dev) {
+    const auto at = [&fires, &sim, dev](Duration d, int t) {
+      sim.schedule(d, [&fires, &sim, dev, t] {
+        fires.push_back({sim.now().micros(), dev, t});
+      });
+    };
+    if (dev == 0) {
+      at(millis(1), 1);
+      at(millis(2), 2);
+      at(millis(2), 3);
+      at(millis(5), 4);
+    } else {
+      at(millis(2), 1);
+      at(millis(2), 2);
+      at(millis(3), 3);
+    }
+  };
+
+  TimeWheel wheel;
+  Simulator a(1, &wheel);
+  Simulator b(2, &wheel);
+  plant(a, 0);
+  plant(b, 1);
+  wheel.run_until(TimePoint(10'000));
+  EXPECT_EQ(wheel.device_count(), 2u);
+
+  // Cross-device total order at the 2 ms tie: all of device 0 first.
+  const std::vector<Fire> expect = {{1'000, 0, 1}, {2'000, 0, 2},
+                                    {2'000, 0, 3}, {2'000, 1, 1},
+                                    {2'000, 1, 2}, {3'000, 1, 3},
+                                    {5'000, 0, 4}};
+  EXPECT_EQ(fires, expect);
+
+  // Per-device projection == standalone run of the same schedule.
+  for (int dev : {0, 1}) {
+    std::vector<Fire> solo_fires;
+    {
+      Simulator solo(dev == 0 ? 1 : 2);
+      const auto solo_plant = [&solo_fires, &solo, dev](Duration d, int t) {
+        solo.schedule(d, [&solo_fires, &solo, dev, t] {
+          solo_fires.push_back({solo.now().micros(), dev, t});
+        });
+      };
+      if (dev == 0) {
+        solo_plant(millis(1), 1);
+        solo_plant(millis(2), 2);
+        solo_plant(millis(2), 3);
+        solo_plant(millis(5), 4);
+      } else {
+        solo_plant(millis(2), 1);
+        solo_plant(millis(2), 2);
+        solo_plant(millis(3), 3);
+      }
+      solo.run_until(TimePoint(10'000));
+    }
+    std::vector<Fire> projected;
+    for (const Fire& f : fires) {
+      if (f.dev == dev) projected.push_back(f);
+    }
+    EXPECT_EQ(projected, solo_fires) << "device " << dev;
+  }
+}
+
+TEST(TimeWheelTest, FarEventsCascadeDownTheLevelsOnTime) {
+  // One event per wheel level: 100 ms (L0), 10 s (L1), 1 h (L2),
+  // 6 h (L3). All must fire at their exact instants after cascading.
+  TimeWheel wheel;
+  Simulator sim(1, &wheel);
+  FireLog log;
+  sim.schedule(millis(100), tag(sim, log, 0));
+  sim.schedule(seconds(10), tag(sim, log, 1));
+  sim.schedule(hours(1), tag(sim, log, 2));
+  sim.schedule(hours(6), tag(sim, log, 3));
+  wheel.run_until(TimePoint(hours(7).micros()));
+  const FireLog expect = {{millis(100).micros(), 0},
+                          {seconds(10).micros(), 1},
+                          {hours(1).micros(), 2},
+                          {hours(6).micros(), 3}};
+  EXPECT_EQ(log, expect);
+  EXPECT_GT(wheel.cascades(), 0u);
+  EXPECT_EQ(wheel.pushed(), 4u);
+  EXPECT_EQ(wheel.live(), 0u);
+  EXPECT_EQ(sim.now(), TimePoint(hours(7).micros()));
+}
+
+TEST(TimeWheelTest, EventsBeyondTheHorizonOverflowAndRefile) {
+  // ~52 simulated days is past the wheel's 2^32-tick L3 horizon: the
+  // entry sits in the overflow list, is refiled as the horizon
+  // approaches, and still fires at its exact instant.
+  TimeWheel wheel;
+  Simulator sim(1, &wheel);
+  FireLog log;
+  const Duration far = hours(52 * 24);
+  sim.schedule(far, tag(sim, log, 1));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.next_event_time(), TimePoint(far.micros()));
+  wheel.run_until(TimePoint((far + seconds(1)).micros()));
+  const FireLog expect = {{far.micros(), 1}};
+  EXPECT_EQ(log, expect);
+  EXPECT_GT(wheel.cascades(), 0u);
+}
+
+TEST(TimeWheelTest, RunLoopsOnAWheelBoundSimulatorAreCheckedErrors) {
+  TimeWheel wheel;
+  Simulator sim(1, &wheel);
+  sim.schedule(millis(1), [] {});
+  EXPECT_THROW(sim.run_until(TimePoint(5'000)), CheckFailure);
+  EXPECT_THROW(sim.run_all(), CheckFailure);
+  // The wheel still owns a working run loop afterwards.
+  wheel.run_until(TimePoint(5'000));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(TimeWheelTest, ThrowingCallbackConsumesTheEventAndWheelRecovers) {
+  const auto plant = [](Simulator& sim, FireLog& out) {
+    sim.schedule(millis(1), [] { throw std::runtime_error("boom"); });
+    sim.schedule(millis(2), tag(sim, out, 1));
+  };
+  FireLog plain_log;
+  Simulator plain(1);
+  plant(plain, plain_log);
+  EXPECT_THROW(plain.run_until(TimePoint(10'000)), std::runtime_error);
+  plain.run_until(TimePoint(10'000));
+
+  FireLog wheel_log;
+  TimeWheel wheel;
+  Simulator bound(1, &wheel);
+  plant(bound, wheel_log);
+  EXPECT_THROW(wheel.run_until(TimePoint(10'000)), std::runtime_error);
+  wheel.run_until(TimePoint(10'000));
+
+  EXPECT_EQ(wheel_log, plain_log);
+  const FireLog expect = {{2'000, 1}};
+  EXPECT_EQ(wheel_log, expect);
+  EXPECT_EQ(bound.pending_events(), plain.pending_events());
+  EXPECT_EQ(bound.now(), plain.now());
+}
+
+TEST(TimeWheelTest, SameTickReentryAcrossRunsParksAndResumes) {
+  // Two run_until stops inside the SAME wheel tick: events between the
+  // stops must wait for the second call, exactly like the plain core.
+  const FireLog log = differential(
+      [](Simulator& sim, FireLog& out) {
+        sim.schedule(micros(100), tag(sim, out, 1));
+        sim.schedule(micros(300), tag(sim, out, 2));
+        sim.schedule(micros(900), tag(sim, out, 3));
+      },
+      {TimePoint(300), TimePoint(500), TimePoint(2'000)});
+  const FireLog expect = {{100, 1}, {300, 2}, {900, 3}};
+  EXPECT_EQ(log, expect);
+}
+
+}  // namespace
+}  // namespace eandroid::sim
