@@ -10,14 +10,22 @@
 // exactly the regime long soaks and large sweeps live in, where per-tick
 // cost gates throughput.
 //
-// Three numbers per leg, written to BENCH_hotpath.json:
-//   * sims-per-wall-second (simulated seconds processed per wall second);
-//   * allocations per tick over the whole timed window;
-//   * steady-state allocations per tick (measured after warm-up, before
-//     the timed window) — the hot leg must be exactly zero.
-// The two legs must also produce bit-identical per-uid totals; a digest
-// mismatch fails the bench, because an optimization that changes results
-// is a bug, not a speedup.
+// Three legs, written to BENCH_hotpath.json:
+//   * baseline — fresh buffers every tick, window structures rebuilt
+//     every slice, virtual sink chain (the pre-optimization shape);
+//   * hot      — allocation-free dense path, still folding through the
+//     per-sink virtual on_slice walks (the pre-pipeline shape, kept as
+//     the committed gate's continuity leg);
+//   * fused    — hot buffers + the fused MeteringPipeline: one pass over
+//     the touched cells feeds every profiler.
+// Per leg: sims-per-wall-second, ticks-per-wall-second, allocations per
+// tick over the timed window, steady-state allocations per tick (the hot
+// and fused legs must be exactly zero), and — from a separate
+// stage-profiling window so clock reads never pollute the timed
+// throughput — the tick's gather-vs-fold nanosecond split. All legs must
+// produce bit-identical per-uid totals; a digest mismatch fails the
+// bench, because an optimization that changes results is a bug, not a
+// speedup.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -59,13 +67,19 @@ constexpr int kVictims = 2;
 constexpr std::int64_t kSampleMs = 50;
 constexpr std::int64_t kWarmupS = 30;
 constexpr std::int64_t kSteadyS = 60;
+/// Stage-profiling window: per-tick steady_clock reads are confined here
+/// so the timed throughput window below stays clock-free.
+constexpr std::int64_t kStageS = 1200;
 constexpr std::int64_t kTimedS = 7200;
 
 struct LegResult {
   double wall_s = 0.0;
   double sims_per_wall_s = 0.0;
+  double ticks_per_s = 0.0;
   double allocs_per_tick = 0.0;
   double steady_allocs_per_tick = 0.0;
+  double gather_ns_per_tick = 0.0;
+  double fold_ns_per_tick = 0.0;
   std::uint64_t ticks = 0;
   std::string digest;
 };
@@ -99,11 +113,12 @@ std::string scene_digest(apps::Testbed& bed) {
   return out;
 }
 
-LegResult run_leg(bool hot_path) {
+LegResult run_leg(bool hot_path, bool fused_metering) {
   apps::TestbedOptions options;
   options.seed = 1;
   options.sample_period = sim::millis(kSampleMs);
   options.hot_path = hot_path;
+  options.fused_metering = fused_metering;
   apps::Testbed bed(options);
 
   // Two victims with bindable services (collateral windows + service CPU)…
@@ -159,6 +174,20 @@ LegResult run_leg(bool hot_path) {
       static_cast<double>(alloc_count() - steady_allocs0) /
       static_cast<double>(steady_ticks);
 
+  // Stage-profiling window: split the tick into gather (+seal + battery
+  // flow) vs fold (pipeline / virtual sinks). Timing is enabled only
+  // here, so the throughput window below never pays the clock reads.
+  sampler.enable_stage_timing(true);
+  bed.sim().run_for(sim::seconds(kStageS));
+  sampler.enable_stage_timing(false);
+  const energy::EnergySampler::StageNanos stages = sampler.stage_nanos();
+  if (stages.ticks > 0) {
+    result.gather_ns_per_tick = static_cast<double>(stages.gather_ns) /
+                                static_cast<double>(stages.ticks);
+    result.fold_ns_per_tick = static_cast<double>(stages.fold_ns) /
+                              static_cast<double>(stages.ticks);
+  }
+
   // Timed throughput window.
   const std::uint64_t allocs0 = alloc_count();
   const std::uint64_t ticks0 = sampler.slices_emitted();
@@ -169,6 +198,7 @@ LegResult run_leg(bool hot_path) {
   result.allocs_per_tick = static_cast<double>(alloc_count() - allocs0) /
                            static_cast<double>(result.ticks);
   result.sims_per_wall_s = static_cast<double>(kTimedS) / result.wall_s;
+  result.ticks_per_s = static_cast<double>(result.ticks) / result.wall_s;
 
   bed.sampler().flush();
   result.digest = scene_digest(bed);
@@ -178,40 +208,63 @@ LegResult run_leg(bool hot_path) {
 }  // namespace
 
 int main() {
-  std::printf("=== metering hot path: baseline vs dense/cached, same run "
+  std::printf("=== metering: baseline vs hot vs fused pipeline, same run "
               "===\n(12 apps, 2 service windows, %lld ms sampling, %lld "
               "simulated seconds timed)\n\n",
               static_cast<long long>(kSampleMs),
               static_cast<long long>(kTimedS));
 
-  const LegResult baseline = run_leg(/*hot_path=*/false);
-  const LegResult hot = run_leg(/*hot_path=*/true);
+  const LegResult baseline = run_leg(/*hot_path=*/false, /*fused=*/false);
+  const LegResult hot = run_leg(/*hot_path=*/true, /*fused=*/false);
+  const LegResult fused = run_leg(/*hot_path=*/true, /*fused=*/true);
   const double speedup = hot.sims_per_wall_s / baseline.sims_per_wall_s;
-  const bool digests_match = baseline.digest == hot.digest;
+  const double fused_speedup =
+      fused.sims_per_wall_s / baseline.sims_per_wall_s;
+  // The fused pipeline's own claim: fold-stage nanoseconds per tick vs
+  // the virtual sink chain on the same hot buffers.
+  const double fold_speedup =
+      fused.fold_ns_per_tick > 0.0
+          ? hot.fold_ns_per_tick / fused.fold_ns_per_tick
+          : 0.0;
+  const bool digests_match =
+      baseline.digest == hot.digest && hot.digest == fused.digest;
   const bool hot_alloc_free = hot.steady_allocs_per_tick == 0.0;
+  const bool fused_alloc_free = fused.steady_allocs_per_tick == 0.0;
 
-  std::printf("%10s %10s %16s %14s %14s\n", "leg", "wall (s)",
-              "sim-s / wall-s", "allocs/tick", "steady a/t");
-  std::printf("%10s %10.3f %16.0f %14.2f %14.2f\n", "baseline",
-              baseline.wall_s, baseline.sims_per_wall_s,
-              baseline.allocs_per_tick, baseline.steady_allocs_per_tick);
-  std::printf("%10s %10.3f %16.0f %14.2f %14.2f\n", "hot", hot.wall_s,
-              hot.sims_per_wall_s, hot.allocs_per_tick,
-              hot.steady_allocs_per_tick);
-  std::printf("\nspeedup: %.2fx   digests: %s   hot steady-state: %s\n",
-              speedup, digests_match ? "identical" : "DIVERGED",
-              hot_alloc_free ? "allocation-free" : "ALLOCATES");
+  std::printf("%10s %10s %16s %14s %14s %12s %12s\n", "leg", "wall (s)",
+              "sim-s / wall-s", "allocs/tick", "steady a/t", "gather ns/t",
+              "fold ns/t");
+  const auto print_leg = [](const char* name, const LegResult& r) {
+    std::printf("%10s %10.3f %16.0f %14.2f %14.2f %12.0f %12.0f\n", name,
+                r.wall_s, r.sims_per_wall_s, r.allocs_per_tick,
+                r.steady_allocs_per_tick, r.gather_ns_per_tick,
+                r.fold_ns_per_tick);
+  };
+  print_leg("baseline", baseline);
+  print_leg("hot", hot);
+  print_leg("fused", fused);
+  std::printf("\nspeedup hot: %.2fx   fused: %.2fx   fold-stage "
+              "(fused vs virtual): %.2fx\ndigests: %s   steady-state: "
+              "hot %s, fused %s\n",
+              speedup, fused_speedup, fold_speedup,
+              digests_match ? "identical" : "DIVERGED",
+              hot_alloc_free ? "allocation-free" : "ALLOCATES",
+              fused_alloc_free ? "allocation-free" : "ALLOCATES");
 
   std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
   if (json != nullptr) {
-    auto leg = [json](const char* name, const LegResult& r) {
+    auto leg = [json](const char* name, const LegResult& r,
+                      const char* extra) {
       std::fprintf(json,
                    "  \"%s\": {\"wall_s\": %.4f, \"sims_per_wall_s\": %.1f, "
                    "\"allocs_per_tick\": %.3f, "
-                   "\"steady_allocs_per_tick\": %.3f, \"ticks\": %llu},\n",
+                   "\"steady_allocs_per_tick\": %.3f, \"ticks\": %llu, "
+                   "\"gather_ns_per_tick\": %.1f, "
+                   "\"fold_ns_per_tick\": %.1f%s},\n",
                    name, r.wall_s, r.sims_per_wall_s, r.allocs_per_tick,
                    r.steady_allocs_per_tick,
-                   static_cast<unsigned long long>(r.ticks));
+                   static_cast<unsigned long long>(r.ticks),
+                   r.gather_ns_per_tick, r.fold_ns_per_tick, extra);
     };
     std::fprintf(json,
                  "{\n"
@@ -221,25 +274,34 @@ int main() {
                  kLoadApps + kVictims + 1, kVictims,
                  static_cast<long long>(kSampleMs),
                  static_cast<long long>(kTimedS));
-    leg("baseline", baseline);
-    leg("hot", hot);
+    leg("baseline", baseline, "");
+    leg("hot", hot, "");
+    char fused_extra[64];
+    std::snprintf(fused_extra, sizeof(fused_extra),
+                  ", \"fused_ticks_per_s\": %.1f", fused.ticks_per_s);
+    leg("fused", fused, fused_extra);
     std::fprintf(json,
                  "  \"speedup\": %.3f,\n"
+                 "  \"fused_speedup\": %.3f,\n"
+                 "  \"fold_stage_speedup\": %.3f,\n"
                  "  \"digest_match\": %s,\n"
-                 "  \"hot_steady_state_allocation_free\": %s\n"
+                 "  \"hot_steady_state_allocation_free\": %s,\n"
+                 "  \"fused_steady_state_allocation_free\": %s\n"
                  "}\n",
-                 speedup, digests_match ? "true" : "false",
-                 hot_alloc_free ? "true" : "false");
+                 speedup, fused_speedup, fold_speedup,
+                 digests_match ? "true" : "false",
+                 hot_alloc_free ? "true" : "false",
+                 fused_alloc_free ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_hotpath.json\n");
   }
 
   if (!digests_match) {
-    std::printf("FAIL: hot path diverged from the baseline path\n");
+    std::printf("FAIL: the three metering legs diverged\n");
     return 1;
   }
-  if (!hot_alloc_free) {
-    std::printf("FAIL: hot path allocates in steady state\n");
+  if (!hot_alloc_free || !fused_alloc_free) {
+    std::printf("FAIL: hot/fused path allocates in steady state\n");
     return 1;
   }
   return 0;

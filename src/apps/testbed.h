@@ -33,6 +33,12 @@ struct TestbedOptions {
   /// are bit-for-bit equal — the hotpath bench and the golden-digest
   /// equivalence tests rely on that.
   bool hot_path = true;
+  /// When true (the default) the three profilers fold through the fused
+  /// MeteringPipeline — one pass over the slice's touched cells; false
+  /// keeps the per-sink virtual on_slice walks. Orthogonal to hot_path
+  /// and bit-identical either way (the 8-way equivalence matrix in
+  /// tests/integration/hotpath_equivalence_test.cpp enforces it).
+  bool fused_metering = true;
   /// Observability: off by default (zero per-tick cost beyond a null
   /// check). Turn on `obs.trace` to capture a TraceRecorder ring the
   /// golden-trace and differential suites can export.
@@ -56,6 +62,7 @@ class Testbed : public fleet::DeviceContext {
     spec.eandroid_mode = options.eandroid_mode;
     spec.sample_period = options.sample_period;
     spec.hot_path = options.hot_path;
+    spec.fused_metering = options.fused_metering;
     spec.obs = options.obs;
     spec.params = std::make_shared<const hw::PowerParams>(options.params);
     spec.engine_config =

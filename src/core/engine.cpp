@@ -49,22 +49,25 @@ EAndroidEngine::EAndroidEngine(framework::SystemServer& server,
 
 double EAndroidEngine::direct_mj(kernelsim::Uid uid) const {
   const AppIdx idx = ids_.find_app(uid);
-  return idx < direct_.size() ? direct_[idx].sum() : 0.0;
+  const auto& direct = direct_store_.by_app;
+  return idx < direct.size() ? direct[idx].sum() : 0.0;
 }
 
 const energy::AppSliceEnergy* EAndroidEngine::direct_breakdown(
     kernelsim::Uid uid) const {
   const AppIdx idx = ids_.find_app(uid);
-  if (idx >= direct_.size() || direct_[idx].sum() <= 0.0) return nullptr;
-  return &direct_[idx];
+  const auto& direct = direct_store_.by_app;
+  if (idx >= direct.size() || direct[idx].sum() <= 0.0) return nullptr;
+  return &direct[idx];
 }
 
 double EAndroidEngine::direct_routine_mj(kernelsim::Uid uid,
                                          std::string_view routine) const {
   const AppIdx idx = ids_.find_app(uid);
-  if (idx >= direct_.size()) return 0.0;
+  const auto& direct = direct_store_.by_app;
+  if (idx >= direct.size()) return 0.0;
   const kernelsim::RoutineIdx r = ids_.find_routine(routine);
-  return r == kNoIdx ? 0.0 : direct_[idx].routine_mj_of(r);
+  return r == kNoIdx ? 0.0 : direct[idx].routine_mj_of(r);
 }
 
 double EAndroidEngine::collateral_mj(kernelsim::Uid uid) const {
@@ -134,6 +137,14 @@ void EAndroidEngine::rebuild_window_structures() {
   // deterministic iteration order for the brightness-delta sums.
   std::sort(screen_windows_.begin(), screen_windows_.end(),
             [](const Window* a, const Window* b) { return a->id < b->id; });
+  // Pre-size the hot-fold accumulators and scratch to the interner's
+  // population: apps intern alongside window events in practice, so the
+  // per-slice growth guards below become cold branches — steady-state
+  // slices never resize.
+  const std::size_t apps = ids_.app_count();
+  direct_store_.ensure(apps);
+  if (screen_coll_.size() < apps) screen_coll_.resize(apps, 0.0);
+  if (delta_scratch_.size() < apps) delta_scratch_.resize(apps, 0.0);
   cached_generation_ = tracker_.generation();
 }
 
@@ -180,14 +191,35 @@ const std::vector<AppIdx>& EAndroidEngine::closure_of(AppIdx root) {
 
 void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
   if (!config_.accounting_enabled) return;
-  assert(&slice.ids() == &ids_);
-  true_total_mj_ += slice.total_mj();
-  system_row_mj_ += slice.system_mj;
+  prepare_slice(slice);
+  fold_direct(slice);
+  fold_slice(slice);
+}
 
-  // 1. Direct ("original") energy, component by component.
+void EAndroidEngine::prepare_slice(const energy::EnergySlice& slice) {
+  if (!config_.accounting_enabled) return;
+  assert(&slice.ids() == &ids_);
+  (void)slice;
+  // The window-derived structures only change when a window opens or
+  // closes; most slices reuse them untouched.
+  if (!config_.cache_window_structures ||
+      cached_generation_ != tracker_.generation()) {
+    rebuild_window_structures();
+  }
+}
+
+void EAndroidEngine::fold_direct(const energy::EnergySlice& slice) {
+  // 1. Direct ("original") energy, component by component, plus the
+  // battery ground truth — accumulated with total_mj()'s exact
+  // association: system+screen seed the running sum, then apps add in
+  // ascending index order. This is the same operand sequence the fused
+  // pipeline's cell pass issues.
+  double running_total = slice.system_mj + slice.screen_mj;
+  auto& direct = direct_store_.by_app;
   for (const AppIdx idx : slice.active()) {
-    if (direct_.size() <= idx) direct_.resize(idx + 1);
-    energy::AppSliceEnergy& acc = direct_[idx];
+    running_total += slice.sum_at(idx);
+    if (direct.size() <= idx) direct.resize(idx + 1);
+    energy::AppSliceEnergy& acc = direct[idx];
     acc.cpu_mj += slice.cpu_mj(idx);
     acc.camera_mj += slice.camera_mj(idx);
     acc.gps_mj += slice.gps_mj(idx);
@@ -197,13 +229,13 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
       acc.add_routine(r, slice.routine_mj_at(idx, r));
     }
   }
+  direct_store_.true_total_mj += running_total;
+}
 
-  // The window-derived structures only change when a window opens or
-  // closes; most slices reuse them untouched.
-  if (!config_.cache_window_structures ||
-      cached_generation_ != tracker_.generation()) {
-    rebuild_window_structures();
-  }
+void EAndroidEngine::fold_slice(const energy::EnergySlice& slice) {
+  if (!config_.accounting_enabled) return;
+  assert(&slice.ids() == &ids_);
+  system_row_mj_ += slice.system_mj;
 
   // 2. Collateral screen energy per driver (dense scratch).
   for (const AppIdx a : screen_coll_touched_) screen_coll_[a] = 0.0;
@@ -330,9 +362,10 @@ void EAndroidEngine::on_slice(const energy::EnergySlice& slice) {
 
 std::vector<kernelsim::Uid> EAndroidEngine::known_uids() const {
   std::vector<kernelsim::Uid> out;
-  const std::size_t n = std::max(direct_.size(), has_map_.size());
+  const auto& direct = direct_store_.by_app;
+  const std::size_t n = std::max(direct.size(), has_map_.size());
   for (AppIdx idx = 0; idx < n; ++idx) {
-    const bool has_direct = idx < direct_.size() && direct_[idx].sum() > 0.0;
+    const bool has_direct = idx < direct.size() && direct[idx].sum() > 0.0;
     const bool has_map = idx < has_map_.size() && has_map_[idx];
     if (has_direct || has_map) out.push_back(ids_.uid_of(idx));
   }
@@ -341,13 +374,12 @@ std::vector<kernelsim::Uid> EAndroidEngine::known_uids() const {
 }
 
 void EAndroidEngine::reset() {
-  direct_.clear();
+  direct_store_.clear();
   maps_.clear();
   has_map_.clear();
   screen_row_mj_ = 0.0;
   attributed_screen_mj_ = 0.0;
   system_row_mj_ = 0.0;
-  true_total_mj_ = 0.0;
   // Force a window-structure rebuild on the next slice.
   cached_generation_ = 0;
 }

@@ -34,6 +34,7 @@
 
 #include "core/entity.h"
 #include "core/window_tracker.h"
+#include "energy/pipeline.h"
 #include "energy/slice.h"
 #include "framework/system_server.h"
 #include "kernel/interner.h"
@@ -53,7 +54,8 @@ struct EngineConfig {
   bool cache_window_structures = true;
 };
 
-class EAndroidEngine : public energy::AccountingSink {
+class EAndroidEngine : public energy::AccountingSink,
+                       public energy::SliceFoldStage {
  public:
   /// `scratch_arena` (optional) backs the per-slice scratch buffers; the
   /// batched fleet core passes the shard group's arena so engine scratch
@@ -63,7 +65,23 @@ class EAndroidEngine : public energy::AccountingSink {
                  EngineConfig config = {},
                  sim::MonotonicArena* scratch_arena = nullptr);
 
+  /// Virtual-sink path: prepare + direct fold + collateral fold in one
+  /// call. The fused pipeline instead runs prepare_slice, folds the
+  /// direct store inside its own cell pass, and finishes with
+  /// fold_slice — the identical operations in the identical order.
   void on_slice(const energy::EnergySlice& slice) override;
+
+  // --- MeteringPipeline stages (energy/pipeline.h) ---
+  /// Pre-cell-pass stage: rebuilds the window-derived structures when the
+  /// tracker generation moved (hoisted out of the fold so the cell pass
+  /// runs against settled, pre-sized state).
+  void prepare_slice(const energy::EnergySlice& slice) override;
+  /// Post-cell-pass stage: the system row and the collateral attribution
+  /// (paper Algorithm 1); emits the engine.collateral trace marks.
+  void fold_slice(const energy::EnergySlice& slice) override;
+  /// The direct-energy accumulator the pipeline's cell pass folds (and
+  /// the battery ground truth it keeps as a running sum).
+  [[nodiscard]] energy::DirectStore& direct_store() { return direct_store_; }
 
   // --- Accounting results ---
   /// Energy mechanically attributed to the app itself ("original energy").
@@ -99,7 +117,9 @@ class EAndroidEngine : public energy::AccountingSink {
   }
   [[nodiscard]] double system_row_mj() const { return system_row_mj_; }
   /// Ground-truth battery drain while accounting (percent denominator).
-  [[nodiscard]] double true_total_mj() const { return true_total_mj_; }
+  [[nodiscard]] double true_total_mj() const {
+    return direct_store_.true_total_mj;
+  }
 
   /// Every uid with direct or collateral energy on record.
   [[nodiscard]] std::vector<kernelsim::Uid> known_uids() const;
@@ -115,7 +135,13 @@ class EAndroidEngine : public energy::AccountingSink {
     std::vector<kernelsim::AppIdx> from_touched;  // first-charged order
   };
 
-  /// Rebuilds the window-derived structures from the tracker's open set.
+  /// Virtual-path direct fold: the same cells, sums, and association the
+  /// pipeline's fused pass feeds the direct store.
+  void fold_direct(const energy::EnergySlice& slice);
+  /// Rebuilds the window-derived structures from the tracker's open set;
+  /// also pre-sizes the hot-fold accumulators and scratch to the
+  /// interner's population, so steady-state slices never hit a resize
+  /// branch.
   void rebuild_window_structures();
   /// Apps reachable from `root` through open app->app windows (root
   /// excluded), sorted ascending; memoized until the window set changes.
@@ -134,13 +160,14 @@ class EAndroidEngine : public energy::AccountingSink {
   kernelsim::IdTable& ids_;
 
   // --- Accumulators (dense by AppIdx) ---
-  std::vector<energy::AppSliceEnergy> direct_;
+  /// Direct energy + battery ground truth, in the energy-layer shape the
+  /// fused pipeline folds directly (energy/pipeline.h).
+  energy::DirectStore direct_store_;
   std::vector<DriverMap> maps_;
   std::vector<std::uint8_t> has_map_;
   double screen_row_mj_ = 0.0;
   double attributed_screen_mj_ = 0.0;
   double system_row_mj_ = 0.0;
-  double true_total_mj_ = 0.0;
 
   // --- Window-derived caches, valid while cached_generation_ matches ---
   std::uint64_t cached_generation_ = 0;

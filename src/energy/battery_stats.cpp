@@ -6,14 +6,11 @@
 namespace eandroid::energy {
 
 void BatteryStats::on_slice(const EnergySlice& slice) {
-  assert(ids_ == nullptr || ids_ == &slice.ids());
-  ids_ = &slice.ids();
+  bind_ids(slice.ids());
   for (const kernelsim::AppIdx idx : slice.active()) {
-    if (app_mj_.size() <= idx) app_mj_.resize(idx + 1, 0.0);
-    app_mj_[idx] += slice.sum_at(idx);
+    fold_app(idx, slice.sum_at(idx));
   }
-  screen_mj_ += slice.screen_mj;
-  system_mj_ += slice.system_mj;
+  fold_tail(slice);
 }
 
 double BatteryStats::app_energy_mj(kernelsim::Uid uid) const {

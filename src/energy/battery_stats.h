@@ -7,6 +7,7 @@
 // the attacks sidestep.
 #pragma once
 
+#include <cassert>
 #include <vector>
 
 #include "energy/battery_view.h"
@@ -21,6 +22,40 @@ class BatteryStats : public AccountingSink {
       : packages_(packages) {}
 
   void on_slice(const EnergySlice& slice) override;
+
+  // --- Fused-pipeline folds (energy/pipeline.h) ---
+  // on_slice is exactly bind_ids + fold_app per active index + fold_tail;
+  // the pipeline issues the same calls from its single cell pass, so both
+  // paths run the identical additions in the identical order.
+  void bind_ids(const kernelsim::IdTable& ids) {
+    assert(ids_ == nullptr || ids_ == &ids);
+    ids_ = &ids;
+  }
+  /// Folds one active app's part-order sum (slice.sum_at association).
+  void fold_app(kernelsim::AppIdx idx, double sum_mj) {
+    if (app_mj_.size() <= idx) app_mj_.resize(idx + 1, 0.0);
+    app_mj_[idx] += sum_mj;
+  }
+  /// Dense column fold over all `n` cells of a sealed slice's part
+  /// columns (EnergySlice::TouchedView). Bit-identical to fold_app over
+  /// the active list: untouched cells are exact +0.0, the per-cell
+  /// association is the same cpu+camera+gps+wifi+audio as sum_at(), and
+  /// app_mj_ never holds -0.0, so the extra `+= +0.0` terms are bitwise
+  /// no-ops. Straight-line over disjoint arrays — vectorises.
+  void fold_columns(const double* cpu, const double* camera,
+                    const double* gps, const double* wifi,
+                    const double* audio, std::size_t n) {
+    if (app_mj_.size() < n) app_mj_.resize(n, 0.0);
+    double* out = app_mj_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] += cpu[i] + camera[i] + gps[i] + wifi[i] + audio[i];
+    }
+  }
+  /// Per-slice tail: the policy rows (screen stays its own row here).
+  void fold_tail(const EnergySlice& slice) {
+    screen_mj_ += slice.screen_mj;
+    system_mj_ += slice.system_mj;
+  }
 
   [[nodiscard]] BatteryView view() const;
   [[nodiscard]] double app_energy_mj(kernelsim::Uid uid) const;

@@ -1,0 +1,94 @@
+#include "energy/pipeline.h"
+
+#include "energy/battery_stats.h"
+#include "energy/eprof.h"
+#include "energy/power_tutor.h"
+
+namespace eandroid::energy {
+
+MeteringPipeline::MeteringPipeline(obs::MetricsRegistry* metrics)
+    : metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    folds_metric_ = metrics_->counter("energy.pipeline.folds");
+    cells_metric_ = metrics_->counter("energy.pipeline.fused_cells");
+  }
+}
+
+void MeteringPipeline::run(const EnergySlice& slice) {
+  if (battery_stats_ != nullptr) battery_stats_->bind_ids(slice.ids());
+  if (power_tutor_ != nullptr) power_tutor_->bind_ids(slice.ids());
+  if (eprof_ != nullptr) eprof_->bind_ids(slice.ids());
+
+  // Stage 1: settle per-slice state (window-structure rebuild, accumulator
+  // pre-sizing) before any cell is read.
+  if (engine_stage_ != nullptr) engine_stage_->prepare_slice(slice);
+
+  // Stage 2: the fused cell pass over the slice's SoA columns.
+  //
+  // BatteryStats and PowerTutor accumulate dense part columns of their
+  // own, so they fold as straight-line column sweeps over ALL cells —
+  // SIMD-friendly loops with no gather. Untouched cells are exact +0.0
+  // and the accumulators never hold -0.0, so the extra `+= +0.0` terms
+  // are bitwise no-ops (the fold_columns contracts spell this out).
+  const EnergySlice::TouchedView view = slice.touched_view();
+  const double* const cpu_col = view.parts[0];
+  const double* const camera_col = view.parts[1];
+  const double* const gps_col = view.parts[2];
+  const double* const wifi_col = view.parts[3];
+  const double* const audio_col = view.parts[4];
+  if (battery_stats_ != nullptr) {
+    battery_stats_->fold_columns(cpu_col, camera_col, gps_col, wifi_col,
+                                 audio_col, view.cells);
+  }
+  if (power_tutor_ != nullptr) {
+    power_tutor_->fold_columns(cpu_col, camera_col, gps_col, wifi_col,
+                               audio_col, view.cells);
+  }
+  // The engine's per-app integration and eprof's routine rows are sparse
+  // (per-app vectors hang off each cell), so they keep the active-list
+  // walk: one load of each touched app's five parts feeds both.
+  if (direct_ != nullptr || eprof_ != nullptr) {
+    // The engine's battery ground truth: total_mj()'s exact running sum.
+    double running_total = slice.system_mj + slice.screen_mj;
+    for (const kernelsim::AppIdx idx : *view.active) {
+      const double cpu = cpu_col[idx];
+      const double camera = camera_col[idx];
+      const double gps = gps_col[idx];
+      const double wifi = wifi_col[idx];
+      const double audio = audio_col[idx];
+      if (direct_ != nullptr) {
+        // Canonical part-order association, the same as slice.sum_at().
+        running_total += cpu + camera + gps + wifi + audio;
+        if (direct_->by_app.size() <= idx) direct_->by_app.resize(idx + 1);
+        AppSliceEnergy& acc = direct_->by_app[idx];
+        acc.cpu_mj += cpu;
+        acc.camera_mj += camera;
+        acc.gps_mj += gps;
+        acc.wifi_mj += wifi;
+        acc.audio_mj += audio;
+        for (const kernelsim::RoutineIdx r : slice.routines_at(idx)) {
+          acc.add_routine(r, slice.routine_mj_at(idx, r));
+        }
+      }
+      if (eprof_ != nullptr) eprof_->fold_app(slice, idx);
+    }
+    if (direct_ != nullptr) direct_->true_total_mj += running_total;
+  }
+
+  // Stage 3: per-slice tails, in the sink era's registration order
+  // (engine first — its collateral trace marks precede the sampler's
+  // slice mark, exactly as when it was sink[0]).
+  if (engine_stage_ != nullptr) engine_stage_->fold_slice(slice);
+  if (battery_stats_ != nullptr) battery_stats_->fold_tail(slice);
+  if (power_tutor_ != nullptr) power_tutor_->fold_tail(slice);
+
+  ++folds_;
+  cells_ += view.active->size();
+  if (metrics_ != nullptr) {
+    metrics_->add(folds_metric_);
+    metrics_->add(cells_metric_,
+                  static_cast<std::uint64_t>(view.active->size()));
+  }
+}
+
+}  // namespace eandroid::energy

@@ -1,0 +1,123 @@
+// MeteringPipeline: the fused fold stage of the metering tick.
+//
+// The virtual-sink era had every profiler re-walk the sealed slice:
+// BatteryStats, PowerTutor, Eprof, and the E-Android engine each looped
+// over slice.active() and re-read the same five SoA cells behind their
+// own on_slice. The pipeline replaces that fan-out with ONE incremental
+// pass over the touched cells: the slice's touched view exposes the five
+// column base pointers (owned arrays, or the device's EnergySlab row in
+// the batched core — where a group's co-sharded slots are consecutive
+// rows of the same columns, so the group's same-instant ticks sweep the
+// slab contiguously). Accumulators that are themselves dense part
+// columns (BatteryStats, PowerTutor) fold as straight-line column sweeps
+// over ALL cells — no gather, no per-cell branch, the shape the
+// vectorizer wants; sweeping past untouched cells is bit-safe because
+// they are exact +0.0 (see TouchedView). The sparse accumulators (the
+// engine's per-app integration with its routine rows, eprof) ride an
+// active-list walk that loads each touched app's five parts once.
+//
+// Bit-identity contract: fusing changes which loop performs an addition,
+// never the additions themselves. Each accumulator receives the exact
+// operand sequence its on_slice issued, in the same order — per-part adds
+// in part order, apps ascending (seal()'s canonical order), and the
+// engine's battery ground truth as the same running sum total_mj()
+// computes (system+screen first, then apps ascending). Digests, trace
+// bytes, and engine reports are therefore bit-for-bit equal to the
+// retained virtual-sink path (DeviceSpec::fused_metering = false), which
+// the 8-way hot×core×pipeline equivalence matrix enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "energy/slice.h"
+#include "obs/metrics.h"
+
+namespace eandroid::energy {
+
+class BatteryStats;
+class PowerTutor;
+class Eprof;
+
+/// Dense per-app direct-energy store: the E-Android engine's "original
+/// energy" accumulator, lifted into the energy layer so the fused cell
+/// pass can fold into it without a core-layer dependency (core links
+/// energy, not the other way around).
+struct DirectStore {
+  /// Accumulated direct energy, dense by AppIdx.
+  std::vector<AppSliceEnergy> by_app;
+  /// Ground-truth battery drain while accounting: accumulated per slice
+  /// with total_mj()'s exact association — system+screen seed the running
+  /// sum, then apps add in ascending index order.
+  double true_total_mj = 0.0;
+
+  void ensure(std::size_t apps) {
+    if (by_app.size() < apps) by_app.resize(apps);
+  }
+  void clear() {
+    by_app.clear();
+    true_total_mj = 0.0;
+  }
+};
+
+/// A pipeline stage with per-slice work outside the fused cell loop (the
+/// E-Android engine's collateral accounting implements this; one virtual
+/// call per slice, never per cell).
+class SliceFoldStage {
+ public:
+  virtual ~SliceFoldStage() = default;
+  /// Runs BEFORE the fused cell pass: rebuild window-derived structures,
+  /// pre-size accumulators — the work the sink era buried inside
+  /// on_slice, hoisted so the cell loop runs against settled state.
+  virtual void prepare_slice(const EnergySlice& slice) = 0;
+  /// Runs AFTER the fused cell pass: the per-slice folds (collateral
+  /// attribution, screen/system rows).
+  virtual void fold_slice(const EnergySlice& slice) = 0;
+};
+
+class MeteringPipeline {
+ public:
+  /// `metrics` (nullable) registers the energy.pipeline.* counters;
+  /// metrics never move a bit of any digest.
+  explicit MeteringPipeline(obs::MetricsRegistry* metrics = nullptr);
+
+  MeteringPipeline(const MeteringPipeline&) = delete;
+  MeteringPipeline& operator=(const MeteringPipeline&) = delete;
+
+  // --- Accumulator registration (all optional; null = stage skipped) ---
+  void set_battery_stats(BatteryStats* bs) { battery_stats_ = bs; }
+  void set_power_tutor(PowerTutor* pt) { power_tutor_ = pt; }
+  void set_eprof(Eprof* eprof) { eprof_ = eprof; }
+  /// Engine registration: `direct` receives the fused per-cell fold (plus
+  /// the running battery ground truth); `stage` brackets the cell pass
+  /// with the window rebuild and the collateral fold. Pass both or
+  /// neither.
+  void set_engine(DirectStore* direct, SliceFoldStage* stage) {
+    direct_ = direct;
+    engine_stage_ = stage;
+  }
+
+  /// One pass over the sealed slice: prepare stage, fused cell loop over
+  /// the touched view, then the per-slice tails in the sink era's
+  /// registration order (engine collateral, BatteryStats, PowerTutor).
+  void run(const EnergySlice& slice);
+
+  [[nodiscard]] std::uint64_t slices_folded() const { return folds_; }
+  [[nodiscard]] std::uint64_t cells_folded() const { return cells_; }
+
+ private:
+  BatteryStats* battery_stats_ = nullptr;
+  PowerTutor* power_tutor_ = nullptr;
+  Eprof* eprof_ = nullptr;
+  DirectStore* direct_ = nullptr;
+  SliceFoldStage* engine_stage_ = nullptr;
+
+  std::uint64_t folds_ = 0;
+  std::uint64_t cells_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId folds_metric_ = 0;
+  obs::MetricId cells_metric_ = 0;
+};
+
+}  // namespace eandroid::energy

@@ -6,17 +6,15 @@
 namespace eandroid::energy {
 
 void PowerTutor::on_slice(const EnergySlice& slice) {
-  assert(ids_ == nullptr || ids_ == &slice.ids());
-  ids_ = &slice.ids();
+  bind_ids(slice.ids());
   for (const kernelsim::AppIdx idx : slice.active()) {
-    if (apps_.size() <= idx) apps_.resize(idx + 1);
-    PerApp& app = apps_[idx];
-    app.cpu += slice.cpu_mj(idx);
-    app.camera += slice.camera_mj(idx);
-    app.gps += slice.gps_mj(idx);
-    app.wifi += slice.wifi_mj(idx);
-    app.audio += slice.audio_mj(idx);
+    fold_app(idx, slice.cpu_mj(idx), slice.camera_mj(idx),
+             slice.gps_mj(idx), slice.wifi_mj(idx), slice.audio_mj(idx));
   }
+  fold_tail(slice);
+}
+
+void PowerTutor::fold_tail(const EnergySlice& slice) {
   // Screen policy: the foreground app pays. Kept in a small sorted-by-uid
   // vector; the insert is one-time per app, the steady state is a binary
   // search and an add.
@@ -52,13 +50,13 @@ double PowerTutor::component_energy_mj(kernelsim::Uid uid, HwPart part) const {
   if (part == HwPart::kScreen) return screen_mj_of(uid);
   const kernelsim::AppIdx idx =
       ids_ == nullptr ? kernelsim::kNoIdx : ids_->find_app(uid);
-  if (idx >= apps_.size()) return 0.0;
+  if (idx >= cpu_.size()) return 0.0;
   switch (part) {
-    case HwPart::kCpu: return apps_[idx].cpu;
-    case HwPart::kCamera: return apps_[idx].camera;
-    case HwPart::kGps: return apps_[idx].gps;
-    case HwPart::kWifi: return apps_[idx].wifi;
-    case HwPart::kAudio: return apps_[idx].audio;
+    case HwPart::kCpu: return cpu_[idx];
+    case HwPart::kCamera: return camera_[idx];
+    case HwPart::kGps: return gps_[idx];
+    case HwPart::kWifi: return wifi_[idx];
+    case HwPart::kAudio: return audio_[idx];
     case HwPart::kScreen: break;  // handled above
   }
   return 0.0;
@@ -66,7 +64,9 @@ double PowerTutor::component_energy_mj(kernelsim::Uid uid, HwPart part) const {
 
 double PowerTutor::total_mj() const {
   double total = system_mj_ + unattributed_screen_mj_;
-  for (const PerApp& app : apps_) total += app.sum();
+  for (kernelsim::AppIdx idx = 0; idx < cpu_.size(); ++idx) {
+    total += direct_sum_of(idx);
+  }
   for (const auto& [uid, mj] : screen_by_uid_) total += mj;
   return total;
 }
@@ -79,8 +79,8 @@ BatteryView PowerTutor::view() const {
     return pkg != nullptr ? pkg->manifest->package
                           : "uid:" + std::to_string(uid.value);
   };
-  for (kernelsim::AppIdx idx = 0; idx < apps_.size(); ++idx) {
-    const double direct = apps_[idx].sum();
+  for (kernelsim::AppIdx idx = 0; idx < cpu_.size(); ++idx) {
+    const double direct = direct_sum_of(idx);
     if (direct <= 0.0) continue;
     const kernelsim::Uid uid = ids_->uid_of(idx);
     out.rows.push_back(
@@ -111,7 +111,11 @@ BatteryView PowerTutor::view() const {
 }
 
 void PowerTutor::reset() {
-  apps_.clear();
+  cpu_.clear();
+  camera_.clear();
+  gps_.clear();
+  wifi_.clear();
+  audio_.clear();
   screen_by_uid_.clear();
   system_mj_ = 0.0;
   unattributed_screen_mj_ = 0.0;

@@ -7,6 +7,7 @@
 // effects — the paper modified both interfaces, and so do we (core/).
 #pragma once
 
+#include <cassert>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,43 @@ class PowerTutor : public AccountingSink {
 
   void on_slice(const EnergySlice& slice) override;
 
+  // --- Fused-pipeline folds (energy/pipeline.h) ---
+  // on_slice is exactly bind_ids + fold_app per active index + fold_tail;
+  // the pipeline issues the same calls from its single cell pass, so both
+  // paths run the identical additions in the identical order.
+  void bind_ids(const kernelsim::IdTable& ids) {
+    assert(ids_ == nullptr || ids_ == &ids);
+    ids_ = &ids;
+  }
+  /// Folds one active app's five part cells, in part order.
+  void fold_app(kernelsim::AppIdx idx, double cpu_mj, double camera_mj,
+                double gps_mj, double wifi_mj, double audio_mj) {
+    ensure(idx + 1);
+    cpu_[idx] += cpu_mj;
+    camera_[idx] += camera_mj;
+    gps_[idx] += gps_mj;
+    wifi_[idx] += wifi_mj;
+    audio_[idx] += audio_mj;
+  }
+  /// Dense column fold over all `n` cells of a sealed slice's part
+  /// columns (EnergySlice::TouchedView): five independent accumulator
+  /// sweeps, one per part. Bit-identical to fold_app over the active list
+  /// — each touched cell receives exactly the same single add, untouched
+  /// cells add an exact +0.0 into accumulators that never hold -0.0, and
+  /// cells are disjoint so the cross-app interleaving cannot matter.
+  void fold_columns(const double* cpu, const double* camera,
+                    const double* gps, const double* wifi,
+                    const double* audio, std::size_t n) {
+    ensure(n);
+    fold_column(cpu_, cpu, n);
+    fold_column(camera_, camera, n);
+    fold_column(gps_, gps, n);
+    fold_column(wifi_, wifi, n);
+    fold_column(audio_, audio, n);
+  }
+  /// Per-slice tail: the foreground screen policy plus the system row.
+  void fold_tail(const EnergySlice& slice);
+
   [[nodiscard]] BatteryView view() const;
   [[nodiscard]] double app_energy_mj(kernelsim::Uid uid) const;
   /// Per-component energy for one app (screen included per the
@@ -34,24 +72,35 @@ class PowerTutor : public AccountingSink {
   void reset();
 
  private:
-  struct PerApp {
-    double cpu = 0.0, camera = 0.0, gps = 0.0, wifi = 0.0, audio = 0.0;
-    [[nodiscard]] double sum() const {
-      return cpu + camera + gps + wifi + audio;
-    }
-  };
+  void ensure(std::size_t n) {
+    if (cpu_.size() >= n) return;
+    cpu_.resize(n, 0.0);
+    camera_.resize(n, 0.0);
+    gps_.resize(n, 0.0);
+    wifi_.resize(n, 0.0);
+    audio_.resize(n, 0.0);
+  }
+  static void fold_column(std::vector<double>& acc, const double* col,
+                          std::size_t n) {
+    double* out = acc.data();
+    for (std::size_t i = 0; i < n; ++i) out[i] += col[i];
+  }
 
   [[nodiscard]] double screen_mj_of(kernelsim::Uid uid) const;
+  /// Canonical part-order association, matching slice.sum_at().
   [[nodiscard]] double direct_sum_of(kernelsim::AppIdx idx) const {
-    return idx < apps_.size() ? apps_[idx].sum() : 0.0;
+    if (idx >= cpu_.size()) return 0.0;
+    return cpu_[idx] + camera_[idx] + gps_[idx] + wifi_[idx] + audio_[idx];
   }
 
   const framework::PackageManager& packages_;
   /// Identifier table shared by every slice this sink has seen; bound on
   /// the first slice (all slices fed to one sink must share a table).
   const kernelsim::IdTable* ids_ = nullptr;
-  /// Direct (non-screen) energy, dense by AppIdx.
-  std::vector<PerApp> apps_;
+  /// Direct (non-screen) energy as structure-of-arrays part columns,
+  /// dense by AppIdx — the same layout as the slice, so the fused
+  /// pipeline folds slice columns into these with straight-line loops.
+  std::vector<double> cpu_, camera_, gps_, wifi_, audio_;
   /// Screen energy billed by the foreground policy; sorted ascending by
   /// uid (the foreground app may never appear in the interner, so this
   /// row set is keyed by uid directly).

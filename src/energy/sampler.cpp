@@ -1,7 +1,10 @@
 #include "energy/sampler.h"
 
+#include <chrono>
 #include <cmath>
 #include <utility>
+
+#include "energy/pipeline.h"
 
 namespace eandroid::energy {
 
@@ -25,12 +28,13 @@ EnergySampler::EnergySampler(framework::SystemServer& server,
       reuse_buffers_(reuse_buffers),
       params_(server.params()),
       model_(params_),
-      slice_(server.ids()) {
-  auto& sim = server_.simulator();
-  if (auto* tr = sim.trace()) slice_trace_name_ = tr->intern("energy.slice");
-  if (auto* m = sim.metrics()) {
-    slices_metric_ = m->counter("energy.slices");
-    slice_mj_metric_ = m->gauge("energy.slice_mj");
+      slice_(server.ids()),
+      trace_(server.simulator().trace()),
+      metrics_(server.simulator().metrics()) {
+  if (trace_ != nullptr) slice_trace_name_ = trace_->intern("energy.slice");
+  if (metrics_ != nullptr) {
+    slices_metric_ = metrics_->counter("energy.slices");
+    slice_mj_metric_ = metrics_->gauge("energy.slice_mj");
   }
 }
 
@@ -52,13 +56,8 @@ void EnergySampler::stop() {
 
 void EnergySampler::flush() { tick(); }
 
-void EnergySampler::tick() {
-  auto& sim = server_.simulator();
-  const sim::TimePoint now = sim.now();
-  const sim::Duration window = now - window_begin_;
-  if (window <= sim::Duration(0)) return;
+void EnergySampler::gather(sim::TimePoint now, double window_s) {
   // P[mW] * t[s] = E[mJ].
-  const double window_s = window.seconds();
   auto mj_of = [window_s](double mw) { return mw * window_s; };
 
   if (!reuse_buffers_) {
@@ -128,30 +127,68 @@ void EnergySampler::tick() {
           slice_.screen_wakelock_owners);
     }
   }
+}
 
+void EnergySampler::fold() {
+  // Fused first: one cell pass feeds every registered accumulator. The
+  // virtual chain then serves whatever stayed unfused — in the all-virtual
+  // configuration that is the whole profiler set, and the two routes run
+  // the identical additions in the identical order (see
+  // energy/pipeline.h).
+  if (pipeline_ != nullptr) pipeline_->run(slice_);
+  for (AccountingSink* sink : sinks_) sink->on_slice(slice_);
+}
+
+void EnergySampler::tick() {
+  using clock = std::chrono::steady_clock;
+  const sim::TimePoint now = server_.simulator().now();
+  const sim::Duration window = now - window_begin_;
+  if (window <= sim::Duration(0)) return;
+
+  const clock::time_point t0 = stage_timing_ ? clock::now()
+                                             : clock::time_point{};
+  gather(now, window.seconds());
   slice_.seal();
 
   // Net battery flow: consumption always drains; a connected charger
-  // back-fills at its rate over the same window.
-  server_.battery().drain(slice_.total_mj(), now);
+  // back-fills at its rate over the same window. total_mj() is a pure
+  // fold over the sealed slice — computed once, reused by the trace
+  // marker and metrics below.
+  const double total_mj = slice_.total_mj();
+  server_.battery().drain(total_mj, now);
   if (server_.battery().charging()) {
-    server_.battery().charge(mj_of(server_.battery().charge_rate_mw()), now);
+    server_.battery().charge(server_.battery().charge_rate_mw() *
+                                 window.seconds(),
+                             now);
   }
-  for (AccountingSink* sink : sinks_) sink->on_slice(slice_);
+
+  const clock::time_point t1 = stage_timing_ ? clock::now()
+                                             : clock::time_point{};
+  fold();
+  if (stage_timing_) {
+    const clock::time_point t2 = clock::now();
+    stage_nanos_.gather_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    stage_nanos_.fold_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+            .count());
+    ++stage_nanos_.ticks;
+  }
   ++slices_;
 
   // Observability: the slice marker carries the sealed total in
   // nanojoules (llround error ≤ 0.5 nJ/slice), so re-summing a trace
   // reproduces the battery-drain total far inside the differential
-  // tests' 1 mJ tolerance. Ids were interned/registered at construction:
-  // nothing here allocates.
-  const double total_mj = slice_.total_mj();
-  EANDROID_TRACE(sim.trace(), now.micros(), obs::TraceCategory::kEnergy,
+  // tests' 1 mJ tolerance. Ids were interned/registered and the
+  // recorder/registry pointers cached at construction: nothing here
+  // allocates or re-queries the simulator.
+  EANDROID_TRACE(trace_, now.micros(), obs::TraceCategory::kEnergy,
                  slice_trace_name_, -1,
                  static_cast<std::int64_t>(std::llround(total_mj * 1e6)));
-  if (auto* m = sim.metrics()) {
-    m->add(slices_metric_);
-    m->observe(slice_mj_metric_, total_mj);
+  if (metrics_ != nullptr) {
+    metrics_->add(slices_metric_);
+    metrics_->observe(slice_mj_metric_, total_mj);
   }
 }
 

@@ -8,15 +8,25 @@
 // ~20% worst-case error; our interest is attribution, not wattmeter
 // accuracy).
 //
+// The tick runs in three stages: GATHER integrates component power into
+// the persistent slice, SEAL fixes the canonical cell-iteration order,
+// and FOLD feeds the accumulators — through the fused MeteringPipeline
+// when one is attached (set_pipeline), then through the virtual sink
+// chain (add_sink) for anything unfused (timeline recorders, detectors,
+// test sinks). Both fold routes produce bit-identical results; the
+// virtual route is the retained equivalence baseline.
+//
 // The tick is allocation-free in steady state: ONE EnergySlice lives for
 // the whole run and is reset (not reallocated) per window, component
 // breakdowns land in a reused buffer, and the per-tick constants (power
-// params, CPU power model) are hoisted out of the loop. Setting
-// `reuse_buffers = false` rebuilds every buffer from scratch each tick —
-// the pre-optimization cost structure — with bit-identical arithmetic,
-// which is how the hotpath bench measures before/after in one binary.
+// params, CPU power model, the observability recorder/registry pointers)
+// are hoisted out of the loop. Setting `reuse_buffers = false` rebuilds
+// every buffer from scratch each tick — the pre-optimization cost
+// structure — with bit-identical arithmetic, which is how the hotpath
+// bench measures before/after in one binary.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -26,6 +36,8 @@
 #include "sim/simulator.h"
 
 namespace eandroid::energy {
+
+class MeteringPipeline;
 
 class EnergySampler {
  public:
@@ -37,7 +49,14 @@ class EnergySampler {
   EnergySampler(const EnergySampler&) = delete;
   EnergySampler& operator=(const EnergySampler&) = delete;
 
+  /// Registers an unfused sink. With a pipeline attached these run AFTER
+  /// the fused fold, in registration order — the same relative order the
+  /// all-virtual era gave sinks registered after the profilers.
   void add_sink(AccountingSink* sink) { sinks_.push_back(sink); }
+
+  /// Attaches the fused fold stage (null detaches). The pipeline runs
+  /// first in FOLD, replacing the profilers' virtual on_slice walks.
+  void set_pipeline(MeteringPipeline* pipeline) { pipeline_ = pipeline; }
 
   /// Routes the metering slice's per-app cells into a shard-shared
   /// EnergySlab (batched fleet core). Call before the first tick.
@@ -58,12 +77,32 @@ class EnergySampler {
   [[nodiscard]] std::uint64_t slices_emitted() const { return slices_; }
   [[nodiscard]] bool reuse_buffers() const { return reuse_buffers_; }
 
+  // --- Per-stage wall-clock accounting (bench instrumentation) ---------
+  // Off by default: the tick takes zero clock reads. The hotpath bench
+  // enables it over a profiling window to split tick cost into gather
+  // (+seal) vs fold (pipeline + sinks). Timing never touches the
+  // simulation's arithmetic — results are bit-identical either way.
+  void enable_stage_timing(bool on) { stage_timing_ = on; }
+  struct StageNanos {
+    std::uint64_t gather_ns = 0;  ///< gather + seal + battery flow
+    std::uint64_t fold_ns = 0;    ///< pipeline run + virtual sink chain
+    std::uint64_t ticks = 0;      ///< ticks measured while timing was on
+  };
+  [[nodiscard]] StageNanos stage_nanos() const { return stage_nanos_; }
+  void reset_stage_nanos() { stage_nanos_ = StageNanos{}; }
+
  private:
   void tick();
+  /// GATHER: integrates CPU, session components, and screen state over
+  /// the closed window into the persistent slice.
+  void gather(sim::TimePoint now, double window_s);
+  /// FOLD: fused pipeline first (when attached), then the virtual chain.
+  void fold();
 
   framework::SystemServer& server_;
   sim::Duration period_;
   std::vector<AccountingSink*> sinks_;
+  MeteringPipeline* pipeline_ = nullptr;
   std::function<void()> stopper_;
   sim::TimePoint window_begin_;
   std::uint64_t slices_ = 0;
@@ -81,11 +120,17 @@ class EnergySampler {
   EnergySlab* slab_ = nullptr;
   std::uint32_t slab_slot_ = 0;
 
-  /// Pre-interned/registered observability ids (see constructor) so the
-  /// tick's trace/metrics calls stay allocation-free.
+  /// Cached observability sinks (attached before construction, constant
+  /// for the device's life) plus pre-interned/registered ids — the tick's
+  /// trace/metrics calls neither re-query the simulator nor allocate.
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::uint32_t slice_trace_name_ = 0;
   obs::MetricId slices_metric_ = 0;
   obs::MetricId slice_mj_metric_ = 0;
+
+  bool stage_timing_ = false;
+  StageNanos stage_nanos_;
 };
 
 }  // namespace eandroid::energy

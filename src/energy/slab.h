@@ -43,6 +43,18 @@ class EnergySlab {
     return cols_[part] + static_cast<std::size_t>(slot) * cap_ + idx;
   }
 
+  /// Column iterator: base pointer of one device row in one part column
+  /// (cells idx = 0..app_capacity()). A group's slots are consecutive
+  /// rows of the same flat column, so sweeping slots in order walks the
+  /// column contiguously — the batched core's fused fold binds these
+  /// instead of calling cell_ptr per access. Invalidated by growth.
+  [[nodiscard]] double* row(int part, std::uint32_t slot) {
+    return cols_[part] + static_cast<std::size_t>(slot) * cap_;
+  }
+  [[nodiscard]] const double* row(int part, std::uint32_t slot) const {
+    return cols_[part] + static_cast<std::size_t>(slot) * cap_;
+  }
+
   /// Ensures every device row holds at least `need` app cells; new cells
   /// are zero. O(1) when capacity suffices (the steady state).
   void ensure_app_capacity(std::size_t need) {

@@ -189,6 +189,36 @@ class EnergySlice {
     return active_;
   }
 
+  /// Touched-delta view: the active list plus the five SoA column base
+  /// pointers, hoisting the per-access slab branch out of fused fold
+  /// loops (energy/pipeline.h). Take it only AFTER seal(): growth (a
+  /// first-seen app) re-carves slab columns and reallocates owned ones,
+  /// invalidating the pointers. Part order matches col_of().
+  ///
+  /// `cells` is the dense length of each column (cells idx = 0..cells-1).
+  /// Every cell outside the active list is an exact +0.0 — reset() zeroes
+  /// touched cells and fresh storage is value-initialised — so a dense
+  /// column sweep over [0, cells) adds the same numbers as an active-list
+  /// walk plus bitwise no-op `x += +0.0` terms (accumulators never hold
+  /// -0.0). That is what lets profiler folds run as straight-line SIMD
+  /// loops instead of gathers.
+  struct TouchedView {
+    const std::vector<kernelsim::AppIdx>* active = nullptr;
+    const double* parts[EnergySlab::kParts] = {};
+    std::size_t cells = 0;
+  };
+  [[nodiscard]] TouchedView touched_view() const {
+    TouchedView view;
+    view.active = &active_;
+    for (int col = 0; col < EnergySlab::kParts; ++col) {
+      view.parts[col] = slab_ != nullptr ? slab_->row(col, slab_slot_)
+                                         : own_[col].data();
+    }
+    view.cells =
+        slab_ != nullptr ? slab_->app_capacity() : own_[0].size();
+    return view;
+  }
+
   [[nodiscard]] kernelsim::Uid uid_at(kernelsim::AppIdx idx) const {
     return ids_->uid_of(idx);
   }

@@ -54,10 +54,27 @@ DeviceContext::DeviceContext(DeviceSpec spec)
     if (!spec_.hot_path) config.cache_window_structures = false;
     eandroid_ = std::make_unique<core::EAndroid>(
         server_, spec_.eandroid_mode, config, spec_.arena);
-    sampler_.add_sink(eandroid_.get());
   }
-  sampler_.add_sink(&battery_stats_);
-  sampler_.add_sink(&power_tutor_);
+  if (spec_.fused_metering) {
+    // Fused route: one pipeline pass replaces the profilers' virtual
+    // on_slice walks. Registration mirrors the virtual sink order
+    // (engine, BatteryStats, PowerTutor) so traces and arithmetic stay
+    // bit-identical. A framework-only engine drops slices on the virtual
+    // route, so it simply isn't registered here.
+    pipeline_ = std::make_unique<energy::MeteringPipeline>(sim_.metrics());
+    if (eandroid_ != nullptr &&
+        eandroid_->engine().config().accounting_enabled) {
+      pipeline_->set_engine(&eandroid_->engine().direct_store(),
+                            &eandroid_->engine());
+    }
+    pipeline_->set_battery_stats(&battery_stats_);
+    pipeline_->set_power_tutor(&power_tutor_);
+    sampler_.set_pipeline(pipeline_.get());
+  } else {
+    if (eandroid_ != nullptr) sampler_.add_sink(eandroid_.get());
+    sampler_.add_sink(&battery_stats_);
+    sampler_.add_sink(&power_tutor_);
+  }
   if (spec_.install_plan != nullptr) spec_.install_plan->apply(server_);
 }
 

@@ -23,6 +23,7 @@
 #include "core/e_android.h"
 #include "core/engine_report.h"
 #include "energy/battery_stats.h"
+#include "energy/pipeline.h"
 #include "energy/power_tutor.h"
 #include "energy/sampler.h"
 #include "fleet/device_spec.h"
@@ -88,6 +89,11 @@ class DeviceContext {
     return battery_stats_;
   }
   [[nodiscard]] energy::PowerTutor& power_tutor() { return power_tutor_; }
+  /// Null when the spec selected the virtual-sink metering route
+  /// (fused_metering=false).
+  [[nodiscard]] energy::MeteringPipeline* pipeline() {
+    return pipeline_.get();
+  }
   /// Null when constructed with with_eandroid=false (stock Android).
   [[nodiscard]] core::EAndroid* eandroid() { return eandroid_.get(); }
   [[nodiscard]] const core::EAndroid* eandroid() const {
@@ -184,6 +190,10 @@ class DeviceContext {
   energy::BatteryStats battery_stats_;
   energy::PowerTutor power_tutor_;
   std::unique_ptr<core::EAndroid> eandroid_;
+  /// Fused metering stage; constructed (with its two obs counters) only
+  /// when the spec asks for it, so virtual-route devices register the
+  /// exact pre-pipeline metric set.
+  std::unique_ptr<energy::MeteringPipeline> pipeline_;
 
   // Prepared-send registry (see section above): campaign index -> slot,
   // and the slots themselves.

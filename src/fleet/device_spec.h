@@ -48,6 +48,12 @@ struct DeviceSpec {
   /// tick, no window-structure caches) — bit-identical results, used as
   /// the baseline leg of equivalence tests and benches.
   bool hot_path = true;
+  /// True folds every profiler through the fused MeteringPipeline (one
+  /// pass over the slice's touched cells); false keeps the per-sink
+  /// virtual on_slice walks. Orthogonal to hot_path, bit-identical
+  /// results either way — the virtual route is the retained equivalence
+  /// baseline (energy/pipeline.h).
+  bool fused_metering = true;
 
   /// Observability knob. The options are tiny value config (copied per
   /// device); the TraceRecorder/MetricsRegistry they describe are

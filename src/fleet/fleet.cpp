@@ -102,6 +102,7 @@ DeviceSpec Fleet::make_spec(int i) const {
   spec.eandroid_mode = options_.eandroid_mode;
   spec.sample_period = options_.sample_period;
   spec.hot_path = options_.hot_path;
+  spec.fused_metering = options_.fused_metering;
   spec.obs = options_.obs;
   spec.params = options_.params;
   spec.engine_config = options_.engine_config;

@@ -138,6 +138,9 @@ struct FleetOptions {
   core::Mode eandroid_mode = core::Mode::kComplete;
   sim::Duration sample_period = sim::millis(250);
   bool hot_path = true;
+  /// Fused MeteringPipeline vs virtual sink chain (DeviceSpec::
+  /// fused_metering); bit-identical digests and traces either way.
+  bool fused_metering = true;
   /// Per-device observability (each device gets its OWN recorder and
   /// registry; only the options are fleet-wide). With tracing on, the
   /// fleet marks window boundaries and push injections on every device's

@@ -1,0 +1,262 @@
+// MeteringPipeline unit suite (the `metering` ctest label): fold order,
+// stage bracketing, the touched-view cell addressing, and fused-vs-virtual
+// bit-identity on a live testbed. The integration-scale 8-way matrix lives
+// in tests/integration/hotpath_equivalence_test.cpp; these tests pin the
+// pipeline's contracts at the component level where a violation has a
+// short, debuggable witness.
+
+#include "energy/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/demo_app.h"
+#include "apps/testbed.h"
+#include "energy/battery_stats.h"
+#include "energy/power_tutor.h"
+#include "energy/timeline.h"
+#include "framework/package_manager.h"
+
+namespace eandroid::energy {
+namespace {
+
+using apps::DemoApp;
+using apps::Testbed;
+using apps::TestbedOptions;
+
+kernelsim::Uid uid(std::int32_t v) { return kernelsim::Uid{v}; }
+
+/// Builds a sealed standalone slice with a deterministic cell pattern:
+/// three apps, staggered parts, two routine tags on the first app.
+EnergySlice make_slice() {
+  EnergySlice slice;
+  const kernelsim::AppIdx a = slice.ids().app_of(uid(10001));
+  const kernelsim::AppIdx b = slice.ids().app_of(uid(10002));
+  const kernelsim::AppIdx c = slice.ids().app_of(uid(10003));
+  const kernelsim::RoutineIdx render = slice.ids().routine_of("render");
+  const kernelsim::RoutineIdx net = slice.ids().routine_of("net");
+  slice.system_mj = 3.25;
+  slice.screen_mj = 40.5;
+  // Touch out of ascending order on purpose — seal() canonicalizes.
+  slice.part_at(c, HwPart::kGps) += 0.75;
+  slice.part_at(a, HwPart::kCpu) += 12.5;
+  slice.part_at(a, HwPart::kWifi) += 1.125;
+  slice.part_at(b, HwPart::kCamera) += 30.0;
+  slice.part_at(b, HwPart::kAudio) += 2.5;
+  slice.add_routine_at(a, net, 4.5);
+  slice.add_routine_at(a, render, 8.0);
+  slice.seal();
+  return slice;
+}
+
+TEST(MeteringPipelineTest, TouchedViewAddressesTheSameCells) {
+  const EnergySlice slice = make_slice();
+  const EnergySlice::TouchedView view = slice.touched_view();
+  ASSERT_EQ(view.active, &slice.active());
+  for (const kernelsim::AppIdx idx : *view.active) {
+    EXPECT_EQ(view.parts[0][idx], slice.cpu_mj(idx));
+    EXPECT_EQ(view.parts[1][idx], slice.camera_mj(idx));
+    EXPECT_EQ(view.parts[2][idx], slice.gps_mj(idx));
+    EXPECT_EQ(view.parts[3][idx], slice.wifi_mj(idx));
+    EXPECT_EQ(view.parts[4][idx], slice.audio_mj(idx));
+  }
+}
+
+TEST(MeteringPipelineTest, TouchedViewAddressesSlabRows) {
+  sim::MonotonicArena arena;
+  EnergySlab slab(/*slots=*/3, arena);
+  EnergySlice slice;
+  slice.bind_slab(&slab, /*slot=*/1);
+  const kernelsim::AppIdx a = slice.ids().app_of(uid(10001));
+  const kernelsim::AppIdx b = slice.ids().app_of(uid(10007));
+  slice.part_at(b, HwPart::kAudio) += 7.5;
+  slice.part_at(a, HwPart::kCpu) += 1.5;
+  slice.seal();
+  const EnergySlice::TouchedView view = slice.touched_view();
+  EXPECT_EQ(view.parts[0], slab.row(0, 1));
+  EXPECT_EQ(view.parts[0][a], 1.5);
+  EXPECT_EQ(view.parts[4][b], 7.5);
+  EXPECT_EQ(view.parts[0][a], slice.cpu_mj(a));
+  EXPECT_EQ(view.parts[4][b], slice.audio_mj(b));
+}
+
+/// Stage stub that records when it ran relative to the fused cell pass,
+/// using the direct store's ground-truth sum as the witness.
+struct RecordingStage : SliceFoldStage {
+  const DirectStore* store = nullptr;
+  std::vector<std::string> events;
+  double total_at_prepare = -1.0;
+  double total_at_fold = -1.0;
+
+  void prepare_slice(const EnergySlice&) override {
+    events.push_back("prepare");
+    total_at_prepare = store->true_total_mj;
+  }
+  void fold_slice(const EnergySlice&) override {
+    events.push_back("fold");
+    total_at_fold = store->true_total_mj;
+  }
+};
+
+TEST(MeteringPipelineTest, StagesBracketTheCellPass) {
+  const EnergySlice slice = make_slice();
+  DirectStore store;
+  RecordingStage stage;
+  stage.store = &store;
+  MeteringPipeline pipeline;
+  pipeline.set_engine(&store, &stage);
+  pipeline.run(slice);
+
+  ASSERT_EQ(stage.events, (std::vector<std::string>{"prepare", "fold"}));
+  // prepare_slice ran before any cell was folded; fold_slice after all.
+  EXPECT_EQ(stage.total_at_prepare, 0.0);
+  EXPECT_EQ(stage.total_at_fold, slice.total_mj());
+  EXPECT_EQ(pipeline.slices_folded(), 1u);
+  EXPECT_EQ(pipeline.cells_folded(), slice.active().size());
+}
+
+TEST(MeteringPipelineTest, DirectStoreFoldIsBitIdenticalToTotalMj) {
+  const EnergySlice slice = make_slice();
+  DirectStore store;
+  RecordingStage stage;
+  stage.store = &store;
+  MeteringPipeline pipeline;
+  pipeline.set_engine(&store, &stage);
+  pipeline.run(slice);
+  pipeline.run(slice);  // accumulation across slices
+
+  // EXACT equality: the pipeline must reproduce total_mj()'s association
+  // (system+screen seed, then apps ascending) and the canonical part
+  // order per cell — not merely be numerically close.
+  EXPECT_EQ(store.true_total_mj, slice.total_mj() + slice.total_mj());
+  const kernelsim::AppIdx a = slice.ids().find_app(uid(10001));
+  ASSERT_LT(a, store.by_app.size());
+  EXPECT_EQ(store.by_app[a].cpu_mj, slice.cpu_mj(a) + slice.cpu_mj(a));
+  EXPECT_EQ(store.by_app[a].wifi_mj, slice.wifi_mj(a) + slice.wifi_mj(a));
+  const kernelsim::RoutineIdx render = slice.ids().find_routine("render");
+  EXPECT_EQ(store.by_app[a].routine_mj_of(render),
+            slice.routine_mj_at(a, render) + slice.routine_mj_at(a, render));
+  // Untouched app rows exist (dense) but hold zero.
+  const kernelsim::AppIdx b = slice.ids().find_app(uid(10002));
+  EXPECT_EQ(store.by_app[b].cpu_mj, 0.0);
+  EXPECT_EQ(store.by_app[b].camera_mj,
+            slice.camera_mj(b) + slice.camera_mj(b));
+}
+
+TEST(MeteringPipelineTest, DenseColumnFoldsMatchVirtualFolds) {
+  // BatteryStats and PowerTutor fold as dense column sweeps in the fused
+  // route — every cell, touched or not. The result must be EXACTLY the
+  // virtual active-list fold: untouched cells are exact +0.0, so their
+  // `+= +0.0` terms are bitwise no-ops.
+  const EnergySlice slice = make_slice();
+  framework::PackageManager packages;
+
+  BatteryStats bs_virtual(packages);
+  PowerTutor pt_virtual(packages);
+  bs_virtual.on_slice(slice);
+  pt_virtual.on_slice(slice);
+  bs_virtual.on_slice(slice);  // accumulation across slices
+  pt_virtual.on_slice(slice);
+
+  BatteryStats bs_fused(packages);
+  PowerTutor pt_fused(packages);
+  MeteringPipeline pipeline;
+  pipeline.set_battery_stats(&bs_fused);
+  pipeline.set_power_tutor(&pt_fused);
+  pipeline.run(slice);
+  pipeline.run(slice);
+
+  EXPECT_EQ(bs_fused.total_mj(), bs_virtual.total_mj());
+  EXPECT_EQ(pt_fused.total_mj(), pt_virtual.total_mj());
+  for (std::int32_t v = 10001; v <= 10003; ++v) {
+    EXPECT_EQ(bs_fused.app_energy_mj(uid(v)),
+              bs_virtual.app_energy_mj(uid(v)));
+    EXPECT_EQ(pt_fused.app_energy_mj(uid(v)),
+              pt_virtual.app_energy_mj(uid(v)));
+    for (const HwPart part : {HwPart::kCpu, HwPart::kCamera, HwPart::kGps,
+                              HwPart::kWifi, HwPart::kAudio}) {
+      EXPECT_EQ(pt_fused.component_energy_mj(uid(v), part),
+                pt_virtual.component_energy_mj(uid(v), part));
+    }
+  }
+}
+
+/// One phone, one deterministic workload, both metering routes.
+std::string digest_with(bool fused) {
+  Testbed bed({.seed = 7, .fused_metering = fused});
+  apps::DemoAppSpec victim = apps::victim_spec();
+  victim.package = "com.pipeline.victim";
+  victim.foreground_cpu = 0.12;
+  victim.service_cpu = 0.25;
+  bed.install<DemoApp>(victim);
+  bed.start();
+  bed.server().user_launch("com.pipeline.victim");
+  bed.context_of("com.pipeline.victim")
+      .start_service(framework::Intent::explicit_for("com.pipeline.victim",
+                                                     DemoApp::kService));
+  bed.run_for(sim::seconds(30));
+  return bed.energy_digest();
+}
+
+TEST(MeteringPipelineTest, FusedDigestMatchesVirtualBitForBit) {
+  EXPECT_EQ(digest_with(true), digest_with(false));
+}
+
+TEST(MeteringPipelineTest, UnfusedSinksStillRunAfterThePipeline) {
+  // A sink registered via add_sink (here: the timeline recorder, which
+  // stays unfused) must see every slice on the fused route and record
+  // exactly what it records on the virtual route.
+  auto rows_with = [](bool fused) {
+    Testbed bed({.seed = 11, .fused_metering = fused});
+    apps::DemoAppSpec victim = apps::victim_spec();
+    victim.package = "com.pipeline.victim";
+    bed.install<DemoApp>(victim);
+    TimelineRecorder timeline(bed.server().packages());
+    bed.sampler().add_sink(&timeline);
+    bed.start();
+    bed.server().user_launch("com.pipeline.victim");
+    bed.run_for(sim::seconds(10));
+    return timeline.rows();
+  };
+  const auto fused = rows_with(true);
+  const auto virt = rows_with(false);
+  ASSERT_FALSE(fused.empty());
+  ASSERT_EQ(fused.size(), virt.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i].total_mj, virt[i].total_mj);
+    EXPECT_EQ(fused[i].screen_mj, virt[i].screen_mj);
+    EXPECT_EQ(fused[i].system_mj, virt[i].system_mj);
+    EXPECT_EQ(fused[i].apps, virt[i].apps);
+  }
+}
+
+TEST(MeteringPipelineTest, PipelineCountsSlicesAndCells) {
+  Testbed bed({.seed = 3});
+  apps::DemoAppSpec victim = apps::victim_spec();
+  victim.package = "com.pipeline.victim";
+  bed.install<DemoApp>(victim);
+  bed.start();
+  bed.server().user_launch("com.pipeline.victim");
+  bed.run_for(sim::seconds(5));
+
+  ASSERT_NE(bed.pipeline(), nullptr);
+  EXPECT_EQ(bed.pipeline()->slices_folded(), bed.sampler().slices_emitted());
+  EXPECT_GT(bed.pipeline()->cells_folded(), 0u);
+
+  const obs::MetricsSnapshot snap = bed.metrics_snapshot();
+  const obs::MetricRow* folds = snap.find("energy.pipeline.folds");
+  ASSERT_NE(folds, nullptr);
+  EXPECT_EQ(folds->count, bed.pipeline()->slices_folded());
+  const obs::MetricRow* cells = snap.find("energy.pipeline.fused_cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->count, bed.pipeline()->cells_folded());
+
+  // The virtual route constructs no pipeline at all.
+  Testbed virt({.seed = 3, .fused_metering = false});
+  EXPECT_EQ(virt.pipeline(), nullptr);
+}
+
+}  // namespace
+}  // namespace eandroid::energy

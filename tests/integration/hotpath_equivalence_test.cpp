@@ -1,7 +1,10 @@
-// Golden-digest equivalence between the allocation-free hot path and the
-// baseline path (fresh buffers every tick, no window-structure caches).
-// The two shapes share every summation and its order, so full-precision
-// digests of whole runs must match bit-for-bit — any divergence means an
+// Golden-digest equivalence across every metering shape: the
+// allocation-free hot path vs the baseline path (fresh buffers every
+// tick, no window-structure caches), crossed with the fused
+// MeteringPipeline vs the virtual sink chain, crossed (for fleets) with
+// the per-device vs batched core. Every shape shares every summation and
+// its order, so full-precision digests — and, for the fleet matrix,
+// trace bytes — must match bit-for-bit; any divergence means an
 // optimization changed observable results, not just cost.
 #include <gtest/gtest.h>
 
@@ -83,17 +86,37 @@ TEST(HotpathEquivalenceTest, Fig09ScenariosMatchBitForBit) {
       {"multi", run_multi_attack},
   };
   for (const auto& [name, fn] : scenarios) {
-    const std::string hot = scenario_digest(fn(1, {.hot_path = true}));
-    const std::string baseline = scenario_digest(fn(1, {.hot_path = false}));
-    EXPECT_EQ(hot, baseline) << name;
+    // hot × fused 2x2: the fused hot path (production shape) is the
+    // reference; the other three legs must reproduce it bit-for-bit.
+    const std::string reference = scenario_digest(
+        fn(1, {.hot_path = true, .fused_metering = true}));
+    EXPECT_EQ(scenario_digest(fn(1, {.hot_path = true,
+                                     .fused_metering = false})),
+              reference)
+        << name << " hot/virtual";
+    EXPECT_EQ(scenario_digest(fn(1, {.hot_path = false,
+                                     .fused_metering = true})),
+              reference)
+        << name << " baseline/fused";
+    EXPECT_EQ(scenario_digest(fn(1, {.hot_path = false,
+                                     .fused_metering = false})),
+              reference)
+        << name << " baseline/virtual";
   }
 }
 
 TEST(HotpathEquivalenceTest, FleetCoresAndMeteringPathsMatchBitForBit) {
   // The two metering paths (hot / baseline buffers) crossed with the two
-  // fleet cores (per-device heaps / shared wheel + slab) are four routes
-  // to the same observable run; all four digest sets must agree.
-  const auto digests = [](bool hot, fleet::FleetCore core) {
+  // fleet cores (per-device heaps / shared wheel + slab) crossed with the
+  // two fold routes (fused pipeline / virtual sink chain) are EIGHT
+  // routes to the same observable run; all eight digest sets AND trace
+  // byte streams must agree.
+  struct Observed {
+    std::vector<std::string> digests;
+    std::vector<std::string> traces;
+    bool operator==(const Observed&) const = default;
+  };
+  const auto observe = [](bool hot, fleet::FleetCore core, bool fused) {
     auto plan = std::make_shared<fleet::InstallPlan>();
     DemoAppSpec sender;
     sender.package = "com.fleet.weather";
@@ -110,7 +133,10 @@ TEST(HotpathEquivalenceTest, FleetCoresAndMeteringPathsMatchBitForBit) {
     options.epoch = sim::seconds(2);
     options.install_plan = std::move(plan);
     options.hot_path = hot;
+    options.fused_metering = fused;
     options.core = core;
+    options.obs.trace = true;
+    const int device_count = options.device_count;
     fleet::Fleet f(std::move(options));
     fleet::PushCampaign campaign;
     campaign.sender_package = "com.fleet.weather";
@@ -123,12 +149,31 @@ TEST(HotpathEquivalenceTest, FleetCoresAndMeteringPathsMatchBitForBit) {
     f.start();
     f.run_for(sim::seconds(8));
     f.finish();
-    return f.energy_digests();
+    Observed out;
+    out.digests = f.energy_digests();
+    for (int i = 0; i < device_count; ++i) {
+      out.traces.push_back(f.device(i).trace_text());
+    }
+    return out;
   };
-  const auto reference = digests(true, fleet::FleetCore::kBaseline);
-  EXPECT_EQ(digests(false, fleet::FleetCore::kBaseline), reference);
-  EXPECT_EQ(digests(true, fleet::FleetCore::kBatched), reference);
-  EXPECT_EQ(digests(false, fleet::FleetCore::kBatched), reference);
+  const Observed reference =
+      observe(true, fleet::FleetCore::kBaseline, true);
+  ASSERT_FALSE(reference.traces.front().empty());
+  for (const bool hot : {true, false}) {
+    for (const auto core :
+         {fleet::FleetCore::kBaseline, fleet::FleetCore::kBatched}) {
+      for (const bool fused : {true, false}) {
+        if (hot && core == fleet::FleetCore::kBaseline && fused) continue;
+        const Observed leg = observe(hot, core, fused);
+        EXPECT_EQ(leg.digests, reference.digests)
+            << "hot=" << hot << " batched="
+            << (core == fleet::FleetCore::kBatched) << " fused=" << fused;
+        EXPECT_EQ(leg.traces, reference.traces)
+            << "hot=" << hot << " batched="
+            << (core == fleet::FleetCore::kBatched) << " fused=" << fused;
+      }
+    }
+  }
 }
 
 TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {
@@ -139,10 +184,17 @@ TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {
     options.fault_count = 6;
     options.horizon = sim::seconds(30);
     options.hot_path = true;
-    const std::string hot = run_chaos(options).digest();
+    options.fused_metering = true;
+    const std::string reference = run_chaos(options).digest();
+    options.fused_metering = false;
+    EXPECT_EQ(run_chaos(options).digest(), reference)
+        << "seed " << seed << " hot/virtual";
     options.hot_path = false;
-    const std::string baseline = run_chaos(options).digest();
-    EXPECT_EQ(hot, baseline) << "seed " << seed;
+    EXPECT_EQ(run_chaos(options).digest(), reference)
+        << "seed " << seed << " baseline/virtual";
+    options.fused_metering = true;
+    EXPECT_EQ(run_chaos(options).digest(), reference)
+        << "seed " << seed << " baseline/fused";
   }
 }
 
