@@ -6,6 +6,8 @@
 
 namespace eandroid::energy {
 
+std::atomic<int> MeteringPipeline::test_skip_part_{-1};
+
 MeteringPipeline::MeteringPipeline(obs::MetricsRegistry* metrics)
     : metrics_(metrics) {
   if (metrics_ != nullptr) {
@@ -48,14 +50,17 @@ void MeteringPipeline::run(const EnergySlice& slice) {
   // (per-app vectors hang off each cell), so they keep the active-list
   // walk: one load of each touched app's five parts feeds both.
   if (direct_ != nullptr || eprof_ != nullptr) {
+    // The test-only fault seam (set_test_skip_part): loop-invariant, so
+    // the disarmed case costs one hoisted compare per part.
+    const int skip = test_skip_part_.load(std::memory_order_relaxed);
     // The engine's battery ground truth: total_mj()'s exact running sum.
     double running_total = slice.system_mj + slice.screen_mj;
     for (const kernelsim::AppIdx idx : *view.active) {
-      const double cpu = cpu_col[idx];
-      const double camera = camera_col[idx];
-      const double gps = gps_col[idx];
-      const double wifi = wifi_col[idx];
-      const double audio = audio_col[idx];
+      const double cpu = skip == 0 ? 0.0 : cpu_col[idx];
+      const double camera = skip == 1 ? 0.0 : camera_col[idx];
+      const double gps = skip == 2 ? 0.0 : gps_col[idx];
+      const double wifi = skip == 3 ? 0.0 : wifi_col[idx];
+      const double audio = skip == 4 ? 0.0 : audio_col[idx];
       if (direct_ != nullptr) {
         // Canonical part-order association, the same as slice.sum_at().
         running_total += cpu + camera + gps + wifi + audio;

@@ -27,6 +27,7 @@
 // the 8-way hot×core×pipeline equivalence matrix enforces.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -106,7 +107,24 @@ class MeteringPipeline {
   [[nodiscard]] std::uint64_t slices_folded() const { return folds_; }
   [[nodiscard]] std::uint64_t cells_folded() const { return cells_; }
 
+  /// TEST-ONLY fault seam: while `part` is in [0, 5), every pipeline's
+  /// fused sparse fold treats that part column as zero in the engine's
+  /// direct store and battery ground truth — a deliberate equivalence bug
+  /// confined to the fused route, used to prove the scenario fuzzer's
+  /// fused-vs-virtual oracle catches and shrinks real divergences
+  /// (tests/fuzz/injected_bug_test.cpp). -1 (the default) disarms it.
+  /// Process-global so the fault reaches pipelines constructed deep
+  /// inside oracle legs; tests must restore -1 before passing.
+  static void set_test_skip_part(int part) {
+    test_skip_part_.store(part, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static int test_skip_part() {
+    return test_skip_part_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static std::atomic<int> test_skip_part_;
+
   BatteryStats* battery_stats_ = nullptr;
   PowerTutor* power_tutor_ = nullptr;
   Eprof* eprof_ = nullptr;

@@ -263,8 +263,11 @@ void WorkStealingExecutor::worker_loop(unsigned index) {
   Worker& w = *workers_[index];
   for (;;) {
     if (Task* task = find_task(w)) {
-      run_task(task);
+      // Count before run_task's pending_ release: wait_idle's acquire on
+      // pending_ == 0 then guarantees stats() sees every increment (the
+      // after-the-fact bump was readable as N-1 right after wait_idle).
       w.executed.fetch_add(1, std::memory_order_relaxed);
+      run_task(task);
       continue;
     }
     // Nothing anywhere: park. Re-check for work under the lock so a

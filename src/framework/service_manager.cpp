@@ -300,6 +300,15 @@ std::optional<BindingId> ServiceManager::bind_service(kernelsim::Uid caller,
         << "bindService " << key_of(*ref) << " lost: binder failure";
     return std::nullopt;
   }
+  // A successful bind revives the host immediately, so a pending
+  // crash-restart collapses into this bring-up — same attribution,
+  // restart counter, and start-command delivery as the deferred path —
+  // instead of leaving a stale timer to fire on an already-alive
+  // service (found by the scenario fuzzer: start, kill, bind).
+  if (record.restart_pending) {
+    sim_.cancel(record.restart_event);
+    restart_now(key_of(*ref));
+  }
   bring_up(record);
 
   const std::uint64_t id = next_binding_++;

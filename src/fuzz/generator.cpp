@@ -1,0 +1,195 @@
+#include "fuzz/generator.h"
+
+#include "sim/check.h"
+#include "sim/rng.h"
+
+namespace eandroid::fuzz {
+
+namespace {
+
+/// Picks a cast index satisfying `eligible`, or -1 when none does. Draws
+/// exactly one rng value when candidates exist, keeping the stream layout
+/// simple and the program a pure function of the seed.
+template <typename Pred>
+int pick_app(sim::Rng& rng, const Pred& eligible) {
+  int candidates[kCastSize];
+  int n = 0;
+  for (int i = 0; i < kCastSize; ++i) {
+    if (eligible(i)) candidates[n++] = i;
+  }
+  if (n == 0) return -1;
+  return candidates[rng.below(static_cast<std::uint64_t>(n))];
+}
+
+/// Tries to instantiate `op` against the current grammar state. Returns
+/// false when the op has no valid instantiation right now (e.g. unbind
+/// with no binding outstanding anywhere) — the caller redraws.
+bool instantiate(OpKind op, sim::Rng& rng, const GrammarState& state,
+                 Step* step) {
+  step->op = op;
+  step->app = 0;
+  step->other = 0;
+  step->a = 0;
+  step->b = 0;
+
+  const auto live = [&state](int i) {
+    return state.alive(i) && !state.hung(i);
+  };
+  const auto actor = [&](auto eligible) {
+    const int app = pick_app(rng, eligible);
+    if (app < 0) return false;
+    step->app = static_cast<std::uint8_t>(app);
+    return true;
+  };
+
+  switch (op) {
+    case OpKind::kUserLaunch:
+      return actor([](int) { return true; });
+    case OpKind::kUserHome:
+    case OpKind::kUserBack:
+    case OpKind::kUserUnlock:
+    case OpKind::kBatteryExhaust:
+      return true;
+    case OpKind::kUserTap:
+      step->a = static_cast<std::int32_t>(rng.below(1080));
+      step->b = static_cast<std::int32_t>(rng.below(1920));
+      return true;
+    case OpKind::kIncomingCall:
+      step->a = 1 + static_cast<std::int32_t>(rng.below(10));
+      return true;
+    case OpKind::kStartActivity:
+      if (!actor(live)) return false;
+      step->other = static_cast<std::uint8_t>(rng.below(kCastSize));
+      return true;
+    case OpKind::kFinishActivity:
+    case OpKind::kStartService:
+    case OpKind::kStopService:
+    case OpKind::kBindService:
+    case OpKind::kRegisterReceiver:
+    case OpKind::kSendBroadcast:
+      return actor(live);
+    case OpKind::kUnbindService:
+      return actor([&](int i) { return live(i) && state.bindings(i) > 0; });
+    case OpKind::kStartForeground:
+    case OpKind::kStopForeground:
+      if (!live(kVictimApp)) return false;
+      step->app = kVictimApp;
+      return true;
+    case OpKind::kAcquireWakelock:
+      if (!actor(live)) return false;
+      step->a = rng.chance(0.5) ? 1 : 0;
+      return true;
+    case OpKind::kReleaseWakelock:
+      return actor([&](int i) { return live(i) && state.locks(i) > 0; });
+    case OpKind::kSetBrightness:
+      if (!live(kSettingsApp)) return false;
+      step->app = kSettingsApp;
+      step->a = static_cast<std::int32_t>(rng.below(256));
+      return true;
+    case OpKind::kSetScreenMode:
+      if (!live(kSettingsApp)) return false;
+      step->app = kSettingsApp;
+      step->a = rng.chance(0.5) ? 1 : 0;
+      return true;
+    case OpKind::kSetAlarm:
+      if (!actor(live)) return false;
+      step->a = 1 + static_cast<std::int32_t>(rng.below(30));
+      step->b = rng.chance(0.25) ? 1 : 0;
+      return true;
+    case OpKind::kCancelAlarm:
+      return actor([&](int i) { return live(i) && state.alarms(i) > 0; });
+    case OpKind::kSendPush:
+      if (!actor(live)) return false;
+      step->a = 512 + static_cast<std::int32_t>(rng.below(7681));
+      return true;
+    case OpKind::kPostNotification:
+      if (!actor(live)) return false;
+      step->a = rng.chance(0.3) ? 1 : 0;
+      step->b = (step->a == 0 && rng.chance(0.5)) ? 1 : 0;
+      return true;
+    case OpKind::kCpuBurst:
+      if (!actor(live)) return false;
+      step->a = 1 + static_cast<std::int32_t>(rng.below(200));
+      return true;
+    case OpKind::kSensorBegin:
+      if (!actor(live)) return false;
+      step->a = static_cast<std::int32_t>(rng.below(4));
+      return true;
+    case OpKind::kSensorEnd: {
+      // Pick the sensor first (one draw), then an actor holding one.
+      const int sensor = static_cast<std::int32_t>(rng.below(4));
+      if (!actor([&](int i) {
+            return live(i) && state.sessions(i, sensor) > 0;
+          })) {
+        return false;
+      }
+      step->a = sensor;
+      return true;
+    }
+    case OpKind::kPlugCharger:
+      return !state.charging();
+    case OpKind::kUnplugCharger:
+      return state.charging();
+    case OpKind::kKillApp:
+      return actor([&state](int i) { return state.alive(i); });
+    case OpKind::kHangToggle:
+      return actor([&state](int i) { return state.alive(i); });
+    case OpKind::kBinderFailWindow:
+    case OpKind::kDropBroadcasts:
+      step->a = 1 + static_cast<std::int32_t>(rng.below(5));
+      return true;
+    case OpKind::kDelayAlarms:
+      step->a = 100 + static_cast<std::int32_t>(rng.below(4901));
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioProgram generate(const GeneratorOptions& options) {
+  EANDROID_CHECK(options.min_steps >= 0 &&
+                     options.max_steps >= options.min_steps,
+                 "generator step bounds inverted");
+  EANDROID_CHECK(options.min_gap_us > 0 &&
+                     options.max_gap_us >= options.min_gap_us,
+                 "generator gap bounds inverted");
+  sim::Rng rng(options.seed);
+  ScenarioProgram program;
+  program.seed = options.seed;
+
+  const int steps =
+      options.min_steps +
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(
+          options.max_steps - options.min_steps + 1)));
+  GrammarState state;
+  std::int64_t at_us = 0;
+  program.steps.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    at_us += options.min_gap_us +
+             static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(
+                 options.max_gap_us - options.min_gap_us + 1)));
+    Step step;
+    step.at_us = at_us;
+    // Rejection-sample the op: a kind whose preconditions cannot be met
+    // right now is redrawn. kUserLaunch is always instantiable, so the
+    // fallback keeps generation total without biasing the stream much.
+    bool placed = false;
+    for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+      const OpKind op =
+          static_cast<OpKind>(rng.below(static_cast<std::uint64_t>(
+              kOpKindCount)));
+      placed = instantiate(op, rng, state, &step);
+    }
+    if (!placed) {
+      EANDROID_CHECK(instantiate(OpKind::kUserLaunch, rng, state, &step),
+                     "kUserLaunch must always instantiate");
+    }
+    state.apply(step);
+    program.steps.push_back(step);
+  }
+  program.horizon_us = at_us + options.tail_us;
+  return program;
+}
+
+}  // namespace eandroid::fuzz

@@ -1,0 +1,38 @@
+// Generator: seeded, valid-by-construction ScenarioProgram emission.
+//
+// Draws a random-but-grammatical framework API call sequence from one
+// sim::Rng stream: each step picks an op kind, instantiates actors and
+// parameters that satisfy the GrammarState preconditions (an unbind only
+// where a binding is outstanding, no op by a dead uid, charger
+// alternation, ...), and advances virtual time by a random gap. The
+// program is a pure function of GeneratorOptions — same options, bitwise
+// identical program — which is what makes a fuzz failure replayable from
+// its printed seed alone.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/program.h"
+
+namespace eandroid::fuzz {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 1;
+  /// Steps drawn uniformly in [min_steps, max_steps].
+  int min_steps = 12;
+  int max_steps = 48;
+  /// Virtual-time gap between steps, uniform in [min_gap_us, max_gap_us].
+  /// Off the 250 ms sampling grid by construction (odd microsecond
+  /// bounds), so generated instants don't systematically collide with
+  /// sampler ticks.
+  std::int64_t min_gap_us = 50'001;
+  std::int64_t max_gap_us = 900'007;
+  /// Run length past the last step, letting restarts/alarms/windows
+  /// settle inside the program.
+  std::int64_t tail_us = 5'000'000;
+};
+
+/// Emits one program; always satisfies validate().
+[[nodiscard]] ScenarioProgram generate(const GeneratorOptions& options);
+
+}  // namespace eandroid::fuzz

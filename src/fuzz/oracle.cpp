@@ -1,0 +1,234 @@
+#include "fuzz/oracle.h"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "fleet/fleet.h"
+#include "fuzz/executor.h"
+#include "sim/check.h"
+
+namespace eandroid::fuzz {
+
+namespace {
+
+struct Observed {
+  std::vector<std::string> digests;
+  std::vector<std::string> traces;
+  bool operator==(const Observed&) const = default;
+};
+
+/// One single-device replay; digests/traces have exactly one element.
+Observed run_single(const ScenarioProgram& program, bool hot, bool fused,
+                    bool trace) {
+  fleet::DeviceSpec spec;
+  spec.seed = program.seed;
+  spec.hot_path = hot;
+  spec.fused_metering = fused;
+  spec.obs.trace = trace;
+  fleet::DeviceContext bed(spec);
+  install_cast(bed);
+  bed.start();
+  ProgramExecutor executor(bed, program);
+  executor.run();
+  Observed out;
+  out.digests.push_back(bed.energy_digest());
+  if (trace) out.traces.push_back(bed.trace_text());
+  return out;
+}
+
+constexpr int kFleetDevices = 4;
+
+/// One fleet replay: every device runs the same program (device rng seeds
+/// differ via seed_stride, so the population is not N clones), with a
+/// push campaign layered on top to keep cross-device injection in play.
+/// Campaign instants sit off the 250 ms sampling grid (broker contract).
+Observed run_fleet(const ScenarioProgram& program, fleet::Scheduler scheduler,
+                   fleet::FleetCore core, int shards, bool trace) {
+  fleet::FleetOptions options;
+  options.device_count = kFleetDevices;
+  options.base_seed = program.seed;
+  options.seed_stride = 1;
+  options.scheduler = scheduler;
+  options.core = core;
+  options.shards = shards;
+  if (scheduler == fleet::Scheduler::kWorkStealing) options.workers = 4;
+  options.epoch = sim::seconds(1);
+  options.obs.trace = trace;
+  options.install_plan = cast_install_plan();
+  fleet::Fleet f(std::move(options));
+
+  fleet::PushCampaign campaign;
+  campaign.sender_package = kCastPackages[2];
+  campaign.target_package = kCastPackages[kPushApp];
+  campaign.start = sim::TimePoint{} + sim::millis(1501);
+  campaign.period = sim::millis(673);
+  campaign.pushes_per_device = 4;
+  campaign.device_stagger = sim::millis(13);
+  f.broker().add_campaign(campaign);
+
+  f.start();
+  // Arm between start() and the first run (driver-thread window). The
+  // executors outlive the run: their closures fire from the fleet's
+  // schedulers.
+  std::vector<std::unique_ptr<ProgramExecutor>> executors;
+  executors.reserve(kFleetDevices);
+  for (int i = 0; i < kFleetDevices; ++i) {
+    executors.push_back(
+        std::make_unique<ProgramExecutor>(f.device(i), program));
+    executors.back()->arm();
+  }
+  f.run_for(sim::micros(program.horizon_us));
+  f.finish();
+
+  Observed out;
+  out.digests = f.energy_digests();
+  if (trace) {
+    for (int i = 0; i < kFleetDevices; ++i) {
+      out.traces.push_back(f.device(i).trace_text());
+    }
+  }
+  return out;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : begin_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_;
+};
+
+void compare(const char* leg, const Observed& reference, const Observed& got,
+             OracleVerdict* verdict) {
+  for (std::size_t i = 0; i < reference.digests.size(); ++i) {
+    if (got.digests[i] != reference.digests[i]) {
+      std::ostringstream msg;
+      msg << leg << ": digest mismatch on device " << i;
+      verdict->failures.push_back(msg.str());
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < reference.traces.size(); ++i) {
+    if (got.traces[i] != reference.traces[i]) {
+      std::ostringstream msg;
+      msg << leg << ": trace mismatch on device " << i;
+      verdict->failures.push_back(msg.str());
+      break;
+    }
+  }
+}
+
+template <typename Fn>
+Observed timed(const char* leg, OracleVerdict* verdict, const Fn& fn) {
+  const Stopwatch watch;
+  Observed out = fn();
+  verdict->timings.push_back({leg, watch.seconds()});
+  return out;
+}
+
+}  // namespace
+
+std::string OracleVerdict::to_string() const {
+  std::ostringstream out;
+  for (const std::string& f : failures) out << f << "\n";
+  for (const std::string& v : invariant_violations) out << v << "\n";
+  return out.str();
+}
+
+OracleVerdict run_oracle(const ScenarioProgram& program,
+                         const OracleOptions& options) {
+  std::vector<std::string> problems;
+  EANDROID_CHECK(validate(program, &problems),
+                 "oracle input fails the grammar: "
+                     << (problems.empty() ? std::string("?") : problems[0]));
+  OracleVerdict verdict;
+  const bool trace = options.trace;
+
+  if (options.single_legs) {
+    const Observed reference =
+        timed("single.reference", &verdict,
+              [&] { return run_single(program, true, true, trace); });
+    compare("single.determinism", reference,
+            timed("single.determinism", &verdict,
+                  [&] { return run_single(program, true, true, trace); }),
+            &verdict);
+    compare("single.hot_vs_baseline", reference,
+            timed("single.hot_vs_baseline", &verdict,
+                  [&] { return run_single(program, false, true, trace); }),
+            &verdict);
+    compare("single.fused_vs_virtual", reference,
+            timed("single.fused_vs_virtual", &verdict,
+                  [&] { return run_single(program, true, false, trace); }),
+            &verdict);
+    compare("single.baseline_virtual", reference,
+            timed("single.baseline_virtual", &verdict,
+                  [&] { return run_single(program, false, false, trace); }),
+            &verdict);
+
+    // Invariant leg: its own device, digest never compared (per-step
+    // flushes move window boundaries).
+    const Stopwatch watch;
+    {
+      fleet::DeviceSpec spec;
+      spec.seed = program.seed;
+      fleet::DeviceContext bed(spec);
+      install_cast(bed);
+      bed.start();
+      ProgramExecutor::Options exec_options;
+      exec_options.check_invariants_each_step = true;
+      ProgramExecutor executor(bed, program, exec_options);
+      executor.run();
+      executor.check_now("end state");
+      verdict.invariant_violations = executor.violations();
+      verdict.steps_applied = executor.steps_applied();
+    }
+    verdict.timings.push_back({"single.invariants", watch.seconds()});
+  }
+
+  if (options.fleet_legs) {
+    const Observed reference =
+        timed("fleet.reference", &verdict, [&] {
+          return run_fleet(program, fleet::Scheduler::kLockstep,
+                           fleet::FleetCore::kBaseline, 1, trace);
+        });
+    compare("fleet.shards4", reference,
+            timed("fleet.shards4", &verdict,
+                  [&] {
+                    return run_fleet(program, fleet::Scheduler::kLockstep,
+                                     fleet::FleetCore::kBaseline, 4, trace);
+                  }),
+            &verdict);
+    compare("fleet.shards8", reference,
+            timed("fleet.shards8", &verdict,
+                  [&] {
+                    return run_fleet(program, fleet::Scheduler::kLockstep,
+                                     fleet::FleetCore::kBaseline, 8, trace);
+                  }),
+            &verdict);
+    compare("fleet.work_stealing", reference,
+            timed("fleet.work_stealing", &verdict,
+                  [&] {
+                    return run_fleet(program,
+                                     fleet::Scheduler::kWorkStealing,
+                                     fleet::FleetCore::kBaseline, 4, trace);
+                  }),
+            &verdict);
+    compare("fleet.batched", reference,
+            timed("fleet.batched", &verdict,
+                  [&] {
+                    return run_fleet(program, fleet::Scheduler::kLockstep,
+                                     fleet::FleetCore::kBatched, 2, trace);
+                  }),
+            &verdict);
+  }
+  return verdict;
+}
+
+}  // namespace eandroid::fuzz

@@ -1,0 +1,70 @@
+// The stacked differential oracle: one ScenarioProgram, many routes.
+//
+// A program is replayed on every execution route the repo claims is
+// observationally identical, and the full-precision energy digests (and
+// trace bytes, when tracing is on) are compared bit for bit:
+//
+//   single-device legs — determinism (same spec twice), the hot
+//   (alloc-free) metering path vs the baseline path, the fused
+//   MeteringPipeline vs the virtual sink chain, and the baseline×virtual
+//   cross; plus an InvariantChecker leg that runs the full consistency
+//   check after every step (its digest is never compared — mid-run
+//   sampler flushes move window boundaries);
+//
+//   fleet legs — a 4-device lockstep/shards=1/per-device-heap reference
+//   against shard counts {4, 8}, the work-stealing scheduler, and the
+//   batched core (shared wheel + SoA slab + arena), with a push-broker
+//   campaign layered on top so cross-device injection is in play.
+//
+// Any mismatch is an equivalence bug by definition: every route shares
+// every summation and its order. The verdict lists one line per broken
+// leg plus any invariant violations, and times each leg for the bench's
+// oracle-leg breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/program.h"
+
+namespace eandroid::fuzz {
+
+struct OracleOptions {
+  /// Single-device legs (determinism, hot/baseline, fused/virtual, cross,
+  /// per-step invariants).
+  bool single_legs = true;
+  /// Fleet legs (shard counts, work-stealing, batched core). Heavier —
+  /// five 4-device fleet runs per program.
+  bool fleet_legs = true;
+  /// Record and compare trace bytes as well as digests.
+  bool trace = true;
+};
+
+struct LegTiming {
+  std::string leg;
+  double seconds = 0.0;
+};
+
+struct OracleVerdict {
+  /// One "leg: what diverged" line per broken equivalence.
+  std::vector<std::string> failures;
+  /// "step N (op): violation" lines from the per-step invariant leg.
+  std::vector<std::string> invariant_violations;
+  /// Wall-clock cost of every leg that ran.
+  std::vector<LegTiming> timings;
+  /// Steps the reference run dispatched (sanity: == program.steps.size()).
+  std::uint64_t steps_applied = 0;
+
+  [[nodiscard]] bool ok() const {
+    return failures.empty() && invariant_violations.empty();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Replays `program` on every enabled route and compares. The program
+/// must satisfy validate() (checked error otherwise).
+[[nodiscard]] OracleVerdict run_oracle(const ScenarioProgram& program,
+                                       const OracleOptions& options = {});
+
+}  // namespace eandroid::fuzz

@@ -1,0 +1,126 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/check.h"
+
+namespace eandroid::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const std::function<bool(const ScenarioProgram&)>& still_fails,
+           ShrinkStats* stats, const ShrinkOptions& options)
+      : still_fails_(still_fails), stats_(stats), options_(options) {}
+
+  /// Repair + validate + predicate, with bookkeeping and the candidate
+  /// budget. Returns true iff `candidate` is a valid program that still
+  /// fails; on true, *candidate holds its repaired form.
+  bool attempt(ScenarioProgram* candidate) {
+    if (stats_ != nullptr &&
+        stats_->candidates >= options_.max_candidates) {
+      return false;
+    }
+    ScenarioProgram repaired = repair(*candidate);
+    if (!validate(repaired)) return false;
+    if (stats_ != nullptr) ++stats_->candidates;
+    if (!still_fails_(repaired)) return false;
+    if (stats_ != nullptr) ++stats_->still_failing;
+    *candidate = std::move(repaired);
+    return true;
+  }
+
+  /// Classic ddmin over the step list.
+  ScenarioProgram ddmin(ScenarioProgram program) {
+    std::size_t chunks = 2;
+    while (program.steps.size() >= 2) {
+      const std::size_t n = program.steps.size();
+      chunks = std::min(chunks, n);
+      const std::size_t chunk = (n + chunks - 1) / chunks;
+      bool reduced = false;
+      for (std::size_t begin = 0; begin < n; begin += chunk) {
+        ScenarioProgram candidate = program;
+        const auto first =
+            candidate.steps.begin() + static_cast<std::ptrdiff_t>(begin);
+        const auto last =
+            candidate.steps.begin() +
+            static_cast<std::ptrdiff_t>(std::min(n, begin + chunk));
+        candidate.steps.erase(first, last);
+        if (candidate.steps.empty()) continue;
+        // repair() may drop dependents too, so require genuine progress.
+        if (attempt(&candidate) &&
+            candidate.steps.size() < program.steps.size()) {
+          program = std::move(candidate);
+          chunks = std::max<std::size_t>(2, chunks - 1);
+          reduced = true;
+          break;
+        }
+      }
+      if (!reduced) {
+        if (chunks >= program.steps.size()) break;
+        chunks = std::min(program.steps.size(), chunks * 2);
+      }
+    }
+    return program;
+  }
+
+  /// Walks each step's a/b toward zero: try 0, then 1, then binary
+  /// descent from the current value, keeping anything that still fails.
+  /// Range legality is delegated to validate() inside attempt().
+  ScenarioProgram minimize_params(ScenarioProgram program) {
+    for (std::size_t i = 0; i < program.steps.size(); ++i) {
+      for (const bool is_a : {true, false}) {
+        while (true) {
+          const std::int32_t current =
+              is_a ? program.steps[i].a : program.steps[i].b;
+          if (current <= 0) break;
+          bool lowered = false;
+          for (const std::int32_t value :
+               {std::int32_t{0}, std::int32_t{1}, current / 2}) {
+            if (value >= current) continue;
+            ScenarioProgram candidate = program;
+            (is_a ? candidate.steps[i].a : candidate.steps[i].b) = value;
+            if (attempt(&candidate)) {
+              program = std::move(candidate);
+              lowered = true;
+              break;
+            }
+          }
+          if (!lowered) break;
+        }
+      }
+    }
+    return program;
+  }
+
+ private:
+  const std::function<bool(const ScenarioProgram&)>& still_fails_;
+  ShrinkStats* stats_;
+  const ShrinkOptions& options_;
+};
+
+}  // namespace
+
+ScenarioProgram shrink(
+    const ScenarioProgram& program,
+    const std::function<bool(const ScenarioProgram&)>& still_fails,
+    ShrinkStats* stats, const ShrinkOptions& options) {
+  EANDROID_CHECK(validate(program), "shrink input fails the grammar");
+  EANDROID_CHECK(still_fails(program),
+                 "shrink asked to reduce a PASSING program");
+  ShrinkStats local;
+  ShrinkStats* tracked = stats != nullptr ? stats : &local;
+  *tracked = ShrinkStats{};
+  tracked->initial_steps = static_cast<int>(program.steps.size());
+
+  Shrinker shrinker(still_fails, tracked, options);
+  ScenarioProgram reduced = shrinker.ddmin(program);
+  reduced = shrinker.minimize_params(std::move(reduced));
+
+  tracked->final_steps = static_cast<int>(reduced.steps.size());
+  return reduced;
+}
+
+}  // namespace eandroid::fuzz

@@ -153,6 +153,32 @@ TEST_F(RecoveryTest, ExplicitStartSupersedesPendingRestart) {
   EXPECT_EQ(server_.services().restarts_total(), 0u);
 }
 
+TEST_F(RecoveryTest, BindAbsorbsPendingRestart) {
+  // Found by the scenario fuzzer (tests/fuzz/corpus/
+  // bind_revives_crashed_service.prog): a bind inside the backoff window
+  // revives the host immediately, so the crash-restart collapses into
+  // the bind's bring-up — counted and attributed like the deferred
+  // restart — and the stale timer must not fire later on the live
+  // service (it used to force a bind-only service to started).
+  start_and_deliver();
+  server_.kill_app(uid("com.victim"));
+  ASSERT_TRUE(restart_pending());
+
+  ASSERT_TRUE(server_.services()
+                  .bind_service(uid("com.client"), work_intent())
+                  .has_value());
+  EXPECT_FALSE(restart_pending());
+  EXPECT_TRUE(running());
+  EXPECT_EQ(server_.services().restarts_total(), 1u);
+
+  // Past the original backoff instant: exactly one restart, one
+  // redelivered start command.
+  sim_.run_for(ServiceManager::kRestartBase + sim::seconds(5));
+  EXPECT_EQ(server_.services().restarts_total(), 1u);
+  EXPECT_EQ(victim_->count("svc_create:Work"), 2);
+  EXPECT_EQ(victim_->count("svc_start:Work"), 2);
+}
+
 TEST_F(RecoveryTest, RestartKeepsOriginalStarterAsDrivingUid) {
   EventLog log(server_.events());
   start_and_deliver();

@@ -1,0 +1,70 @@
+// Negative paths the fuzzer's machinery leans on: every misuse below
+// must fail loudly (EANDROID_CHECK throws in all build types), because a
+// silent clamp or late crash would turn a fuzz failure into noise.
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.h"
+#include "fuzz/executor.h"
+#include "fuzz/generator.h"
+#include "sim/check.h"
+
+namespace eandroid::fuzz {
+namespace {
+
+TEST(CheckedErrorsTest, ArmingAProgramAfterItsFirstInstantThrows) {
+  // Steps are scheduled at absolute instants; a device whose clock has
+  // already passed a step's time must refuse (schedule_at-in-the-past),
+  // not silently reorder the program.
+  GeneratorOptions gen;
+  gen.seed = 4;
+  const ScenarioProgram program = generate(gen);
+  fleet::DeviceContext bed{fleet::DeviceSpec{}};
+  install_cast(bed);
+  bed.start();
+  bed.run_for(sim::micros(program.steps.front().at_us + 1));
+  ProgramExecutor executor(bed, program);
+  EXPECT_THROW(executor.arm(), sim::CheckFailure);
+}
+
+TEST(CheckedErrorsTest, BrokerMutationAfterFreezeThrows) {
+  fleet::PushBroker broker;
+  fleet::PushCampaign campaign;
+  campaign.sender_package = kCastPackages[2];
+  campaign.target_package = kCastPackages[kPushApp];
+  broker.add_campaign(campaign);
+  broker.freeze();
+  EXPECT_THROW(broker.add_campaign(campaign), sim::CheckFailure);
+}
+
+TEST(CheckedErrorsTest, CampaignAfterWorkStealingStartThrows) {
+  // The fleet-level shape of the same rule: start() freezes the broker in
+  // work-stealing mode because workers read campaigns concurrently.
+  fleet::FleetOptions options;
+  options.device_count = 2;
+  options.scheduler = fleet::Scheduler::kWorkStealing;
+  options.workers = 2;
+  options.install_plan = cast_install_plan();
+  fleet::Fleet fleet(std::move(options));
+  fleet::PushCampaign campaign;
+  campaign.sender_package = kCastPackages[2];
+  campaign.target_package = kCastPackages[kPushApp];
+  fleet.broker().add_campaign(campaign);
+  fleet.start();
+  EXPECT_THROW(fleet.broker().add_campaign(campaign), sim::CheckFailure);
+}
+
+TEST(CheckedErrorsTest, HibernationPlusBatchedCoreThrows) {
+  // The oracle never combines them (armed executor closures could not
+  // survive a park/replay cycle, and the batched core pins group rows for
+  // the fleet's lifetime); the constructor must enforce the same rule.
+  fleet::FleetOptions options;
+  options.device_count = 4;
+  options.scheduler = fleet::Scheduler::kWorkStealing;
+  options.core = fleet::FleetCore::kBatched;
+  options.max_resident_devices = 2;
+  options.install_plan = cast_install_plan();
+  EXPECT_THROW(fleet::Fleet{std::move(options)}, sim::CheckFailure);
+}
+
+}  // namespace
+}  // namespace eandroid::fuzz

@@ -1,0 +1,111 @@
+// Shrinker contracts, against cheap synthetic predicates (no oracle
+// replays here — injected_bug_test.cpp covers the end-to-end path):
+// ddmin converges to the failure-carrying core, every candidate shown to
+// the predicate is grammatical, parameters descend to their minimum, and
+// polarity misuse is a checked error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fuzz/generator.h"
+#include "fuzz/shrink.h"
+#include "sim/check.h"
+
+namespace eandroid::fuzz {
+namespace {
+
+bool has_op(const ScenarioProgram& program, OpKind op) {
+  return std::any_of(program.steps.begin(), program.steps.end(),
+                     [op](const Step& s) { return s.op == op; });
+}
+
+/// A seed whose program contains the given op (the generator covers the
+/// grammar well, so one is always nearby).
+ScenarioProgram program_containing(OpKind op) {
+  for (std::uint64_t seed = 1; seed < 500; ++seed) {
+    GeneratorOptions options;
+    options.seed = seed;
+    ScenarioProgram program = generate(options);
+    if (has_op(program, op)) return program;
+  }
+  ADD_FAILURE() << "no program contains " << to_string(op);
+  return {};
+}
+
+TEST(ShrinkTest, DdminReducesToTheFailureCarryingCore) {
+  // "Fails iff a wakelock is ever acquired" — the minimal reproducer is
+  // one kAcquireWakelock step.
+  const ScenarioProgram program = program_containing(OpKind::kAcquireWakelock);
+  ShrinkStats stats;
+  const ScenarioProgram reduced = shrink(
+      program,
+      [](const ScenarioProgram& p) {
+        return has_op(p, OpKind::kAcquireWakelock);
+      },
+      &stats);
+  EXPECT_TRUE(validate(reduced));
+  EXPECT_TRUE(has_op(reduced, OpKind::kAcquireWakelock));
+  EXPECT_EQ(reduced.steps.size(), 1u)
+      << "steps left: " << reduced.steps.size();
+  EXPECT_EQ(stats.initial_steps, static_cast<int>(program.steps.size()));
+  EXPECT_EQ(stats.final_steps, 1);
+  EXPECT_GT(stats.candidates, 0);
+}
+
+TEST(ShrinkTest, DependentOpsSurviveTogether) {
+  // "Fails iff an unbind happens" — the reproducer must keep the bind
+  // that makes the unbind grammatical: exactly two steps.
+  const ScenarioProgram program = program_containing(OpKind::kUnbindService);
+  const ScenarioProgram reduced = shrink(
+      program, [](const ScenarioProgram& p) {
+        return has_op(p, OpKind::kUnbindService);
+      });
+  EXPECT_TRUE(validate(reduced));
+  EXPECT_TRUE(has_op(reduced, OpKind::kUnbindService));
+  EXPECT_TRUE(has_op(reduced, OpKind::kBindService));
+  EXPECT_EQ(reduced.steps.size(), 2u);
+}
+
+TEST(ShrinkTest, EveryCandidateShownToThePredicateIsValid) {
+  const ScenarioProgram program = program_containing(OpKind::kCpuBurst);
+  bool all_valid = true;
+  (void)shrink(program, [&all_valid](const ScenarioProgram& p) {
+    if (!validate(p)) all_valid = false;
+    return has_op(p, OpKind::kCpuBurst);
+  });
+  EXPECT_TRUE(all_valid);
+}
+
+TEST(ShrinkTest, ParametersDescendToTheRangeMinimum) {
+  const ScenarioProgram program = program_containing(OpKind::kCpuBurst);
+  const ScenarioProgram reduced = shrink(
+      program,
+      [](const ScenarioProgram& p) { return has_op(p, OpKind::kCpuBurst); });
+  ASSERT_EQ(reduced.steps.size(), 1u);
+  // kCpuBurst's a is "milliseconds of CPU", minimum 1.
+  EXPECT_EQ(reduced.steps[0].a, 1);
+}
+
+TEST(ShrinkTest, CandidateBudgetBoundsTheWork) {
+  const ScenarioProgram program = program_containing(OpKind::kSendPush);
+  ShrinkOptions options;
+  options.max_candidates = 3;
+  ShrinkStats stats;
+  (void)shrink(
+      program,
+      [](const ScenarioProgram& p) { return has_op(p, OpKind::kSendPush); },
+      &stats, options);
+  EXPECT_LE(stats.candidates, 3);
+}
+
+TEST(ShrinkTest, PassingProgramIsACheckedError) {
+  GeneratorOptions options;
+  options.seed = 5;
+  const ScenarioProgram program = generate(options);
+  EXPECT_THROW(
+      (void)shrink(program, [](const ScenarioProgram&) { return false; }),
+      sim::CheckFailure);
+}
+
+}  // namespace
+}  // namespace eandroid::fuzz

@@ -6,6 +6,11 @@
 // its order, so full-precision digests — and, for the fleet matrix,
 // trace bytes — must match bit-for-bit; any divergence means an
 // optimization changed observable results, not just cost.
+//
+// The matrix is deliberately split into small TESTs — ctest shards —
+// so `ctest -j` spreads the legs across cores, one diverging leg names
+// itself in the failing shard, and each shard sits under an explicit
+// TIMEOUT (see tests/CMakeLists.txt: the `equivalence` label).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -65,29 +70,14 @@ std::string scenario_digest(const ScenarioResult& result) {
 /// baseline leg is an explicit argument instead of the old
 /// ScopedBaselinePath process-global.
 using ScenarioFn = ScenarioResult (*)(std::uint64_t, const TestbedOptions&);
+using NamedScenario = std::pair<const char*, ScenarioFn>;
 
-TEST(HotpathEquivalenceTest, Fig09ScenariosMatchBitForBit) {
-  const std::pair<const char*, ScenarioFn> scenarios[] = {
-      {"scene1", run_scene1},
-      {"scene2", run_scene2},
-      {"attack1", run_attack1},
-      {"attack2", run_attack2},
-      {"attack3", run_attack3},
-      {"attack4", run_attack4},
-      {"attack5",
-       [](std::uint64_t s, const TestbedOptions& base) {
-         return run_attack5(s, 255, base);
-       }},
-      {"attack6",
-       [](std::uint64_t s, const TestbedOptions& base) {
-         return run_attack6(s, false, base);
-       }},
-      {"chain", run_chain_attack},
-      {"multi", run_multi_attack},
-  };
+/// One Fig09 shard: the hot×fused 2x2 for each named scenario — the
+/// fused hot path (production shape) is the reference; the other three
+/// legs must reproduce it bit-for-bit.
+template <std::size_t N>
+void check_fig09_2x2(const NamedScenario (&scenarios)[N]) {
   for (const auto& [name, fn] : scenarios) {
-    // hot × fused 2x2: the fused hot path (production shape) is the
-    // reference; the other three legs must reproduce it bit-for-bit.
     const std::string reference = scenario_digest(
         fn(1, {.hot_path = true, .fused_metering = true}));
     EXPECT_EQ(scenario_digest(fn(1, {.hot_path = true,
@@ -105,79 +95,134 @@ TEST(HotpathEquivalenceTest, Fig09ScenariosMatchBitForBit) {
   }
 }
 
-TEST(HotpathEquivalenceTest, FleetCoresAndMeteringPathsMatchBitForBit) {
-  // The two metering paths (hot / baseline buffers) crossed with the two
-  // fleet cores (per-device heaps / shared wheel + slab) crossed with the
-  // two fold routes (fused pipeline / virtual sink chain) are EIGHT
-  // routes to the same observable run; all eight digest sets AND trace
-  // byte streams must agree.
-  struct Observed {
-    std::vector<std::string> digests;
-    std::vector<std::string> traces;
-    bool operator==(const Observed&) const = default;
+TEST(HotpathEquivalenceTest, Fig09ScenesMatchBitForBit) {
+  const NamedScenario scenarios[] = {
+      {"scene1", run_scene1},
+      {"scene2", run_scene2},
+      {"chain", run_chain_attack},
   };
-  const auto observe = [](bool hot, fleet::FleetCore core, bool fused) {
-    auto plan = std::make_shared<fleet::InstallPlan>();
-    DemoAppSpec sender;
-    sender.package = "com.fleet.weather";
-    sender.foreground_cpu = 0.02;
-    plan->add_app<DemoApp>(sender);
-    DemoAppSpec victim;
-    victim.package = "com.fleet.syncclient";
-    victim.push_endpoint = true;
-    plan->add_app<DemoApp>(victim);
+  check_fig09_2x2(scenarios);
+}
 
-    fleet::FleetOptions options;
-    options.device_count = 6;
-    options.shards = 2;
-    options.epoch = sim::seconds(2);
-    options.install_plan = std::move(plan);
-    options.hot_path = hot;
-    options.fused_metering = fused;
-    options.core = core;
-    options.obs.trace = true;
-    const int device_count = options.device_count;
-    fleet::Fleet f(std::move(options));
-    fleet::PushCampaign campaign;
-    campaign.sender_package = "com.fleet.weather";
-    campaign.target_package = "com.fleet.syncclient";
-    campaign.start = sim::TimePoint{} + sim::seconds(2) + sim::millis(1);
-    campaign.period = sim::millis(750);
-    campaign.pushes_per_device = 6;
-    campaign.device_stagger = sim::millis(13);
-    f.broker().add_campaign(campaign);
-    f.start();
-    f.run_for(sim::seconds(8));
-    f.finish();
-    Observed out;
-    out.digests = f.energy_digests();
-    for (int i = 0; i < device_count; ++i) {
-      out.traces.push_back(f.device(i).trace_text());
-    }
-    return out;
+TEST(HotpathEquivalenceTest, Fig09EarlyAttacksMatchBitForBit) {
+  const NamedScenario scenarios[] = {
+      {"attack1", run_attack1},
+      {"attack2", run_attack2},
+      {"attack3", run_attack3},
+      {"attack4", run_attack4},
   };
+  check_fig09_2x2(scenarios);
+}
+
+TEST(HotpathEquivalenceTest, Fig09LateAttacksMatchBitForBit) {
+  const NamedScenario scenarios[] = {
+      {"attack5",
+       [](std::uint64_t s, const TestbedOptions& base) {
+         return run_attack5(s, 255, base);
+       }},
+      {"attack6",
+       [](std::uint64_t s, const TestbedOptions& base) {
+         return run_attack6(s, false, base);
+       }},
+      {"multi", run_multi_attack},
+  };
+  check_fig09_2x2(scenarios);
+}
+
+// --- The fleet 8-way matrix ------------------------------------------------
+// The two metering paths (hot / baseline buffers) crossed with the two
+// fleet cores (per-device heaps / shared wheel + slab) crossed with the
+// two fold routes (fused pipeline / virtual sink chain) are EIGHT routes
+// to the same observable run; all eight digest sets AND trace byte
+// streams must agree. Each shard below rebuilds the reference leg
+// (hot × per-device × fused) and checks its slice of the other seven.
+
+struct Observed {
+  std::vector<std::string> digests;
+  std::vector<std::string> traces;
+  bool operator==(const Observed&) const = default;
+};
+
+Observed observe_fleet(bool hot, fleet::FleetCore core, bool fused) {
+  auto plan = std::make_shared<fleet::InstallPlan>();
+  DemoAppSpec sender;
+  sender.package = "com.fleet.weather";
+  sender.foreground_cpu = 0.02;
+  plan->add_app<DemoApp>(sender);
+  DemoAppSpec victim;
+  victim.package = "com.fleet.syncclient";
+  victim.push_endpoint = true;
+  plan->add_app<DemoApp>(victim);
+
+  fleet::FleetOptions options;
+  options.device_count = 6;
+  options.shards = 2;
+  options.epoch = sim::seconds(2);
+  options.install_plan = std::move(plan);
+  options.hot_path = hot;
+  options.fused_metering = fused;
+  options.core = core;
+  options.obs.trace = true;
+  const int device_count = options.device_count;
+  fleet::Fleet f(std::move(options));
+  fleet::PushCampaign campaign;
+  campaign.sender_package = "com.fleet.weather";
+  campaign.target_package = "com.fleet.syncclient";
+  campaign.start = sim::TimePoint{} + sim::seconds(2) + sim::millis(1);
+  campaign.period = sim::millis(750);
+  campaign.pushes_per_device = 6;
+  campaign.device_stagger = sim::millis(13);
+  f.broker().add_campaign(campaign);
+  f.start();
+  f.run_for(sim::seconds(8));
+  f.finish();
+  Observed out;
+  out.digests = f.energy_digests();
+  for (int i = 0; i < device_count; ++i) {
+    out.traces.push_back(f.device(i).trace_text());
+  }
+  return out;
+}
+
+void check_fleet_legs(
+    const std::vector<std::pair<bool, bool>>& hot_fused_legs,
+    fleet::FleetCore core) {
   const Observed reference =
-      observe(true, fleet::FleetCore::kBaseline, true);
+      observe_fleet(true, fleet::FleetCore::kBaseline, true);
   ASSERT_FALSE(reference.traces.front().empty());
-  for (const bool hot : {true, false}) {
-    for (const auto core :
-         {fleet::FleetCore::kBaseline, fleet::FleetCore::kBatched}) {
-      for (const bool fused : {true, false}) {
-        if (hot && core == fleet::FleetCore::kBaseline && fused) continue;
-        const Observed leg = observe(hot, core, fused);
-        EXPECT_EQ(leg.digests, reference.digests)
-            << "hot=" << hot << " batched="
-            << (core == fleet::FleetCore::kBatched) << " fused=" << fused;
-        EXPECT_EQ(leg.traces, reference.traces)
-            << "hot=" << hot << " batched="
-            << (core == fleet::FleetCore::kBatched) << " fused=" << fused;
-      }
-    }
+  for (const auto& [hot, fused] : hot_fused_legs) {
+    const Observed leg = observe_fleet(hot, core, fused);
+    EXPECT_EQ(leg.digests, reference.digests)
+        << "hot=" << hot
+        << " batched=" << (core == fleet::FleetCore::kBatched)
+        << " fused=" << fused;
+    EXPECT_EQ(leg.traces, reference.traces)
+        << "hot=" << hot
+        << " batched=" << (core == fleet::FleetCore::kBatched)
+        << " fused=" << fused;
   }
 }
 
-TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {
-  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+TEST(HotpathEquivalenceTest, FleetPerDeviceCoreLegsMatchBitForBit) {
+  // The three non-reference legs on the per-device-heap core.
+  check_fleet_legs({{true, false}, {false, true}, {false, false}},
+                   fleet::FleetCore::kBaseline);
+}
+
+TEST(HotpathEquivalenceTest, FleetBatchedHotLegsMatchBitForBit) {
+  check_fleet_legs({{true, true}, {true, false}},
+                   fleet::FleetCore::kBatched);
+}
+
+TEST(HotpathEquivalenceTest, FleetBatchedBaselineLegsMatchBitForBit) {
+  check_fleet_legs({{false, true}, {false, false}},
+                   fleet::FleetCore::kBatched);
+}
+
+// --- Chaos seeds, sharded 8 per TEST ---------------------------------------
+
+void check_chaos_seeds(std::uint64_t first, std::uint64_t last) {
+  for (std::uint64_t seed = first; seed <= last; ++seed) {
     ChaosOptions options;
     options.seed = seed;
     options.workload_steps = 40;
@@ -196,6 +241,19 @@ TEST(HotpathEquivalenceTest, ChaosDigestsMatchAcross32Seeds) {
     EXPECT_EQ(run_chaos(options).digest(), reference)
         << "seed " << seed << " baseline/fused";
   }
+}
+
+TEST(HotpathEquivalenceTest, ChaosDigestsMatchSeeds1To8) {
+  check_chaos_seeds(1, 8);
+}
+TEST(HotpathEquivalenceTest, ChaosDigestsMatchSeeds9To16) {
+  check_chaos_seeds(9, 16);
+}
+TEST(HotpathEquivalenceTest, ChaosDigestsMatchSeeds17To24) {
+  check_chaos_seeds(17, 24);
+}
+TEST(HotpathEquivalenceTest, ChaosDigestsMatchSeeds25To32) {
+  check_chaos_seeds(25, 32);
 }
 
 }  // namespace
